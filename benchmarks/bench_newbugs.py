@@ -1,0 +1,47 @@
+"""Section 6.3.2: the four new bugs XFDetector found.
+
+Paper: Bug 1 (Hashmap-Atomic creation metadata), Bug 2 (Hashmap-Atomic
+uninitialized count), Bug 3 (Redis initPersistentMemory), Bug 4
+(libpmemobj pool creation).  This bench runs each scenario and reports
+what was detected.
+"""
+
+import pytest
+
+from benchmarks._common import format_table, write_result
+from repro.bugsuite import NEW_BUGS
+
+_outcomes = {}
+
+
+@pytest.mark.parametrize(
+    "scenario", NEW_BUGS, ids=[f"bug{s.number}" for s in NEW_BUGS]
+)
+def test_new_bug_detected(benchmark, scenario):
+    report, detected = benchmark.pedantic(
+        scenario.run, rounds=1, iterations=1
+    )
+    _outcomes[scenario.number] = (scenario, report, detected)
+    assert detected, report.format()
+
+
+def test_newbugs_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_outcomes) < len(NEW_BUGS):
+        pytest.skip("scenario benches did not run")
+    rows = []
+    for number in sorted(_outcomes):
+        scenario, report, detected = _outcomes[number]
+        kinds = sorted({bug.kind.value for bug in report.bugs})
+        rows.append([
+            f"Bug {number}",
+            scenario.software,
+            "DETECTED" if detected else "MISSED",
+            ", ".join(kinds),
+        ])
+    text = format_table(
+        ["bug", "software", "status", "reported kinds"],
+        rows,
+        title="Section 6.3.2 — the four new bugs",
+    )
+    write_result("newbugs", text)

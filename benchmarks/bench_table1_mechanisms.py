@@ -1,0 +1,74 @@
+"""Table 1: the six crash-consistency mechanisms and their data-
+consistency requirements.
+
+For each mechanism we run a correct build (must be clean — the
+mechanism's consistency rule holds at every failure point) and a buggy
+build violating exactly that rule (must be detected with the expected
+bug class).
+"""
+
+import pytest
+
+from benchmarks._common import format_table, run_detection, write_result
+from repro.core import BugKind
+from repro.mechanisms import MECHANISMS, MechanismWorkload
+
+KIND = {
+    "R": BugKind.CROSS_FAILURE_RACE,
+    "S": BugKind.CROSS_FAILURE_SEMANTIC,
+}
+
+_rows = {}
+
+
+@pytest.mark.parametrize(
+    "store_cls", list(MECHANISMS),
+    ids=[s.mechanism_name for s in MECHANISMS],
+)
+def test_table1_mechanism(benchmark, store_cls):
+    def run_both():
+        clean = run_detection(
+            MechanismWorkload(store_cls, test_size=4)
+        )
+        buggy_outcomes = {}
+        for flag, (code, _description) in store_cls.FAULTS.items():
+            report = run_detection(
+                MechanismWorkload(store_cls, faults={flag}, test_size=4)
+            )
+            buggy_outcomes[flag] = (code, report)
+        return clean, buggy_outcomes
+
+    clean, buggy = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    _rows[store_cls.mechanism_name] = (store_cls, clean, buggy)
+    assert clean.bugs == [], clean.format()
+    for flag, (code, report) in buggy.items():
+        assert any(bug.kind is KIND[code] for bug in report.bugs), (
+            f"{store_cls.mechanism_name}:{flag} missed"
+        )
+
+
+def test_table1_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < len(list(MECHANISMS)):
+        pytest.skip("mechanism benches did not run")
+    rows = []
+    for name, (store_cls, clean, buggy) in _rows.items():
+        for flag, (code, report) in buggy.items():
+            kinds = sorted({bug.kind.value for bug in report.bugs})
+            rows.append([
+                name,
+                "clean" if not clean.bugs else "DIRTY",
+                f"{flag} [{code}]",
+                ", ".join(kinds),
+            ])
+    text = format_table(
+        ["mechanism", "correct build", "injected violation",
+         "detected kinds"],
+        rows,
+        title="Table 1 — data-consistency requirements per mechanism",
+    )
+    text += (
+        "\nshape to check: every correct build clean; every violation "
+        "detected with its class\n"
+    )
+    write_result("table1_mechanisms", text)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""PM-Redis under failure: the Bug 3 story, end to end.
+
+1. Run the stock server (unprotected ``initPersistentMemory``) under
+   XFDetector: the initialization races are reported.
+2. Run the fixed server (transactional initialization): clean.
+3. Demonstrate an actual crash-and-restart: take the PM image at one
+   failure point, restart the server on it in a fresh runtime, and show
+   that the recovered dictionary is an exact prefix of the SET commands
+   — the crash-consistency guarantee in action.
+
+Run:  python examples/redis_recovery.py
+"""
+
+from repro.core import DetectorConfig, XFDetector
+from repro.core.frontend import Frontend
+from repro.pm.image import CrashImageMode
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.pmdk import ObjectPool
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.pmkv import KVRoot, LAYOUT, PMKVServer, PMKVWorkload
+
+
+def detection_story():
+    print("1) stock Redis: initPersistentMemory outside any transaction")
+    stock = PMKVWorkload(faults={"bug3_unprotected_init"}, test_size=1)
+    report = XFDetector(DetectorConfig()).run(stock)
+    print(f"   {report.summary()}")
+    for bug in report.unique_bugs()[:2]:
+        print(f"   {bug}")
+
+    print("\n2) fixed Redis: initialization wrapped in a transaction")
+    fixed = PMKVWorkload(test_size=1)
+    report = XFDetector(DetectorConfig()).run(fixed)
+    print(f"   {report.summary()}")
+
+
+def crash_restart_story():
+    print("\n3) crash-and-restart on a real PM image")
+    sets = 4
+    workload = PMKVWorkload(test_size=sets)
+    result = Frontend(DetectorConfig()).run(workload)
+    # Pick the failure point in the middle of the SET stream.
+    failure_point = result.failure_points[
+        len(result.failure_points) // 2
+    ]
+    image = failure_point.images[0]
+    print(
+        f"   crash injected at failure point "
+        f"#{failure_point.fid}/{len(result.failure_points) - 1} "
+        f"({failure_point.reason})"
+    )
+    # A fresh process maps the image and restarts the server.
+    memory = PersistentMemory(TraceRecorder("post"), capture_ips=False)
+    memory.map_pool(PMPool(
+        image.pool_name, image.size, image.base,
+        data=image.bytes_for(CrashImageMode.PERSISTED_ONLY),
+    ))
+    pool = ObjectPool.open(memory, "pmkv", LAYOUT, KVRoot)
+    server = PMKVServer(pool)
+    keys = server.keys()
+    print(f"   recovered keys: {[k.decode() for k in keys]}")
+    print(f"   num_dict_entries: {server.info()['num_dict_entries']}")
+    expected_prefixes = [
+        sorted(f"key:{i}".encode() for i in range(k))
+        for k in range(sets + 1)
+    ]
+    assert keys in expected_prefixes, "recovery must be a SET prefix"
+    print("   -> an exact prefix of the committed SETs: "
+          "crash-consistent.")
+    server.set("post-crash", "works")
+    print(f"   server resumed; GET post-crash = "
+          f"{server.get('post-crash').decode()}")
+
+
+def main():
+    detection_story()
+    crash_restart_story()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — a reproduction of *Cross-Failure Bug Detection in Persistent
+Memory Programs* (XFDetector, ASPLOS 2020).
+
+Public API highlights:
+
+* :class:`repro.core.XFDetector` / :class:`repro.core.DetectorConfig` —
+  run cross-failure bug detection on a workload.
+* :mod:`repro.pm` — the simulated PM substrate (pools, cache model).
+* :mod:`repro.pmdk` — the PMDK substitute (persist API, object pools,
+  transactions, persistent structs).
+* :mod:`repro.workloads` — the paper's evaluated programs.
+* :mod:`repro.mechanisms` — the Table 1 crash-consistency mechanisms.
+* :mod:`repro.baselines` — pre-failure-only checkers (pmemcheck/PMTest
+  analogues) for coverage comparisons.
+"""
+
+from repro.core import (
+    Bug,
+    BugKind,
+    DetectionReport,
+    DetectorConfig,
+    XFDetector,
+    XFInterface,
+)
+from repro.pm import CrashImageMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bug",
+    "BugKind",
+    "CrashImageMode",
+    "DetectionReport",
+    "DetectorConfig",
+    "XFDetector",
+    "XFInterface",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Source-location capture — the "instruction pointer" of traced operations.
+
+The original XFDetector records the x86 instruction pointer of every traced
+PM operation so that bug reports can name the file and line of the racing
+reader and writer (paper Section 5.3).  In this Python reproduction the
+equivalent is the source location of the *workload* frame that performed
+the PM access: we walk the call stack outward until we leave the runtime
+(the ``repro.pm``, ``repro.pmdk``, ``repro.trace`` and ``repro.core``
+packages), mirroring how the paper traces user code at instruction
+granularity but library internals only at function granularity.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+
+# Path fragments that identify frames belonging to the runtime itself.
+# Frames in these packages are skipped when attributing an operation:
+# the attributed "instruction pointer" is the innermost frame *outside*
+# of them (normally the workload, a test, or an example script).
+_RUNTIME_FRAGMENTS = (
+    os.path.join("repro", "pm") + os.sep,
+    os.path.join("repro", "pmdk") + os.sep,
+    os.path.join("repro", "trace") + os.sep,
+    os.path.join("repro", "core") + os.sep,
+    os.path.join("repro", "mechanisms") + os.sep,
+    os.path.join("repro", "_location.py"),
+)
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A file/line/function triple identifying one program point."""
+
+    filename: str
+    lineno: int
+    function: str
+
+    @property
+    def basename(self):
+        return os.path.basename(self.filename)
+
+    def __str__(self):
+        return f"{self.basename}:{self.lineno} ({self.function})"
+
+
+#: Placeholder used when location capture is disabled or no frame outside
+#: the runtime exists (e.g. operations issued by the engine itself).
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, "<unknown>")
+
+
+def _is_runtime_frame(filename):
+    return any(fragment in filename for fragment in _RUNTIME_FRAGMENTS)
+
+
+def capture_location(skip=1):
+    """Return the :class:`SourceLocation` of the nearest non-runtime frame.
+
+    ``skip`` is the number of innermost frames to ignore unconditionally
+    (the caller itself, usually).  Returns :data:`UNKNOWN_LOCATION` when
+    the entire stack is runtime frames.
+    """
+    frame = sys._getframe(skip)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not _is_runtime_frame(filename):
+            return SourceLocation(
+                filename, frame.f_lineno, frame.f_code.co_name
+            )
+        frame = frame.f_back
+    return UNKNOWN_LOCATION
+
+
+def capture_library_location(skip=1):
+    """Return the location of the immediate caller, runtime or not.
+
+    Used for function-granularity tracing of library calls, where the
+    interesting frame is the library function itself.
+    """
+    frame = sys._getframe(skip)
+    return SourceLocation(
+        frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name
+    )

@@ -1,0 +1,31 @@
+"""Pre-failure-only baselines (the paper's "prior works", Figure 3).
+
+Both tools analyze only the pre-failure trace:
+
+* :class:`~repro.baselines.pmemcheck.PmemcheckBaseline` reports stores
+  that were never made persistent by the end of the run, like Intel's
+  pmemcheck.
+* :class:`~repro.baselines.pmtest.PMTestBaseline` checks PMDK
+  transaction discipline (writes inside a transaction to ranges that
+  were not added; duplicate adds), like PMTest's high-level checkers.
+
+Because neither sees the post-failure stage, both miss cross-failure
+semantic bugs and post-failure-stage bugs, and both report a *false
+positive* on Figure 1's ``recover_alt`` pattern — the recovery
+overwrites the unpersisted ``length``, so the program is correct, but a
+pre-failure-only tool cannot know that.
+"""
+
+from repro.baselines.common import BaselineFinding, BaselineReport
+from repro.baselines.pmemcheck import PmemcheckBaseline
+from repro.baselines.pmtest import PMTestBaseline
+from repro.baselines.yat import CheckerUnavailable, YatBaseline
+
+__all__ = [
+    "BaselineFinding",
+    "BaselineReport",
+    "CheckerUnavailable",
+    "PMTestBaseline",
+    "PmemcheckBaseline",
+    "YatBaseline",
+]

@@ -1,0 +1,77 @@
+"""Shared reporting types and trace plumbing for the baselines."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro._location import UNKNOWN_LOCATION
+from repro.core.config import DetectorConfig
+from repro.core.frontend import Frontend
+
+
+@dataclass(frozen=True)
+class BaselineFinding:
+    """One baseline report entry."""
+
+    kind: str  # tool-specific label
+    detail: str
+    address: int = 0
+    size: int = 0
+    writer_ip: object = UNKNOWN_LOCATION
+
+    def dedup_key(self):
+        return (self.kind, self.writer_ip, self.detail)
+
+
+@dataclass
+class BaselineReport:
+    tool: str
+    workload_name: str = ""
+    findings: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    def unique_findings(self):
+        seen = set()
+        unique = []
+        for finding in self.findings:
+            key = finding.dedup_key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(finding)
+        return unique
+
+    @property
+    def has_findings(self):
+        return bool(self.findings)
+
+    def summary(self):
+        return (
+            f"{self.tool}({self.workload_name}): "
+            f"{len(self.unique_findings())} finding(s)"
+        )
+
+
+class PreFailureBaseline:
+    """Base class: run the workload once (pre-failure only, no failure
+    injection, no post-failure stage) and analyze its trace."""
+
+    tool = "baseline"
+
+    def run(self, workload):
+        config = DetectorConfig(inject_failures=False)
+        started = time.perf_counter()
+        frontend_result = Frontend(config).run(workload)
+        report = self.analyze(frontend_result)
+        report.seconds = time.perf_counter() - started
+        return report
+
+    def analyze(self, frontend_result):
+        report = BaselineReport(
+            self.tool, frontend_result.workload_name
+        )
+        self._scan(frontend_result.pre_recorder, report)
+        return report
+
+    def _scan(self, recorder, report):
+        raise NotImplementedError

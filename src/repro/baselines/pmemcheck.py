@@ -1,0 +1,109 @@
+"""pmemcheck-like baseline: stores never made persistent.
+
+Intel's pmemcheck is a Valgrind tool that tracks every store to PM and
+reports, at exit, stores that were not flushed and fenced.  This
+baseline replays the pre-failure trace through the same Figure 9 FSM
+the detector uses and reports every byte range left modified or
+writeback-pending at the end of the run, plus redundant flushes (which
+pmemcheck also reports, as "superfluous flush").
+
+Being pre-failure-only, it cannot tell whether a recovery would have
+overwritten the data (Figure 1's ``recover_alt`` false positive), and
+it cannot see semantic misuse of persisted data at all.
+"""
+
+from __future__ import annotations
+
+from repro._rangemap import RangeMap
+from repro.baselines.common import BaselineFinding, PreFailureBaseline
+from repro.pm.cacheline import FlushKind, LineState
+from repro.pm.constants import CACHE_LINE_SIZE
+from repro.trace.events import EventKind
+
+
+class PmemcheckBaseline(PreFailureBaseline):
+    """Report stores that never became persistent."""
+
+    tool = "pmemcheck"
+
+    def _scan(self, recorder, report):
+        state = RangeMap(LineState.UNMODIFIED)
+        writers = RangeMap(None)
+        pending_lines = set()
+        tx_depth = 0
+
+        for event in recorder:
+            kind = event.kind
+            if kind is EventKind.STORE:
+                state.set(event.addr, event.end, LineState.MODIFIED)
+                writers.set(event.addr, event.end, event.ip)
+            elif kind is EventKind.NT_STORE:
+                state.set(
+                    event.addr, event.end, LineState.WRITEBACK_PENDING
+                )
+                writers.set(event.addr, event.end, event.ip)
+                pending_lines.add(event.addr - event.addr % 64)
+            elif kind is EventKind.FLUSH:
+                self._flush(state, event, pending_lines, report,
+                            tx_depth)
+            elif kind is EventKind.FENCE:
+                for line in sorted(pending_lines):
+                    for s, e, st in list(
+                        state.iter_ranges(line, line + CACHE_LINE_SIZE)
+                    ):
+                        if st is LineState.WRITEBACK_PENDING:
+                            state.set(s, e, LineState.PERSISTED)
+                pending_lines.clear()
+            elif kind is EventKind.TX_ADD:
+                # pmemcheck with PMDK integration treats logged ranges
+                # as handled by the library.
+                state.set(
+                    event.addr, event.end, LineState.PERSISTED
+                )
+            elif kind is EventKind.TX_BEGIN:
+                tx_depth += 1
+            elif kind in (EventKind.TX_COMMIT, EventKind.TX_ABORT):
+                tx_depth -= 1
+
+        # End of run: everything still volatile is a finding.
+        for start, end, st in state.iter_ranges():
+            if st in (LineState.MODIFIED, LineState.WRITEBACK_PENDING):
+                report.findings.append(
+                    BaselineFinding(
+                        kind="store-not-persisted",
+                        detail=(
+                            "store not guaranteed persistent at exit"
+                            if st is LineState.MODIFIED
+                            else "flushed store never fenced"
+                        ),
+                        address=start,
+                        size=end - start,
+                        writer_ip=writers.get(start),
+                    )
+                )
+
+    def _flush(self, state, event, pending_lines, report, tx_depth):
+        useful = False
+        for s, e, st in list(
+            state.iter_ranges(event.addr, event.addr + CACHE_LINE_SIZE)
+        ):
+            if st is LineState.MODIFIED:
+                target = (
+                    LineState.PERSISTED
+                    if event.info == FlushKind.CLFLUSH.value
+                    else LineState.WRITEBACK_PENDING
+                )
+                state.set(s, e, target)
+                useful = True
+        if useful and event.info != FlushKind.CLFLUSH.value:
+            pending_lines.add(event.addr)
+        if not useful:
+            report.findings.append(
+                BaselineFinding(
+                    kind="superfluous-flush",
+                    detail="flush of a clean or already-pending line",
+                    address=event.addr,
+                    size=CACHE_LINE_SIZE,
+                    writer_ip=event.ip,
+                )
+            )

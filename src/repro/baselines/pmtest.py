@@ -1,0 +1,70 @@
+"""PMTest-like baseline: transaction-discipline checks.
+
+PMTest's high-level checkers verify that PMDK transactional programs
+(a) only modify persistent objects that were added to the transaction,
+and (b) do not add the same object twice.  Like PMTest, this analysis
+sees only the pre-failure execution — so a write the recovery always
+overwrites (Figure 1's ``recover_alt``) is still flagged, and semantic
+misuse of persisted data (Figure 2) is invisible to it.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import BaselineFinding, PreFailureBaseline
+from repro.trace.events import EventKind
+
+
+class PMTestBaseline(PreFailureBaseline):
+    """Report transaction-discipline violations in the pre-failure
+    trace."""
+
+    tool = "pmtest"
+
+    def _scan(self, recorder, report):
+        in_tx = False
+        lib_depth = 0
+        added = []
+
+        for event in recorder:
+            kind = event.kind
+            if kind is EventKind.LIB_BEGIN:
+                lib_depth += 1
+            elif kind is EventKind.LIB_END:
+                lib_depth -= 1
+            elif kind is EventKind.TX_BEGIN:
+                in_tx = True
+                added = []
+            elif kind in (EventKind.TX_COMMIT, EventKind.TX_ABORT):
+                in_tx = False
+                added = []
+            elif kind is EventKind.TX_ADD:
+                if _covered(event.addr, event.size, added):
+                    report.findings.append(
+                        BaselineFinding(
+                            kind="duplicate-tx-add",
+                            detail="object added to the transaction "
+                                   "twice",
+                            address=event.addr,
+                            size=event.size,
+                            writer_ip=event.ip,
+                        )
+                    )
+                added.append((event.addr, event.size))
+            elif kind is EventKind.STORE and in_tx and lib_depth == 0:
+                if not _covered(event.addr, event.size, added):
+                    report.findings.append(
+                        BaselineFinding(
+                            kind="write-without-add",
+                            detail="persistent object modified inside "
+                                   "a transaction without TX_ADD",
+                            address=event.addr,
+                            size=event.size,
+                            writer_ip=event.ip,
+                        )
+                    )
+
+
+def _covered(addr, size, ranges):
+    from repro.core.shadow import _covered_by
+
+    return bool(ranges) and _covered_by(addr, addr + size, ranges)

@@ -1,0 +1,25 @@
+"""Synthetic-bug registry (Table 5) and the four new-bug scenarios
+(Section 6.3.2)."""
+
+from repro.bugsuite.newbugs import NEW_BUGS, NewBugScenario
+from repro.bugsuite.registry import (
+    SUITE_ADDITIONAL,
+    SUITE_PMTEST,
+    SyntheticBug,
+    build_workload,
+    bug_entries,
+    expected_counts,
+    run_bug,
+)
+
+__all__ = [
+    "NEW_BUGS",
+    "NewBugScenario",
+    "SUITE_ADDITIONAL",
+    "SUITE_PMTEST",
+    "SyntheticBug",
+    "build_workload",
+    "bug_entries",
+    "expected_counts",
+    "run_bug",
+]

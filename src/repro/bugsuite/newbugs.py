@@ -1,0 +1,162 @@
+"""The four new bugs XFDetector found (paper Section 6.3.2, Figure 14).
+
+Each scenario names the software, the paper's description, the workload
+(with fault flags switching the *stock, buggy* code path on), the
+detector configuration it needs, and the bug kinds whose presence
+demonstrates the detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.errors import PoolCorruptionError
+from repro.pm.image import CrashImageMode
+from repro.pmdk import I64, ObjectPool, Struct, U64, pmem
+from repro.workloads.base import Workload
+from repro.workloads.hashmap_atomic import HashmapAtomicWorkload
+from repro.workloads.pmkv import PMKVWorkload
+
+
+class PoolCreateRoot(Struct):
+    """Root object for the pool-creation scenario (Bug 4)."""
+
+    payload = I64()
+    ready = U64()
+
+
+class PoolCreationWorkload(Workload):
+    """Bug 4's habitat: ``pmemobj_create`` itself under failure
+    injection.
+
+    The pre-failure stage *is* the pool creation
+    (``util_pool_create_uuids``): metadata initialized step by step,
+    each step persisted, but validating only once the final checksum
+    lands.  A failure in the middle leaves incomplete metadata and the
+    post-failure ``open()`` raises :class:`PoolCorruptionError` — a
+    post-failure crash, exactly how the paper observed the bug even
+    though ``open()`` itself is outside tracing scope.
+    """
+
+    name = "pool_creation"
+    FAULTS = {}
+
+    def setup(self, ctx):
+        pass  # nothing exists yet: creation is the test subject
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "bug4", "xf-bug4", root_cls=PoolCreateRoot
+        )
+        root = pool.root
+        root.payload = 42
+        root.ready = 1
+        pmem.persist(ctx.memory, root.address, PoolCreateRoot.SIZE)
+
+    def post_failure(self, ctx):
+        # A fresh process tries to open the pool for recovery.
+        pool = ObjectPool.open(
+            ctx.memory, "bug4", "xf-bug4", root_cls=PoolCreateRoot
+        )
+        _ = pool.root.payload
+
+
+@dataclass(frozen=True)
+class NewBugScenario:
+    """One of the paper's four new bugs, runnable."""
+
+    number: int
+    software: str
+    location: str
+    description: str
+    make_workload: object  # () -> Workload
+    expected_kinds: tuple
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+
+    def run(self):
+        """Run detection; returns ``(report, detected)``."""
+        report = XFDetector(self.config).run(self.make_workload())
+        found_kinds = {bug.kind for bug in report.bugs}
+        detected = any(kind in found_kinds for kind in self.expected_kinds)
+        return report, detected
+
+
+NEW_BUGS = [
+    NewBugScenario(
+        number=1,
+        software="PMDK example: Hashmap-Atomic",
+        location="hashmap_atomic.c:132-138",
+        description=(
+            "create_hashmap assigns hash functions and seed without "
+            "crash-consistency protection; a failure before the final "
+            "persist leaves them volatile and recovery reads them"
+        ),
+        make_workload=lambda: HashmapAtomicWorkload(
+            faults={"bug1_unpersisted_create"}, test_size=1
+        ),
+        expected_kinds=(BugKind.CROSS_FAILURE_RACE,),
+    ),
+    NewBugScenario(
+        number=2,
+        software="PMDK example: Hashmap-Atomic",
+        location="hashmap_atomic.c:280",
+        description=(
+            "count is never explicitly initialized after POBJ_ALLOC; "
+            "with a failure right after allocation the post-failure "
+            "program reads allocated-but-uninitialized PM"
+        ),
+        make_workload=lambda: HashmapAtomicWorkload(
+            faults={"bug2_uninit_count"}, test_size=1
+        ),
+        expected_kinds=(BugKind.CROSS_FAILURE_RACE,),
+    ),
+    NewBugScenario(
+        number=3,
+        software="PM-Redis",
+        location="server.c:4029",
+        description=(
+            "initPersistentMemory initializes server PM state outside "
+            "any transaction; a failure mid-initialization leads to a "
+            "cross-failure race on restart"
+        ),
+        make_workload=lambda: PMKVWorkload(
+            faults={"bug3_unprotected_init"}, test_size=1
+        ),
+        expected_kinds=(BugKind.CROSS_FAILURE_RACE,),
+    ),
+    NewBugScenario(
+        number=4,
+        software="PMDK libpmemobj",
+        location="obj.c:1324 (pmemobj_createU)",
+        description=(
+            "pool creation persists metadata step by step with no "
+            "consistency guarantee in the middle; a failure leaves an "
+            "unopenable pool and the post-failure open() fails"
+        ),
+        make_workload=PoolCreationWorkload,
+        expected_kinds=(BugKind.POST_FAILURE_CRASH,),
+        config=DetectorConfig(
+            crash_image_mode=CrashImageMode.PERSISTED_ONLY
+        ),
+    ),
+]
+
+
+def run_all():
+    """Run all four scenarios; returns a list of
+    ``(scenario, report, detected)``."""
+    results = []
+    for scenario in NEW_BUGS:
+        report, detected = scenario.run()
+        results.append((scenario, report, detected))
+    return results
+
+
+__all__ = [
+    "NEW_BUGS",
+    "NewBugScenario",
+    "PoolCorruptionError",
+    "PoolCreationWorkload",
+    "run_all",
+]

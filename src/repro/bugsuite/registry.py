@@ -1,0 +1,204 @@
+"""The synthetic-bug registry reproducing Table 5.
+
+The paper validates XFDetector against the PMTest bug suite (races and
+performance bugs injected into the five PMDK microbenchmarks) plus
+additional bugs of its own, including cross-failure semantic bugs for
+Hashmap-Atomic.  This registry assigns each workload fault flag to one
+of those suites so the Table 5 bench can regenerate the counts:
+
+===============  ======  =====  =====  =====
+Workload         R       P      add R  add S
+===============  ======  =====  =====  =====
+B-Tree           8       2      4      —
+C-Tree           5       1      1      —
+RB-Tree          7       1      1      —
+Hashmap-TX       6       1      3      —
+Hashmap-Atomic   10      2      3      4
+===============  ======  =====  =====  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.workloads import MICROBENCHMARKS
+
+SUITE_PMTEST = "pmtest"
+SUITE_ADDITIONAL = "additional"
+
+#: Expected bug class per fault-flag code.
+CLASS_TO_KIND = {
+    "R": BugKind.CROSS_FAILURE_RACE,
+    "S": BugKind.CROSS_FAILURE_SEMANTIC,
+    "P": BugKind.PERFORMANCE,
+}
+
+
+@dataclass(frozen=True)
+class SyntheticBug:
+    """One injectable bug: a workload fault flag plus run parameters."""
+
+    workload: str
+    flag: str
+    bug_class: str  # "R", "S", or "P"
+    suite: str  # SUITE_PMTEST or SUITE_ADDITIONAL
+    params: dict = field(default_factory=dict)
+
+    @property
+    def expected_kind(self):
+        return CLASS_TO_KIND[self.bug_class]
+
+    def __str__(self):
+        return f"{self.workload}:{self.flag} ({self.bug_class})"
+
+
+#: Default run parameters per workload (enough operations to exercise
+#: insert, update, and remove paths).
+_DEFAULT_PARAMS = {
+    "btree": dict(init_size=2, test_size=3),
+    "ctree": dict(init_size=2, test_size=3),
+    "rbtree": dict(init_size=2, test_size=3),
+    "hashmap_tx": dict(init_size=2, test_size=3),
+    "hashmap_atomic": dict(init_size=2, test_size=3),
+}
+
+#: Parameters a specific bug needs to make its faulty path execute
+#: (e.g. a split whose insertion continues into the untouched half).
+_PARAM_OVERRIDES = {
+    ("btree", "skip_add_new_sibling"): dict(
+        init_size=0, test_size=5, key_order="descending"
+    ),
+    ("btree", "skip_add_new_root"): dict(
+        init_size=0, test_size=5, key_order="ascending"
+    ),
+    ("btree", "skip_add_parent_split"): dict(
+        init_size=0, test_size=8, key_order="ascending"
+    ),
+    ("rbtree", "skip_add_recolor_parent"): dict(
+        init_size=0, test_size=12
+    ),
+    ("hashmap_tx", "skip_add_prev_next"): dict(
+        init_size=3, test_size=3, nbuckets=2
+    ),
+}
+
+
+def _bug(workload, flag, bug_class, suite):
+    params = dict(_DEFAULT_PARAMS[workload])
+    params.update(_PARAM_OVERRIDES.get((workload, flag), {}))
+    return SyntheticBug(workload, flag, bug_class, suite, params)
+
+
+_REGISTRY = [
+    # ----- B-Tree: 8 R + 2 P (PMTest), 4 R (additional) --------------
+    _bug("btree", "skip_add_root_ptr", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_count", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_leaf", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_new_root", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_split_child", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_new_sibling", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_parent_split", "R", SUITE_PMTEST),
+    _bug("btree", "skip_add_update_value", "R", SUITE_PMTEST),
+    _bug("btree", "dup_add_count", "P", SUITE_PMTEST),
+    _bug("btree", "dup_add_leaf", "P", SUITE_PMTEST),
+    _bug("btree", "count_outside_tx", "R", SUITE_ADDITIONAL),
+    _bug("btree", "skip_add_remove_leaf", "R", SUITE_ADDITIONAL),
+    _bug("btree", "skip_add_count_remove", "R", SUITE_ADDITIONAL),
+    _bug("btree", "unpersisted_value_write", "R", SUITE_ADDITIONAL),
+    # ----- C-Tree: 5 R + 1 P (PMTest), 1 R (additional) --------------
+    _bug("ctree", "skip_add_parent_ptr", "R", SUITE_PMTEST),
+    _bug("ctree", "skip_add_new_internal", "R", SUITE_PMTEST),
+    _bug("ctree", "skip_add_new_leaf", "R", SUITE_PMTEST),
+    _bug("ctree", "skip_add_count", "R", SUITE_PMTEST),
+    _bug("ctree", "skip_add_update_value", "R", SUITE_PMTEST),
+    _bug("ctree", "dup_add_parent", "P", SUITE_PMTEST),
+    _bug("ctree", "skip_add_remove_ptr", "R", SUITE_ADDITIONAL),
+    # ----- RB-Tree: 7 R + 1 P (PMTest), 1 R (additional) -------------
+    _bug("rbtree", "skip_add_new_node", "R", SUITE_PMTEST),
+    _bug("rbtree", "skip_add_link_parent", "R", SUITE_PMTEST),
+    _bug("rbtree", "skip_add_recolor_uncle", "R", SUITE_PMTEST),
+    _bug("rbtree", "skip_add_recolor_grand", "R", SUITE_PMTEST),
+    _bug("rbtree", "skip_fixup_adds", "R", SUITE_PMTEST),
+    _bug("rbtree", "skip_add_root_update", "R", SUITE_PMTEST),
+    _bug("rbtree", "skip_add_count", "R", SUITE_PMTEST),
+    _bug("rbtree", "dup_add_node", "P", SUITE_PMTEST),
+    _bug("rbtree", "value_outside_tx", "R", SUITE_ADDITIONAL),
+    # ----- Hashmap-TX: 6 R + 1 P (PMTest), 3 R (additional) ----------
+    _bug("hashmap_tx", "skip_add_bucket", "R", SUITE_PMTEST),
+    _bug("hashmap_tx", "skip_add_count", "R", SUITE_PMTEST),
+    _bug("hashmap_tx", "skip_add_entry", "R", SUITE_PMTEST),
+    _bug("hashmap_tx", "skip_add_value", "R", SUITE_PMTEST),
+    _bug("hashmap_tx", "skip_add_bucket_remove", "R", SUITE_PMTEST),
+    _bug("hashmap_tx", "skip_add_count_remove", "R", SUITE_PMTEST),
+    _bug("hashmap_tx", "dup_add_count", "P", SUITE_PMTEST),
+    _bug("hashmap_tx", "skip_add_prev_next", "R", SUITE_ADDITIONAL),
+    _bug("hashmap_tx", "count_outside_tx", "R", SUITE_ADDITIONAL),
+    _bug("hashmap_tx", "unpersisted_create_seed", "R", SUITE_ADDITIONAL),
+    # ----- Hashmap-Atomic: 10 R + 2 P (PMTest), 3 R + 4 S (add.) -----
+    _bug("hashmap_atomic", "skip_persist_entry", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_bucket_link", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_count", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_value", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_unlink", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_count_remove", "R",
+         SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_buckets_init", "R",
+         SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_persist_geometry", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "unordered_link_before_entry", "R",
+         SUITE_PMTEST),
+    _bug("hashmap_atomic", "skip_fence_count", "R", SUITE_PMTEST),
+    _bug("hashmap_atomic", "redundant_flush_entry", "P", SUITE_PMTEST),
+    _bug("hashmap_atomic", "redundant_flush_count", "P", SUITE_PMTEST),
+    _bug("hashmap_atomic", "bug1_unpersisted_create", "R",
+         SUITE_ADDITIONAL),
+    _bug("hashmap_atomic", "bug2_uninit_count", "R", SUITE_ADDITIONAL),
+    _bug("hashmap_atomic", "nt_value_no_drain", "R", SUITE_ADDITIONAL),
+    _bug("hashmap_atomic", "skip_dirty_set", "S", SUITE_ADDITIONAL),
+    _bug("hashmap_atomic", "early_dirty_clear", "S", SUITE_ADDITIONAL),
+    _bug("hashmap_atomic", "swapped_dirty", "S", SUITE_ADDITIONAL),
+    _bug("hashmap_atomic", "recovery_reads_dirty_count", "S",
+         SUITE_ADDITIONAL),
+]
+
+
+def bug_entries(workload=None, suite=None, bug_class=None):
+    """Registry entries, optionally filtered."""
+    return [
+        bug for bug in _REGISTRY
+        if (workload is None or bug.workload == workload)
+        and (suite is None or bug.suite == suite)
+        and (bug_class is None or bug.bug_class == bug_class)
+    ]
+
+
+def expected_counts():
+    """The Table 5 matrix: {workload: {(suite, class): count}}."""
+    table = {}
+    for bug in _REGISTRY:
+        row = table.setdefault(bug.workload, {})
+        key = (bug.suite, bug.bug_class)
+        row[key] = row.get(key, 0) + 1
+    return table
+
+
+def build_workload(bug):
+    """Instantiate the workload for one registry entry."""
+    cls = MICROBENCHMARKS[bug.workload]
+    return cls(faults={bug.flag}, **bug.params)
+
+
+def run_bug(bug, config=None):
+    """Run detection for one synthetic bug.
+
+    Returns ``(report, detected)`` where ``detected`` means at least
+    one bug of the expected class was reported.
+    """
+    detector = XFDetector(config if config is not None else
+                          DetectorConfig())
+    report = detector.run(build_workload(bug))
+    detected = any(
+        found.kind is bug.expected_kind for found in report.bugs
+    )
+    return report, detected

@@ -1,0 +1,267 @@
+"""Command-line runner, mirroring the paper artifact's run scripts.
+
+Examples::
+
+    xfdetector run btree --init 5 --test 5 --fault skip_add_leaf
+    xfdetector run redis --test 3
+    xfdetector list-workloads
+    xfdetector list-faults hashmap_atomic
+    xfdetector new-bugs
+    xfdetector suite --workload btree
+    xfdetector trace hashmap_tx --test 2 --dump /tmp/pre.trace
+
+(equivalent to ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import DetectorConfig, XFDetector
+from repro.pm.image import CrashImageMode
+from repro.workloads import ALL_WORKLOADS
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="xfdetector",
+        description="Cross-failure bug detection for PM programs "
+                    "(XFDetector reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run detection on one workload")
+    run.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    run.add_argument("--init", type=int, default=0,
+                     help="insertions when initializing the PM image "
+                          "(INITSIZE)")
+    run.add_argument("--test", type=int, default=1,
+                     help="operations under test (TESTSIZE)")
+    run.add_argument("--fault", action="append", default=[],
+                     help="synthetic fault flag (repeatable); see "
+                          "list-faults")
+    run.add_argument("--strict-image", action="store_true",
+                     help="run post-failure stages on persisted-only "
+                          "crash images")
+    run.add_argument("--max-failure-points", type=int, default=None)
+    run.add_argument("--no-perf-bugs", action="store_true",
+                     help="suppress performance-bug reports")
+    run.add_argument("--all-occurrences", action="store_true",
+                     help="print every occurrence, not deduplicated "
+                          "bugs")
+    run.add_argument("--crash-states", type=int, default=0,
+                     metavar="N",
+                     help="sample N extra crash states per failure "
+                          "point (pmreorder-style fuzzing)")
+    run.add_argument("--json", action="store_true",
+                     help="print the report as JSON")
+
+    faults = sub.add_parser(
+        "list-faults", help="show a workload's fault flags"
+    )
+    faults.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+
+    sub.add_parser("list-workloads", help="show available workloads")
+    sub.add_parser("new-bugs",
+                   help="reproduce the paper's four new bugs "
+                        "(Section 6.3.2)")
+
+    suite = sub.add_parser(
+        "suite", help="run the Table 5 synthetic bug suite"
+    )
+    suite.add_argument("--workload", default=None,
+                       help="restrict to one workload")
+
+    trace = sub.add_parser(
+        "trace", help="trace a workload's pre-failure stage and print "
+                      "statistics (no detection)"
+    )
+    trace.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    trace.add_argument("--init", type=int, default=0)
+    trace.add_argument("--test", type=int, default=1)
+    trace.add_argument("--fault", action="append", default=[])
+    trace.add_argument("--dump", default=None, metavar="PATH",
+                       help="write the trace text to PATH")
+
+    inspect = sub.add_parser(
+        "inspect", help="run a workload, crash it at one failure "
+                        "point, and dump the pool internals of the "
+                        "crash image"
+    )
+    inspect.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    inspect.add_argument("--init", type=int, default=0)
+    inspect.add_argument("--test", type=int, default=1)
+    inspect.add_argument("--fault", action="append", default=[])
+    inspect.add_argument("--failure-point", type=int, default=None,
+                         help="which failure point to crash at "
+                              "(default: the middle one)")
+    inspect.add_argument("--strict-image", action="store_true")
+    return parser
+
+
+def _cmd_run(args):
+    cls = ALL_WORKLOADS[args.workload]
+    workload = cls(
+        faults=set(args.fault),
+        init_size=args.init,
+        test_size=args.test,
+    )
+    config = DetectorConfig(
+        crash_image_mode=(
+            CrashImageMode.PERSISTED_ONLY if args.strict_image
+            else CrashImageMode.AS_WRITTEN
+        ),
+        max_failure_points=args.max_failure_points,
+        report_perf_bugs=not args.no_perf_bugs,
+        crash_state_variants=args.crash_states,
+    )
+    report = XFDetector(config).run(workload)
+    if args.json:
+        print(report.to_json(unique=not args.all_occurrences))
+        return 1 if report.has_cross_failure_bugs else 0
+    print(report.format(unique=not args.all_occurrences))
+    stats = report.stats
+    print(
+        f"-- {stats.failure_points} failure points, "
+        f"{stats.pre_trace_events} pre-trace events, "
+        f"{stats.post_trace_events} post-trace events, "
+        f"{stats.total_seconds:.2f}s "
+        f"(pre {stats.pre_failure_seconds:.2f}s / "
+        f"post {stats.post_failure_seconds:.2f}s / "
+        f"backend {stats.backend_seconds:.2f}s)"
+    )
+    return 1 if report.has_cross_failure_bugs else 0
+
+
+def _cmd_list_workloads(_args):
+    for name, cls in sorted(ALL_WORKLOADS.items()):
+        print(f"{name:16s} {cls.__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def _cmd_list_faults(args):
+    cls = ALL_WORKLOADS[args.workload]
+    if not cls.FAULTS:
+        print(f"{args.workload}: no documented fault flags")
+        return 0
+    for flag, (kind, description) in cls.FAULTS.items():
+        print(f"[{kind}] {flag:32s} {description}")
+    return 0
+
+
+def _cmd_new_bugs(_args):
+    from repro.bugsuite import NEW_BUGS
+
+    all_found = True
+    for scenario in NEW_BUGS:
+        report, detected = scenario.run()
+        status = "DETECTED" if detected else "MISSED"
+        all_found &= detected
+        print(f"Bug {scenario.number} [{scenario.software}] {status}")
+        print(f"    {scenario.description}")
+        for bug in report.unique_bugs()[:3]:
+            print(f"    {bug}")
+    return 0 if all_found else 1
+
+
+def _cmd_suite(args):
+    from repro.bugsuite import bug_entries, run_bug
+
+    entries = bug_entries(workload=args.workload)
+    missed = []
+    for bug in entries:
+        _report, detected = run_bug(bug)
+        print(f"{'OK  ' if detected else 'MISS'} {bug}")
+        if not detected:
+            missed.append(bug)
+    print(f"-- detected {len(entries) - len(missed)}/{len(entries)}")
+    return 1 if missed else 0
+
+
+def _cmd_trace(args):
+    from repro.core.frontend import Frontend
+    from repro.trace.serialize import format_trace
+    from repro.trace.stats import analyze_trace
+
+    cls = ALL_WORKLOADS[args.workload]
+    workload = cls(
+        faults=set(args.fault), init_size=args.init,
+        test_size=args.test,
+    )
+    config = DetectorConfig(inject_failures=False)
+    result = Frontend(config).run(workload)
+    stats = analyze_trace(result.pre_recorder)
+    print(stats.format())
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write(format_trace(result.pre_recorder.events))
+        print(f"trace written to {args.dump}")
+    return 0
+
+
+def _cmd_inspect(args):
+    from repro.core.frontend import Frontend
+    from repro.pm.memory import PersistentMemory
+    from repro.pm.pool import PMPool
+    from repro.pmdk.pmemobj.inspect import inspect_pool
+    from repro.trace.recorder import NullRecorder
+
+    cls = ALL_WORKLOADS[args.workload]
+    workload = cls(
+        faults=set(args.fault), init_size=args.init,
+        test_size=args.test,
+    )
+    result = Frontend(DetectorConfig()).run(workload)
+    if not result.failure_points:
+        print("no failure points were injected")
+        return 1
+    index = (
+        args.failure_point if args.failure_point is not None
+        else len(result.failure_points) // 2
+    )
+    if not 0 <= index < len(result.failure_points):
+        print(
+            f"failure point {index} out of range "
+            f"[0, {len(result.failure_points)})"
+        )
+        return 1
+    failure_point = result.failure_points[index]
+    mode = (
+        CrashImageMode.PERSISTED_ONLY if args.strict_image
+        else CrashImageMode.AS_WRITTEN
+    )
+    memory = PersistentMemory(NullRecorder(), capture_ips=False)
+    print(
+        f"crash image at failure point #{failure_point.fid} "
+        f"({failure_point.reason}), {mode.value} mode\n"
+    )
+    for image in failure_point.images:
+        memory.map_pool(PMPool(
+            image.pool_name, image.size, image.base,
+            data=image.bytes_for(mode),
+        ))
+        print(inspect_pool(memory, image.pool_name))
+        print(
+            f"volatile lines at the failure: "
+            f"{len(image.volatile_lines)}\n"
+        )
+    return 0
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "list-workloads": _cmd_list_workloads,
+        "list-faults": _cmd_list_faults,
+        "new-bugs": _cmd_new_bugs,
+        "suite": _cmd_suite,
+        "trace": _cmd_trace,
+        "inspect": _cmd_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

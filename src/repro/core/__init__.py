@@ -1,0 +1,36 @@
+"""XFDetector core — the paper's primary contribution.
+
+The detector runs a workload's pre-failure stage while injecting failure
+points before each ordering point, runs the post-failure stage once per
+failure point on a copy of the PM image, and replays both traces against
+a shadow PM to find cross-failure races, cross-failure semantic bugs,
+and performance bugs.
+
+Typical use::
+
+    from repro.core import DetectorConfig, XFDetector
+
+    report = XFDetector(DetectorConfig()).run(workload)
+    print(report.format())
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import XFDetector
+from repro.core.frontend import ExecutionContext, Frontend
+from repro.core.interface import XFInterface
+from repro.core.report import Bug, BugKind, DetectionReport
+from repro.core.shadow import CommitVariable, ConsistencyState, ShadowPM
+
+__all__ = [
+    "Bug",
+    "BugKind",
+    "CommitVariable",
+    "ConsistencyState",
+    "DetectionReport",
+    "DetectorConfig",
+    "ExecutionContext",
+    "Frontend",
+    "ShadowPM",
+    "XFDetector",
+    "XFInterface",
+]

@@ -1,0 +1,69 @@
+"""Detector configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pm.cacheline import PlatformMode
+from repro.pm.image import CrashImageMode
+
+
+@dataclass
+class DetectorConfig:
+    """Tunables of the detection procedure.
+
+    The defaults match the paper's configuration; several knobs exist to
+    ablate the paper's design decisions (see ``benchmarks/
+    bench_ablation.py``).
+    """
+
+    #: Capture source locations on every trace event (needed for useful
+    #: bug reports; disable only for overhead measurements).
+    capture_ips: bool = True
+
+    #: Inject failure points during the pre-failure stage.  Disabled for
+    #: the "pure tracing" baseline of Figure 12b.
+    inject_failures: bool = True
+
+    #: What the post-failure stage sees of non-persisted data
+    #: (paper default: the full as-written image, Section 5.4 fn. 3).
+    crash_image_mode: CrashImageMode = CrashImageMode.AS_WRITTEN
+
+    #: Persistence domain of the simulated platform.  The paper's
+    #: testbed is ADR (volatile caches); EADR makes every store durable
+    #: on retire — cross-failure races become impossible, semantic bugs
+    #: remain, and every flush is a performance bug.
+    platform: PlatformMode = PlatformMode.ADR
+
+    #: Treat allocator zero-fill as initialization.  The paper does not
+    #: (Bug 2 exists precisely because implicit zeroing "is not
+    #: guaranteed"), so the default is False.
+    trust_allocator_zeroing: bool = False
+
+    #: Optimization 1 (Section 5.4): check only the first post-failure
+    #: read of each pre-failure-modified location.
+    first_read_only: bool = True
+
+    #: Optimization 2 (Section 5.4): skip failure points between two
+    #: ordering points with no PM data operation in between.
+    skip_empty_failure_points: bool = True
+
+    #: Report performance bugs (redundant writebacks, duplicate TX_ADD,
+    #: redundant fences).
+    report_perf_bugs: bool = True
+
+    #: Extra pmreorder-style crash states sampled per failure point
+    #: (0 = only the configured crash-image mode, the paper's setup).
+    #: Each variant independently keeps or loses the volatile cache
+    #: lines, exposing value-dependent recovery bugs (Section 5.5
+    #: suggests assertions + failure injection for those).
+    crash_state_variants: int = 0
+
+    #: Hard cap on injected failure points (None = unlimited).
+    max_failure_points: int | None = None
+
+    #: Stop after the first cross-failure bug (useful interactively).
+    fail_fast: bool = False
+
+    #: Extra keyword arguments forwarded to workload stages.
+    workload_options: dict = field(default_factory=dict)

@@ -1,0 +1,100 @@
+"""The XFDetector facade: frontend + backend orchestration."""
+
+from __future__ import annotations
+
+import time
+
+from repro._location import UNKNOWN_LOCATION
+from repro.core.config import DetectorConfig
+from repro.core.frontend import Frontend
+from repro.core.replay import StopAnalysis, TraceReplayer
+from repro.core.report import Bug, BugKind, DetectionReport
+from repro.core.shadow import ShadowPM
+from repro.trace.events import EventKind
+
+
+class XFDetector:
+    """Cross-failure bug detector (the paper's tool).
+
+    ``run(workload)`` executes the full Figure 7 pipeline: trace the
+    pre-failure stage with failure injection, run the post-failure stage
+    per failure point, replay both traces against the shadow PM, and
+    report cross-failure races, semantic bugs, and performance bugs.
+    """
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else DetectorConfig()
+
+    def run(self, workload):
+        frontend_result = Frontend(self.config).run(workload)
+        return self.analyze(frontend_result)
+
+    # ------------------------------------------------------------------
+    # Backend
+    # ------------------------------------------------------------------
+
+    def analyze(self, frontend_result):
+        """Replay traces from a frontend run and produce the report."""
+        started = time.perf_counter()
+        report = DetectionReport(frontend_result.workload_name)
+        stats = report.stats
+        stats.failure_points = len(frontend_result.failure_points)
+        stats.pre_trace_events = len(frontend_result.pre_recorder)
+        stats.post_trace_events = sum(
+            len(run.recorder) for run in frontend_result.post_runs
+        )
+        stats.pre_failure_seconds = frontend_result.pre_seconds
+        stats.post_failure_seconds = frontend_result.post_seconds
+
+        post_by_fid = {}
+        for run in frontend_result.post_runs:
+            post_by_fid.setdefault(run.failure_point.fid, []).append(run)
+
+        shadow = ShadowPM(platform=self.config.platform)
+        pre_has_roi = _has_roi(frontend_result.pre_recorder)
+        pre_replayer = TraceReplayer(
+            shadow, self.config, "pre", report, has_roi=pre_has_roi
+        )
+        try:
+            for event in frontend_result.pre_recorder:
+                if event.kind is EventKind.FAILURE_POINT:
+                    for run in post_by_fid.get(int(event.info), []):
+                        self._analyze_failure_point(shadow, report, run)
+                pre_replayer.process(event)
+        except StopAnalysis:
+            pass
+
+        stats.backend_seconds = time.perf_counter() - started
+        return report
+
+    def _analyze_failure_point(self, shadow, report, post_run):
+        if post_run is None:
+            return
+        fid = post_run.failure_point.fid
+        fork = shadow.copy()
+        replayer = TraceReplayer(
+            fork,
+            self.config,
+            "post",
+            report,
+            failure_point=fid,
+            has_roi=_has_roi(post_run.recorder),
+        )
+        for event in post_run.recorder:
+            replayer.process(event)
+        if post_run.crash is not None:
+            report.bugs.append(
+                Bug(
+                    kind=BugKind.POST_FAILURE_CRASH,
+                    detail=str(post_run.crash),
+                    failure_point=fid,
+                    reader_ip=UNKNOWN_LOCATION,
+                    writer_ip=UNKNOWN_LOCATION,
+                )
+            )
+
+
+def _has_roi(recorder):
+    return any(
+        event.kind is EventKind.ROI_BEGIN for event in recorder
+    )

@@ -1,0 +1,217 @@
+"""Execution frontend: runs workload stages and produces traces.
+
+The original frontend suspends the pre-failure process at each failure
+point, copies the PM pool, and spawns a post-failure process on the
+copy (Figure 8a).  Workload execution here is deterministic, so we run
+the pre-failure stage once end-to-end while the injector snapshots the
+PM image at every failure point, then run one post-failure execution
+per failure point on its snapshot — semantically the same schedule with
+the same complexity O(F · P) (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.injector import FailureInjector
+from repro.core.interface import DetectionComplete, XFInterface
+from repro.errors import PostFailureCrash
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class ExecutionContext:
+    """What a workload stage gets to work with."""
+
+    memory: PersistentMemory
+    interface: XFInterface
+    #: "pre" or "post".
+    stage: str
+    #: Free-form per-run options from DetectorConfig.workload_options.
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class PostRun:
+    """Result of one post-failure execution.
+
+    ``variant`` is None for the run on the configured crash-image mode
+    and a small integer for each additional sampled crash state
+    (``DetectorConfig.crash_state_variants``).
+    """
+
+    failure_point: object
+    recorder: TraceRecorder
+    crash: Exception | None = None
+    seconds: float = 0.0
+    variant: int | None = None
+
+
+@dataclass
+class FrontendResult:
+    """Everything the frontend hands the backend."""
+
+    workload_name: str
+    pre_recorder: TraceRecorder
+    failure_points: list
+    post_runs: list
+    pre_seconds: float = 0.0
+    post_seconds: float = 0.0
+    uses_roi: bool = False
+
+
+class Frontend:
+    """Drives the pre- and post-failure stages of one workload."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def run(self, workload):
+        pre_recorder = TraceRecorder("pre")
+        memory = PersistentMemory(
+            pre_recorder, self.config.capture_ips,
+            platform=self.config.platform,
+        )
+        injector = FailureInjector(self.config)
+        memory.add_ordering_listener(injector)
+        memory.add_observer(injector)
+        uses_roi = getattr(workload, "uses_roi", False)
+        memory.roi_active = not uses_roi
+
+        context = ExecutionContext(
+            memory=memory,
+            interface=XFInterface(memory, stage="pre"),
+            stage="pre",
+            options=dict(self.config.workload_options),
+        )
+
+        started = time.perf_counter()
+        # Setup (pool creation, initial inserts) is not under test:
+        # failure injection and detection are suppressed, mirroring the
+        # paper's scripts that populate the PM image before testing
+        # starts.  Shadow-PM state is still built from the setup trace.
+        memory.skip_failure_depth += 1
+        context.interface.skip_detection_begin()
+        workload.setup(context)
+        context.interface.skip_detection_end()
+        memory.skip_failure_depth -= 1
+
+        try:
+            workload.pre_failure(context)
+        except DetectionComplete:
+            pass
+        # Image copying belongs to spawning the post-failure runs
+        # (Figure 8a step 3), not to the pre-failure execution.
+        pre_seconds = (
+            time.perf_counter() - started - injector.snapshot_seconds
+        )
+
+        post_runs = []
+        post_seconds = injector.snapshot_seconds
+        for failure_point in injector.failure_points:
+            run = self._run_post_failure(workload, failure_point)
+            post_seconds += run.seconds
+            post_runs.append(run)
+            for variant, images in self._variant_images(failure_point):
+                extra = self._run_post_failure(
+                    workload, failure_point, images=images,
+                    variant=variant,
+                )
+                post_seconds += extra.seconds
+                post_runs.append(extra)
+
+        return FrontendResult(
+            workload_name=getattr(workload, "name", type(workload).__name__),
+            pre_recorder=pre_recorder,
+            failure_points=injector.failure_points,
+            post_runs=post_runs,
+            pre_seconds=pre_seconds,
+            post_seconds=post_seconds,
+            uses_roi=uses_roi,
+        )
+
+    def _variant_images(self, failure_point):
+        """Sampled pmreorder-style crash states for one failure point.
+
+        Yields ``(variant_index, [(name, size, base, bytes), ...])``.
+        Masks are drawn from a deterministic per-failure-point stream;
+        the all-survive state is skipped (the base run covers it).
+        """
+        count = getattr(self.config, "crash_state_variants", 0)
+        if not count:
+            return
+        total_bits = sum(
+            len(image.volatile_lines)
+            for image in failure_point.images
+        )
+        if total_bits == 0:
+            return
+        state = (failure_point.fid * 2654435761 + 40503) & 0xFFFFFFFF
+        seen = set()
+        produced = 0
+        for _attempt in range(count * 4):
+            if produced >= count:
+                break
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            mask = state & ((1 << total_bits) - 1)
+            if mask in seen or mask == (1 << total_bits) - 1:
+                continue
+            seen.add(mask)
+            pools = []
+            bit_offset = 0
+            for image in failure_point.images:
+                bits = len(image.volatile_lines)
+                sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
+                bit_offset += bits
+                pools.append((
+                    image.pool_name, image.size, image.base,
+                    image.variant_bytes(sub_mask),
+                ))
+            yield produced, pools
+            produced += 1
+
+    def _run_post_failure(self, workload, failure_point, images=None,
+                          variant=None):
+        """Spawn one post-failure execution on a crash-image copy."""
+        recorder = TraceRecorder("post")
+        memory = PersistentMemory(
+            recorder, self.config.capture_ips,
+            platform=self.config.platform,
+        )
+        if images is None:
+            images = [
+                (
+                    image.pool_name, image.size, image.base,
+                    image.bytes_for(self.config.crash_image_mode),
+                )
+                for image in failure_point.images
+            ]
+        for name, size, base, data in images:
+            memory.map_pool(PMPool(name, size, base, data=data))
+        uses_roi = getattr(workload, "uses_roi", False)
+        memory.roi_active = not uses_roi
+        context = ExecutionContext(
+            memory=memory,
+            interface=XFInterface(memory, stage="post"),
+            stage="post",
+            options=dict(self.config.workload_options),
+        )
+        crash = None
+        started = time.perf_counter()
+        try:
+            workload.post_failure(context)
+        except DetectionComplete:
+            pass
+        except Exception as exc:  # recovery crashed: itself a finding
+            crash = PostFailureCrash(failure_point.fid, exc)
+        seconds = time.perf_counter() - started
+        return PostRun(
+            failure_point=failure_point,
+            recorder=recorder,
+            crash=crash,
+            seconds=seconds,
+            variant=variant,
+        )

@@ -1,0 +1,88 @@
+"""Failure injection (paper Sections 4.2 and 5.4).
+
+The injector listens for ordering points on the pre-failure runtime and,
+immediately before each one takes effect, records a *failure point*: an
+id, a snapshot of every mapped pool, and the current trace position.
+The frontend later spawns one post-failure execution per failure point.
+
+Injection respects the annotation state on the runtime:
+
+* only inside the region of interest (``roi_active``);
+* never inside ``skipFailure`` regions or library internals;
+* never after ``completeDetection``;
+* optimization 2: no failure point when no PM data operation happened
+  since the previous one (two back-to-back ordering points), unless the
+  failure point was forced via ``addFailurePoint``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.trace.events import EventKind
+
+
+@dataclass
+class FailurePoint:
+    """One injected failure: where, and what PM looked like."""
+
+    fid: int
+    reason: str
+    trace_index: int  # pre-trace length right after the marker
+    images: list = field(default_factory=list)
+
+
+class FailureInjector:
+    """Ordering-point listener + trace observer for the pre-failure run."""
+
+    def __init__(self, config):
+        self.config = config
+        self.failure_points = []
+        #: Seconds spent copying PM images.  Copying the image is part
+        #: of spawning the post-failure execution (Figure 8a step 3),
+        #: so the frontend attributes this to the post-failure stage.
+        self.snapshot_seconds = 0.0
+        # True once a PM data operation happened since the last failure
+        # point; the first ordering point after startup only fires if
+        # data was actually touched.
+        self._ops_pending = False
+
+    # -- trace observer ------------------------------------------------
+
+    def on_event(self, event):
+        if event.touches_pm_data():
+            self._ops_pending = True
+
+    # -- ordering listener ----------------------------------------------
+
+    def before_ordering_point(self, memory, reason, force=False):
+        if not self.config.inject_failures:
+            return
+        if memory.detection_complete or not memory.roi_active:
+            return
+        if memory.skip_failure_depth > 0 and not force:
+            return
+        if (
+            self.config.skip_empty_failure_points
+            and not self._ops_pending
+            and not force
+        ):
+            return
+        limit = self.config.max_failure_points
+        if limit is not None and len(self.failure_points) >= limit:
+            return
+        fid = len(self.failure_points)
+        memory.emit_marker(EventKind.FAILURE_POINT, info=str(fid))
+        started = time.perf_counter()
+        images = memory.snapshot_images()
+        self.snapshot_seconds += time.perf_counter() - started
+        self.failure_points.append(
+            FailurePoint(
+                fid=fid,
+                reason=reason,
+                trace_index=len(memory.recorder),
+                images=images,
+            )
+        )
+        self._ops_pending = False

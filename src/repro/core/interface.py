@@ -1,0 +1,169 @@
+"""The Table 2 annotation interface.
+
+The paper exposes a C interface for controlling detection and exposing
+program semantics; this is its Python equivalent, bound to one runtime.
+Paper-style camelCase aliases are provided so annotations read like the
+paper's listings::
+
+    xf = XFInterface(memory)
+    xf.RoIBegin()
+    ...
+    xf.addCommitVar(hashmap.field_addr("count_dirty"), 8)
+    xf.RoIEnd()
+
+Every function takes an optional ``condition`` argument mirroring the
+paper's signature: when false, the call is a no-op, which lets one
+annotation site act only on, say, the pre-failure stage.
+
+Context-manager sugar (``roi()``, ``skip_failure()``,
+``skip_detection()``) is also provided for idiomatic Python use.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import AnnotationError, ReproError
+from repro.trace.events import EventKind
+
+
+class DetectionComplete(ReproError):
+    """Control-flow signal raised by ``completeDetection`` during a
+    post-failure run: the annotated termination point was reached and
+    the frontend may stop this post-failure execution."""
+
+
+class XFInterface:
+    """Annotation API bound to one :class:`PersistentMemory` runtime."""
+
+    def __init__(self, memory, stage="pre"):
+        self.memory = memory
+        #: "pre" or "post" — which stage this runtime is executing.
+        self.stage = stage
+
+    # ------------------------------------------------------------------
+    # Detection control
+    # ------------------------------------------------------------------
+
+    def roi_begin(self, condition=True):
+        """Start the region of interest: failure injection (pre-failure)
+        and read checking (post-failure) happen only inside."""
+        if not condition:
+            return
+        self.memory.roi_active = True
+        self.memory.emit_marker(EventKind.ROI_BEGIN)
+
+    def roi_end(self, condition=True):
+        if not condition:
+            return
+        self.memory.roi_active = False
+        self.memory.emit_marker(EventKind.ROI_END)
+
+    def complete_detection(self, condition=True):
+        """Terminate detection (Table 2).
+
+        In the pre-failure stage this stops further failure injection;
+        in the post-failure stage it marks the termination point of the
+        post-failure execution and unwinds back to the frontend.
+        """
+        if not condition:
+            return
+        self.memory.detection_complete = True
+        if self.stage == "post":
+            raise DetectionComplete()
+
+    # ------------------------------------------------------------------
+    # Annotation for detection
+    # ------------------------------------------------------------------
+
+    def skip_failure_begin(self, condition=True):
+        if not condition:
+            return
+        self.memory.skip_failure_depth += 1
+
+    def skip_failure_end(self, condition=True):
+        if not condition:
+            return
+        if self.memory.skip_failure_depth <= 0:
+            raise AnnotationError("unbalanced skipFailureEnd")
+        self.memory.skip_failure_depth -= 1
+
+    def add_failure_point(self, condition=True):
+        """Request an additional failure point here (e.g. between the
+        ordering points of a checksum-based mechanism, Section 5.5)."""
+        if not condition:
+            return
+        self.memory.force_failure_point()
+
+    def skip_detection_begin(self, condition=True):
+        if not condition:
+            return
+        self.memory.skip_detection_depth += 1
+        self.memory.emit_marker(EventKind.SKIP_DET_BEGIN)
+
+    def skip_detection_end(self, condition=True):
+        if not condition:
+            return
+        if self.memory.skip_detection_depth <= 0:
+            raise AnnotationError("unbalanced skipDetectionEnd")
+        self.memory.skip_detection_depth -= 1
+        self.memory.emit_marker(EventKind.SKIP_DET_END)
+
+    def add_commit_var(self, address, size, name=None):
+        """Register a commit variable; post-failure reads of it are
+        benign cross-failure races.  With no subsequent
+        ``add_commit_range`` calls it covers all PM locations."""
+        name = name if name is not None else f"commit@{address:#x}"
+        self.memory.emit_marker(
+            EventKind.COMMIT_VAR, address, size, info=name
+        )
+        return name
+
+    def add_commit_range(self, name, address, size):
+        """Associate a PM range with a registered commit variable."""
+        self.memory.emit_marker(
+            EventKind.COMMIT_RANGE, address, size, info=name
+        )
+
+    # ------------------------------------------------------------------
+    # Paper-style aliases (Table 2 spelling)
+    # ------------------------------------------------------------------
+
+    RoIBegin = roi_begin
+    RoIEnd = roi_end
+    completeDetection = complete_detection
+    skipFailureBegin = skip_failure_begin
+    skipFailureEnd = skip_failure_end
+    addFailurePoint = add_failure_point
+    skipDetectionBegin = skip_detection_begin
+    skipDetectionEnd = skip_detection_end
+    addCommitVar = add_commit_var
+    addCommitRange = add_commit_range
+
+    # ------------------------------------------------------------------
+    # Context-manager sugar
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def roi(self, condition=True):
+        self.roi_begin(condition)
+        try:
+            yield self
+        finally:
+            self.roi_end(condition)
+
+    @contextmanager
+    def skip_failure(self, condition=True):
+        self.skip_failure_begin(condition)
+        try:
+            yield self
+        finally:
+            self.skip_failure_end(condition)
+
+    @contextmanager
+    def skip_detection(self, condition=True):
+        self.skip_detection_begin(condition)
+        try:
+            yield self
+        finally:
+            self.skip_detection_end(condition)

@@ -1,0 +1,364 @@
+"""Backend trace replay and bug detection (paper Section 5.4).
+
+The backend replays the pre-failure trace once, updating the shadow PM
+event by event.  At each ``FAILURE_POINT`` marker it forks the shadow
+and replays the corresponding post-failure trace against the fork,
+classifying every post-failure read:
+
+1. reads inside library internals or skip-detection regions — skipped;
+2. reads of bytes (over)written during the post-failure stage — clean;
+3. reads of a registered commit variable — *benign* cross-failure race;
+4. reads of allocated-but-never-initialized bytes — cross-failure race;
+5. reads of modified / writeback-pending bytes — **cross-failure race**
+   (Eq. 1: the write was not guaranteed persisted before the failure);
+6. reads of persisted but uncommitted/stale bytes — **cross-failure
+   semantic bug** (Eq. 3);
+7. everything else — clean.
+
+During the pre-failure replay the backend also reports performance
+bugs: redundant writebacks (Figure 9's yellow edges), duplicated
+``TX_ADD`` of an already-added range, and (optionally) fences that
+completed no writeback.
+"""
+
+from __future__ import annotations
+
+from repro._rangemap import RangeMap
+from repro.core.report import Bug, BugKind
+from repro.core.shadow import ConsistencyState, PersistenceState
+from repro.pm.cacheline import FlushKind
+from repro.trace.events import EventKind
+
+
+class StopAnalysis(Exception):
+    """Internal: raised to unwind when ``fail_fast`` found a bug."""
+
+
+class _ThreadReplayState:
+    """Per-thread replay state (library depth, active transaction)."""
+
+    __slots__ = ("lib_depth", "skip_depth", "tx_active", "tx_added",
+                 "tx_writes")
+
+    def __init__(self):
+        self.lib_depth = 0
+        self.skip_depth = 0
+        self.tx_active = False
+        self.tx_added = []
+        self.tx_writes = []
+
+    def reset_tx(self):
+        self.tx_active = False
+        self.tx_added = []
+        self.tx_writes = []
+
+
+class TraceReplayer:
+    """Replays one trace stream against a shadow PM."""
+
+    def __init__(self, shadow, config, stage, report,
+                 failure_point=None, has_roi=False):
+        self.shadow = shadow
+        self.config = config
+        self.stage = stage  # "pre" or "post"
+        self.report = report
+        self.failure_point = failure_point
+        # When the trace contains RoI markers, detection is confined to
+        # the marked regions; otherwise the whole trace is of interest.
+        self.roi_active = not has_roi
+        # Per-thread replay state (events carry a tid, Section 7):
+        # library/skip-region depths and the active transaction with
+        # its added ranges and its writes.  Non-added transaction
+        # writes become consistent at commit — the transaction is over
+        # and the data is the program's final intent; only a failure
+        # *mid* transaction leaves them semantically inconsistent.
+        # Their persistence state is untouched: an unflushed write
+        # stays a cross-failure race, which is exactly how the paper
+        # classifies Figure 1's `length`.
+        self._threads = {}
+        # First-read-only optimization state (post stage).
+        self._checked = RangeMap(False)
+
+    def _thread(self, tid):
+        state = self._threads.get(tid)
+        if state is None:
+            state = _ThreadReplayState()
+            self._threads[tid] = state
+        return state
+
+    # ------------------------------------------------------------------
+
+    def _suppressed(self, tid):
+        """Checks suppressed for this thread: outside the RoI, inside
+        library internals, or inside a skip-detection region."""
+        state = self._thread(tid)
+        return (
+            not self.roi_active
+            or state.lib_depth > 0
+            or state.skip_depth > 0
+        )
+
+    def _bug(self, kind, detail, addr=0, size=0, reader_ip=None,
+             writer_ip=None):
+        from repro._location import UNKNOWN_LOCATION
+
+        bug = Bug(
+            kind=kind,
+            detail=detail,
+            address=addr,
+            size=size,
+            failure_point=self.failure_point,
+            reader_ip=reader_ip or UNKNOWN_LOCATION,
+            writer_ip=writer_ip or UNKNOWN_LOCATION,
+        )
+        self.report.bugs.append(bug)
+        if self.config.fail_fast and kind in (
+            BugKind.CROSS_FAILURE_RACE,
+            BugKind.CROSS_FAILURE_SEMANTIC,
+        ):
+            raise StopAnalysis()
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def process(self, event):
+        kind = event.kind
+        thread = self._thread(event.tid)
+        if kind is EventKind.STORE:
+            if thread.tx_active:
+                thread.tx_writes.append((event.addr, event.size))
+            self.shadow.record_store(
+                event.addr, event.size, event.ip, self.stage,
+                thread.tx_added, thread.tx_active,
+            )
+        elif kind is EventKind.NT_STORE:
+            if thread.tx_active:
+                thread.tx_writes.append((event.addr, event.size))
+            self.shadow.record_nt_store(
+                event.addr, event.size, event.ip, self.stage,
+                thread.tx_added, thread.tx_active,
+            )
+        elif kind is EventKind.LOAD:
+            if self.stage == "post":
+                self._check_read(event)
+        elif kind is EventKind.FLUSH:
+            # Post-failure flushes must not upgrade pre-failure data to
+            # "persisted": the value they write back came from the
+            # crash image, so the read classification has to reflect
+            # the state *at the failure* (post-failure writes are
+            # already exempt through post_written).
+            if self.stage == "pre":
+                self._process_flush(event)
+        elif kind is EventKind.FENCE:
+            if self.stage != "pre":
+                return
+            completed = self.shadow.record_fence()
+            if (
+                not completed
+                and not self._suppressed(event.tid)
+                and self.config.report_perf_bugs
+                and getattr(self.config, "report_redundant_fences", False)
+            ):
+                self._bug(
+                    BugKind.PERFORMANCE,
+                    "fence completed no writeback",
+                    reader_ip=event.ip,
+                )
+        elif kind is EventKind.TX_BEGIN:
+            thread.tx_active = True
+            thread.tx_added = []
+            thread.tx_writes = []
+        elif kind is EventKind.TX_ADD:
+            self._process_tx_add(event, thread)
+        elif kind is EventKind.TX_COMMIT:
+            if self.stage == "pre":
+                self.shadow.commit_tx_writes(thread.tx_writes)
+            thread.reset_tx()
+        elif kind is EventKind.TX_ABORT:
+            # Aborted transactions leave their non-added side effects
+            # semantically inconsistent on purpose.
+            thread.reset_tx()
+        elif kind is EventKind.ALLOC:
+            self.shadow.record_alloc(
+                event.addr, event.size, event.info == "zeroed",
+                self.stage, self.config.trust_allocator_zeroing,
+            )
+        elif kind is EventKind.FREE:
+            self.shadow.record_free(event.addr, event.size)
+        elif kind is EventKind.LIB_BEGIN:
+            thread.lib_depth += 1
+        elif kind is EventKind.LIB_END:
+            thread.lib_depth -= 1
+        elif kind is EventKind.SKIP_DET_BEGIN:
+            thread.skip_depth += 1
+        elif kind is EventKind.SKIP_DET_END:
+            thread.skip_depth -= 1
+        elif kind is EventKind.ROI_BEGIN:
+            self.roi_active = True
+        elif kind is EventKind.ROI_END:
+            self.roi_active = False
+        elif kind is EventKind.COMMIT_VAR:
+            self.shadow.register_commit_var(
+                event.info, event.addr, event.size
+            )
+        elif kind is EventKind.COMMIT_RANGE:
+            self.shadow.register_commit_range(
+                event.info, event.addr, event.size
+            )
+        # FAILURE_POINT / HINT_FAILURE_POINT markers carry no state.
+
+    # ------------------------------------------------------------------
+    # Pre-failure side checks
+    # ------------------------------------------------------------------
+
+    def _process_flush(self, event):
+        if event.info == FlushKind.CLFLUSH.value:
+            useful = self.shadow.record_clflush(event.addr)
+        else:
+            useful = self.shadow.record_flush(event.addr)
+        if (
+            not useful
+            and self.stage == "pre"
+            and not self._suppressed(event.tid)
+            and self.config.report_perf_bugs
+        ):
+            self._bug(
+                BugKind.PERFORMANCE,
+                "redundant writeback (line already clean or pending)",
+                addr=event.addr,
+                size=event.size,
+                reader_ip=event.ip,
+            )
+
+    def _process_tx_add(self, event, thread):
+        duplicate = _covered(event.addr, event.size, thread.tx_added)
+        if (
+            duplicate
+            and self.stage == "pre"
+            and not self._suppressed(event.tid)
+            and self.config.report_perf_bugs
+        ):
+            self._bug(
+                BugKind.PERFORMANCE,
+                "duplicate TX_ADD of an already-added range",
+                addr=event.addr,
+                size=event.size,
+                reader_ip=event.ip,
+            )
+        thread.tx_added.append((event.addr, event.size))
+        self.shadow.record_tx_add(event.addr, event.size, event.ip)
+
+    # ------------------------------------------------------------------
+    # Post-failure read classification
+    # ------------------------------------------------------------------
+
+    def _check_read(self, event):
+        if self._suppressed(event.tid):
+            return
+        start, end = event.addr, event.addr + event.size
+        shadow = self.shadow
+
+        benign_var = shadow.commit_var_covering(start, end)
+        if benign_var is not None and benign_var.var_range.contains_range(
+            _as_range(start, end)
+        ):
+            # Reading the commit variable itself: benign race.
+            self.report.stats.benign_races += 1
+            return
+
+        for seg_start, seg_end, already in list(
+            self._checked.iter_with_gaps(start, end)
+        ):
+            if self.config.first_read_only and already:
+                continue
+            self._checked.set(seg_start, seg_end, True)
+            self._classify_segment(seg_start, seg_end, event)
+
+    def _classify_segment(self, start, end, event):
+        shadow = self.shadow
+        for s, e, written in shadow.post_written.iter_with_gaps(
+            start, end
+        ):
+            if written:
+                continue
+            # Commit-variable bytes inside a larger read are benign.
+            var = shadow.commit_var_covering(s, e)
+            if var is not None:
+                self.report.stats.benign_races += 1
+                for sub_s, sub_e in _outside(s, e, var.var_range):
+                    self._classify_plain(sub_s, sub_e, event)
+                continue
+            self._classify_plain(s, e, event)
+
+    def _classify_plain(self, start, end, event):
+        shadow = self.shadow
+        for s, e, uninit in shadow.uninitialized.iter_with_gaps(
+            start, end
+        ):
+            if uninit:
+                self._bug(
+                    BugKind.CROSS_FAILURE_RACE,
+                    "read of allocated but never-initialized PM",
+                    addr=s,
+                    size=e - s,
+                    reader_ip=event.ip,
+                    writer_ip=shadow.writer.get(s),
+                )
+                continue
+            self._classify_states(s, e, event)
+
+    def _classify_states(self, start, end, event):
+        shadow = self.shadow
+        for s, e, pstate in shadow.persistence.iter_with_gaps(
+            start, end
+        ):
+            if pstate in (
+                PersistenceState.MODIFIED,
+                PersistenceState.WRITEBACK_PENDING,
+            ):
+                self._bug(
+                    BugKind.CROSS_FAILURE_RACE,
+                    "read of data not guaranteed persisted before the "
+                    "failure",
+                    addr=s,
+                    size=e - s,
+                    reader_ip=event.ip,
+                    writer_ip=shadow.writer.get(s),
+                )
+                continue
+            for cs, ce, cstate in shadow.consistency.iter_with_gaps(
+                s, e
+            ):
+                if cstate in (
+                    ConsistencyState.UNCOMMITTED,
+                    ConsistencyState.STALE,
+                ):
+                    self._bug(
+                        BugKind.CROSS_FAILURE_SEMANTIC,
+                        f"read of semantically inconsistent data "
+                        f"({cstate.value})",
+                        addr=cs,
+                        size=ce - cs,
+                        reader_ip=event.ip,
+                        writer_ip=shadow.writer.get(cs),
+                    )
+
+
+def _covered(addr, size, ranges):
+    """Is [addr, addr+size) fully covered by the (addr, size) ranges?"""
+    from repro.core.shadow import _covered_by
+
+    return bool(ranges) and _covered_by(addr, addr + size, ranges)
+
+
+def _as_range(start, end):
+    from repro.pm.address import AddressRange
+
+    return AddressRange(start, end - start)
+
+
+def _outside(start, end, hole):
+    from repro.core.shadow import _subtract
+
+    yield from _subtract(start, end, hole)

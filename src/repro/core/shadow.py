@@ -1,0 +1,432 @@
+"""The shadow PM (paper Section 5.4).
+
+For every PM byte the backend tracks:
+
+* a **persistence state** following Figure 9 — unmodified / modified /
+  writeback-pending / persisted — driven by ``STORE``/``FLUSH``/``FENCE``
+  events;
+* a **consistency state** following Figure 10 — consistent /
+  inconsistent-uncommitted / inconsistent-stale — driven by stores,
+  commit-variable writes (Eq. 3's version-based rule, implemented with
+  the global epoch timestamp), and PMDK transaction events;
+* the **epoch of the last modification** (``Tlast``) and the source
+  location of the last writer (for bug reports);
+* an **uninitialized** flag for allocated-but-never-stored memory
+  (Bug 2's habitat).
+
+The global epoch increments after each ordering point, i.e. after each
+fence that completed at least one writeback, exactly as described in the
+paper's Figure 11 walkthrough.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._rangemap import RangeMap
+from repro.pm.address import AddressRange
+from repro.pm.cacheline import FlushKind, LineState, PlatformMode
+from repro.pm.constants import CACHE_LINE_SIZE
+
+#: The backend's persistence states are the Figure 9 states; we reuse
+#: the cache model's enum so the two layers cannot drift apart.
+PersistenceState = LineState
+
+
+class ConsistencyState(enum.Enum):
+    """Semantic consistency of one PM byte (Figure 10)."""
+
+    CONSISTENT = "C"
+    UNCOMMITTED = "IC-uncommitted"
+    STALE = "IC-stale"
+
+
+@dataclass
+class CommitVariable:
+    """A registered commit variable and its associated address set Sx.
+
+    ``members`` is a list of :class:`AddressRange`; an empty list means
+    the variable covers **all** PM locations (the paper's default when a
+    single commit variable is registered with no object specified).
+    """
+
+    name: str
+    var_range: AddressRange
+    members: list = field(default_factory=list)
+    #: Epoch of the last commit write (Cx_n) and the one before it
+    #: (Cx_{n-1}); None until the first/second commit write happens.
+    last_commit_epoch: int | None = None
+    prev_commit_epoch: int | None = None
+
+    def covers_member(self, start, end, covers_all_default=False):
+        """Does ``[start, end)`` intersect this variable's member set?
+
+        A variable with no registered ranges covers all PM only when it
+        is the sole commit variable (the paper's Table 2 default);
+        ``covers_all_default`` carries that context in.
+        """
+        if not self.members:
+            return covers_all_default
+        probe = AddressRange(start, end - start)
+        return any(member.overlaps(probe) for member in self.members)
+
+    def member_windows(self, tlast_map, covers_all_default=False):
+        """Iterate member windows as (start, end) pairs.
+
+        For an all-PM variable, iterate every range with a recorded
+        modification instead of the entire address space.
+        """
+        if self.members:
+            for member in self.members:
+                yield member.start, member.end
+        elif covers_all_default:
+            for start, end, value in tlast_map.iter_ranges():
+                if value is not None:
+                    yield start, end
+
+
+class ShadowPM:
+    """Per-byte shadow state over the whole PM address space."""
+
+    def __init__(self, platform=PlatformMode.ADR):
+        self.platform = platform
+        self.persistence = RangeMap(PersistenceState.UNMODIFIED)
+        self.consistency = RangeMap(ConsistencyState.CONSISTENT)
+        self.tlast = RangeMap(None)  # epoch of last store
+        self.writer = RangeMap(None)  # SourceLocation of last store
+        self.uninitialized = RangeMap(False)
+        #: Bytes written during the post-failure stage (exempt from
+        #: checks: they overwrite pre-failure data).
+        self.post_written = RangeMap(False)
+        self.commit_vars = {}  # name -> CommitVariable
+        self.epoch = 0
+        #: Cache-line base addresses with writeback-pending bytes.
+        self._pending_lines = set()
+        #: eADR: a store happened since the last fence.
+        self._stores_since_fence = False
+
+    # ------------------------------------------------------------------
+    # Copying (the backend forks the shadow at each failure point)
+    # ------------------------------------------------------------------
+
+    def copy(self):
+        dup = ShadowPM.__new__(ShadowPM)
+        dup.platform = self.platform
+        dup.persistence = self.persistence.copy()
+        dup.consistency = self.consistency.copy()
+        dup.tlast = self.tlast.copy()
+        dup.writer = self.writer.copy()
+        dup.uninitialized = self.uninitialized.copy()
+        dup.post_written = self.post_written.copy()
+        dup.commit_vars = {
+            name: CommitVariable(
+                var.name,
+                var.var_range,
+                list(var.members),
+                var.last_commit_epoch,
+                var.prev_commit_epoch,
+            )
+            for name, var in self.commit_vars.items()
+        }
+        dup.epoch = self.epoch
+        dup._pending_lines = set(self._pending_lines)
+        dup._stores_since_fence = self._stores_since_fence
+        return dup
+
+    # ------------------------------------------------------------------
+    # Commit variables
+    # ------------------------------------------------------------------
+
+    def register_commit_var(self, name, start, size):
+        self.commit_vars[name] = CommitVariable(
+            name, AddressRange(start, size)
+        )
+
+    def register_commit_range(self, name, start, size):
+        var = self.commit_vars.get(name)
+        if var is None:
+            raise KeyError(f"commit variable {name!r} not registered")
+        var.members.append(AddressRange(start, size))
+
+    def commit_var_covering(self, start, end):
+        """The commit variable whose *own* range intersects the window,
+        or None.  Reads of this range are benign cross-failure races."""
+        probe = AddressRange(start, end - start)
+        for var in self.commit_vars.values():
+            if var.var_range.overlaps(probe):
+                return var
+        return None
+
+    # ------------------------------------------------------------------
+    # Pre-failure state transitions
+    # ------------------------------------------------------------------
+
+    def record_store(self, addr, size, ip, stage, tx_added=None,
+                     in_tx=False):
+        """Apply one STORE (or NT_STORE's data effect) to the shadow.
+
+        ``tx_added`` is the list of (addr, size) ranges added to the
+        active transaction, when one is active.
+        """
+        end = addr + size
+        if self.platform is PlatformMode.EADR:
+            # Persistent caches: durable on retire.
+            self.persistence.set(addr, end, PersistenceState.PERSISTED)
+            self._stores_since_fence = True
+        else:
+            self.persistence.set(addr, end, PersistenceState.MODIFIED)
+        self.tlast.set(addr, end, self.epoch)
+        self.writer.set(addr, end, ip)
+        self.uninitialized.set(addr, end, False)
+
+        if stage == "post":
+            # Post-failure writes overwrite the old data; their own
+            # consistency is tested when this region later runs as the
+            # pre-failure stage (Section 5.4).
+            self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+            self.post_written.set(addr, end, True)
+            return
+
+        committing = self.commit_var_covering(addr, end)
+        if committing is not None:
+            self._apply_commit_write(committing)
+            self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+            return
+
+        if in_tx and tx_added and _covered_by(addr, end, tx_added):
+            # Writes to ranges added to the transaction stay consistent:
+            # the undo log makes the old value recoverable.
+            self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+            return
+
+        if in_tx or self._member_of_any_commit_var(addr, end):
+            self.consistency.set(addr, end, ConsistencyState.UNCOMMITTED)
+        # Otherwise the location is not governed by any declared crash
+        # consistency mechanism: only race detection applies.
+
+    def record_nt_store(self, addr, size, ip, stage, tx_added=None,
+                        in_tx=False):
+        """Non-temporal store: like a store, but immediately
+        writeback-pending (persists at the next fence).  On eADR a
+        non-temporal store is simply durable, like any other store."""
+        self.record_store(addr, size, ip, stage, tx_added, in_tx)
+        if self.platform is PlatformMode.EADR:
+            return
+        self.persistence.set(
+            addr, addr + size, PersistenceState.WRITEBACK_PENDING
+        )
+        for line in AddressRange(addr, size).lines():
+            self._pending_lines.add(line)
+
+    def record_flush(self, line_addr):
+        """A CLWB/CLFLUSHOPT on one cache line.
+
+        Returns True if the flush was useful (moved modified bytes to
+        writeback-pending), False if redundant (a Figure 9 yellow edge;
+        on eADR *every* flush is redundant).
+        """
+        if self.platform is PlatformMode.EADR:
+            return False
+        start = line_addr
+        end = line_addr + CACHE_LINE_SIZE
+        useful = False
+        for s, e, state in list(self.persistence.iter_ranges(start, end)):
+            if state is PersistenceState.MODIFIED:
+                self.persistence.set(
+                    s, e, PersistenceState.WRITEBACK_PENDING
+                )
+                useful = True
+        if useful:
+            self._pending_lines.add(line_addr)
+        return useful
+
+    def record_clflush(self, line_addr):
+        """A synchronous CLFLUSH: modified/pending bytes persist now."""
+        if self.platform is PlatformMode.EADR:
+            return False
+        start = line_addr
+        end = line_addr + CACHE_LINE_SIZE
+        useful = False
+        for s, e, state in list(self.persistence.iter_ranges(start, end)):
+            if state in (
+                PersistenceState.MODIFIED,
+                PersistenceState.WRITEBACK_PENDING,
+            ):
+                self.persistence.set(s, e, PersistenceState.PERSISTED)
+                useful = True
+        self._pending_lines.discard(line_addr)
+        if useful:
+            self.epoch += 1
+        return useful
+
+    def record_fence(self):
+        """An SFENCE/drain: complete pending writebacks.
+
+        Returns True when the fence was an ordering point (completed at
+        least one writeback; on eADR: ordered at least one store); the
+        global epoch then increments.
+        """
+        if self.platform is PlatformMode.EADR:
+            ordered = self._stores_since_fence
+            self._stores_since_fence = False
+            if ordered:
+                self.epoch += 1
+            return ordered
+        completed = False
+        for line in sorted(self._pending_lines):
+            start, end = line, line + CACHE_LINE_SIZE
+            for s, e, state in list(
+                self.persistence.iter_ranges(start, end)
+            ):
+                if state is PersistenceState.WRITEBACK_PENDING:
+                    self.persistence.set(
+                        s, e, PersistenceState.PERSISTED
+                    )
+                    completed = True
+        self._pending_lines.clear()
+        if completed:
+            self.epoch += 1
+        return completed
+
+    def record_tx_add(self, addr, size, ip):
+        """A range was added to the undo log: regarded as consistent and
+        recoverable (PMTest-like handling, Section 5.4)."""
+        end = addr + size
+        self.persistence.set(addr, end, PersistenceState.PERSISTED)
+        self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+        self.tlast.set(addr, end, self.epoch)
+        self.writer.set(addr, end, ip)
+        self.uninitialized.set(addr, end, False)
+
+    def record_alloc(self, addr, size, zeroed, stage,
+                     trust_allocator_zeroing):
+        """A persistent allocation.
+
+        The allocator persisted the object's storage, but its *contents*
+        are regarded as unmodified/uninitialized unless the detector is
+        configured to trust implicit zero-fill (Bug 2, Section 6.3.2).
+        """
+        end = addr + size
+        self.persistence.set(addr, end, PersistenceState.PERSISTED)
+        self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+        self.tlast.set(addr, end, self.epoch)
+        if stage == "post":
+            self.post_written.set(addr, end, True)
+            self.uninitialized.set(addr, end, False)
+        else:
+            self.uninitialized.set(
+                addr, end, not (zeroed and trust_allocator_zeroing)
+            )
+
+    def commit_tx_writes(self, ranges):
+        """A transaction committed: its writes are final program intent,
+        so uncommitted ones become consistent.  Persistence is left
+        untouched — an unflushed in-transaction write to a non-added
+        range remains a cross-failure race."""
+        for addr, size in ranges:
+            for s, e, state in list(
+                self.consistency.iter_ranges(addr, addr + size)
+            ):
+                if state is ConsistencyState.UNCOMMITTED:
+                    self.consistency.set(
+                        s, e, ConsistencyState.CONSISTENT
+                    )
+
+    def record_free(self, addr, size):
+        end = addr + size
+        self.persistence.set(addr, end, PersistenceState.PERSISTED)
+        self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+        self.uninitialized.set(addr, end, True)
+
+    # ------------------------------------------------------------------
+    # Commit-write rule (Eq. 3 via epochs; see Figure 11 walkthrough)
+    # ------------------------------------------------------------------
+
+    def _apply_commit_write(self, var):
+        """A store hit commit variable ``var``'s own range.
+
+        Member locations modified strictly between the previous commit
+        write's epoch and this one become consistent; members last
+        modified before the previous commit that were consistent become
+        stale; members modified in the *same* epoch as this commit are
+        left unchanged ("no update before the commit timestamp").
+        """
+        now = self.epoch
+        prev = var.last_commit_epoch
+        lower = prev if prev is not None else -1
+        covers_all = len(self.commit_vars) == 1
+        for win_start, win_end in var.member_windows(
+            self.tlast, covers_all
+        ):
+            # Never reclassify the variable's own bytes.
+            for s, e in _subtract(win_start, win_end, var.var_range):
+                self._commit_window(s, e, lower, now)
+        var.prev_commit_epoch = var.last_commit_epoch
+        var.last_commit_epoch = now
+
+    def _commit_window(self, start, end, lower, now):
+        for s, e, t in list(self.tlast.iter_ranges(start, end)):
+            if t is None:
+                continue
+            if lower < t < now:
+                self.consistency.set(s, e, ConsistencyState.CONSISTENT)
+            elif t <= lower:
+                # Old-generation data: consistent versions become stale.
+                for cs, ce, state in list(
+                    self.consistency.iter_ranges(s, e)
+                ):
+                    if state is ConsistencyState.CONSISTENT:
+                        self.consistency.set(
+                            cs, ce, ConsistencyState.STALE
+                        )
+            # t == now: same epoch as the commit write — unordered with
+            # it, so the state is left unchanged.
+
+    def _member_of_any_commit_var(self, start, end):
+        covers_all = len(self.commit_vars) == 1
+        return any(
+            var.covers_member(start, end, covers_all)
+            for var in self.commit_vars.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def persistence_at(self, addr):
+        return self.persistence.get(addr)
+
+    def consistency_at(self, addr):
+        return self.consistency.get(addr)
+
+
+def _covered_by(start, end, ranges):
+    """Is ``[start, end)`` fully covered by the (addr, size) ranges?"""
+    remaining = [(start, end)]
+    for r_addr, r_size in ranges:
+        r_end = r_addr + r_size
+        next_remaining = []
+        for s, e in remaining:
+            if r_end <= s or e <= r_addr:
+                next_remaining.append((s, e))
+                continue
+            if s < r_addr:
+                next_remaining.append((s, r_addr))
+            if r_end < e:
+                next_remaining.append((r_end, e))
+        remaining = next_remaining
+        if not remaining:
+            return True
+    return not remaining
+
+
+def _subtract(start, end, hole):
+    """Yield sub-windows of [start, end) outside AddressRange ``hole``."""
+    if hole.end <= start or end <= hole.start:
+        yield start, end
+        return
+    if start < hole.start:
+        yield start, hole.start
+    if hole.end < end:
+        yield hole.end, end

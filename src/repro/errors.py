@@ -1,0 +1,104 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class PMError(ReproError):
+    """Base class for persistent-memory substrate errors."""
+
+
+class PMAddressError(PMError):
+    """An access referenced memory outside any mapped PM pool."""
+
+    def __init__(self, address, size=1, reason="address not mapped"):
+        self.address = address
+        self.size = size
+        super().__init__(
+            f"PM access [{address:#x}, {address + size:#x}): {reason}"
+        )
+
+
+class PMAlignmentError(PMError):
+    """An operation violated an alignment requirement (e.g. flush base)."""
+
+
+class PoolError(PMError):
+    """Base class for object-pool errors."""
+
+
+class PoolCorruptionError(PoolError):
+    """Pool metadata failed validation while opening a pool.
+
+    This is how the paper's Bug 4 manifests: a failure injected in the
+    middle of pool creation leaves incomplete metadata and the
+    post-failure open fails.
+    """
+
+
+class PoolLayoutError(PoolError):
+    """Pool opened with a layout name different from the one it was
+    created with."""
+
+
+class OutOfPMError(PoolError):
+    """The PM allocator could not satisfy an allocation request."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transactional API (e.g. TX_ADD outside TX_BEGIN)."""
+
+
+class AbortedTransactionError(TransactionError):
+    """A transaction was explicitly aborted; updates were rolled back."""
+
+
+class DetectorError(ReproError):
+    """Misuse or internal failure of the XFDetector engine."""
+
+
+class AnnotationError(DetectorError):
+    """Misuse of the Table 2 annotation interface (e.g. unbalanced RoI)."""
+
+
+class FailureInjected(ReproError):
+    """Raised inside the pre-failure stage to stop execution at an
+    injected failure point.
+
+    This exception is internal control flow of the frontend: workload
+    code must not catch it.  It deliberately derives from
+    :class:`ReproError` (not BaseException) so that an over-broad
+    ``except Exception`` in workload code is detected by the frontend,
+    which re-validates that the failure actually unwound the stack.
+    """
+
+    def __init__(self, failure_point_id):
+        self.failure_point_id = failure_point_id
+        super().__init__(f"injected failure point #{failure_point_id}")
+
+
+class PostFailureCrash(ReproError):
+    """The post-failure stage itself crashed (e.g. segfault analogue such
+    as dereferencing a null persistent pointer).
+
+    The frontend converts unexpected exceptions from recovery/resumption
+    code into this error and attaches it to the report, because a
+    crashing recovery is itself evidence of a cross-failure bug (see the
+    Figure 1 discussion of pop() on an empty list).
+    """
+
+    def __init__(self, failure_point_id, original):
+        self.failure_point_id = failure_point_id
+        self.original = original
+        super().__init__(
+            f"post-failure execution for failure point #{failure_point_id} "
+            f"crashed: {original!r}"
+        )

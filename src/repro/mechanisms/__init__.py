@@ -1,0 +1,28 @@
+"""Crash-consistency mechanisms (paper Table 1).
+
+Each module implements one mechanism over the low-level persist API,
+with a *correct* build and a *buggy* build that violates exactly the
+mechanism's data-consistency requirement from Table 1.  The
+``bench_table1_mechanisms`` benchmark validates both against the
+detector: correct builds report no cross-failure bugs; buggy builds are
+caught.
+"""
+
+from repro.mechanisms.base import MECHANISMS, MechanismWorkload
+from repro.mechanisms.checkpoint import CheckpointStore
+from repro.mechanisms.checksum import ChecksumStore
+from repro.mechanisms.operational_log import OperationalLogStore
+from repro.mechanisms.redo_log import RedoLogStore
+from repro.mechanisms.shadow_paging import ShadowPagingStore
+from repro.mechanisms.undo_log import UndoLogStore
+
+__all__ = [
+    "CheckpointStore",
+    "ChecksumStore",
+    "MECHANISMS",
+    "MechanismWorkload",
+    "OperationalLogStore",
+    "RedoLogStore",
+    "ShadowPagingStore",
+    "UndoLogStore",
+]

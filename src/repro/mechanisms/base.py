@@ -1,0 +1,93 @@
+"""Common protocol and workload wrapper for the Table 1 mechanisms.
+
+A mechanism store implements:
+
+* ``create(memory, faults) -> store`` — build pool + initial state;
+* ``open(memory, faults) -> store`` — re-attach (post-failure);
+* ``annotate(interface)`` — register commit variables / benign ranges;
+* ``update(step)`` — one crash-consistent update;
+* ``recover()`` — post-failure recovery;
+* ``read_all() -> value`` — resumption reads.
+
+Class attributes document it: ``mechanism_name`` (Table 1 row),
+``consistency_rule`` (the row's data-consistency requirement), and
+``FAULTS`` (buggy-variant flags, each annotated R/S like workloads).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+class MechanismWorkload(Workload):
+    """Wraps one mechanism store as a detectable workload."""
+
+    def __init__(self, store_cls, faults=(), test_size=3, **options):
+        self.store_cls = store_cls
+        self.name = f"mech-{store_cls.mechanism_name}"
+        self.FAULTS = store_cls.FAULTS  # per-instance documentation
+        super().__init__(faults, 0, test_size, **options)
+
+    def setup(self, ctx):
+        self.store_cls.create(ctx.memory, self.faults)
+
+    def pre_failure(self, ctx):
+        store = self.store_cls.open(ctx.memory, self.faults)
+        store.annotate(ctx.interface)
+        for step in range(self.test_size):
+            store.update(step)
+
+    def post_failure(self, ctx):
+        store = self.store_cls.open(ctx.memory, self.faults)
+        store.annotate(ctx.interface)
+        store.recover()
+        store.read_all()
+
+
+def all_mechanisms():
+    """The six Table 1 mechanism stores, in paper order."""
+    from repro.mechanisms.checkpoint import CheckpointStore
+    from repro.mechanisms.checksum import ChecksumStore
+    from repro.mechanisms.operational_log import OperationalLogStore
+    from repro.mechanisms.redo_log import RedoLogStore
+    from repro.mechanisms.shadow_paging import ShadowPagingStore
+    from repro.mechanisms.undo_log import UndoLogStore
+
+    return [
+        UndoLogStore,
+        RedoLogStore,
+        CheckpointStore,
+        ShadowPagingStore,
+        OperationalLogStore,
+        ChecksumStore,
+    ]
+
+
+class _Lazy(list):
+    """Deferred list so importing base does not import every module."""
+
+    def __init__(self, loader):
+        super().__init__()
+        self._loader = loader
+        self._loaded = False
+
+    def _ensure(self):
+        if not self._loaded:
+            self.extend(self._loader())
+            self._loaded = True
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self):
+        self._ensure()
+        return super().__len__()
+
+    def __getitem__(self, index):
+        self._ensure()
+        return super().__getitem__(index)
+
+
+#: The six mechanism store classes (lazily resolved).
+MECHANISMS = _Lazy(all_mechanisms)

@@ -1,0 +1,111 @@
+"""Checkpointing (Table 1, row 3).
+
+Consistency rule: *data in the latest committed checkpoint is
+consistent.*
+
+The store keeps two full snapshots of its array and an ``active`` index
+acting as the commit variable.  An update writes the complete new state
+into the inactive snapshot, persists it, then flips ``active``.
+Recovery (and every reader) must use only the snapshot ``active``
+points at.
+
+Buggy variant ``read_old_checkpoint``: recovery reads the *other*
+snapshot — persisted data from an earlier checkpoint, the canonical
+cross-failure **semantic** bug of Section 2 ("reading from older
+checkpoints violates the semantics of the mechanism").
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, I64, ObjectPool, Struct, U64, pmem
+
+LAYOUT = "xf-mech-ckpt"
+SLOTS = 4
+
+
+class CkptRoot(Struct):
+    active = U64()  # which snapshot is current (0 or 1)
+    snap0 = Array(I64, SLOTS)
+    snap1 = Array(I64, SLOTS)
+
+
+class CheckpointStore:
+    mechanism_name = "checkpointing"
+    consistency_rule = "latest committed checkpoint is consistent"
+    FAULTS = {
+        "read_old_checkpoint": (
+            "S", "recovery reads the superseded checkpoint",
+        ),
+    }
+
+    def __init__(self, pool, faults):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = frozenset(faults)
+
+    @classmethod
+    def create(cls, memory, faults=()):
+        pool = ObjectPool.create(
+            memory, "mech_ckpt", LAYOUT, root_cls=CkptRoot
+        )
+        root = pool.root
+        root.active = 0
+        for i in range(SLOTS):
+            root.snap0[i] = 300 + i
+            root.snap1[i] = 0
+        pmem.persist(memory, root.address, CkptRoot.SIZE)
+        return cls(pool, faults)
+
+    @classmethod
+    def open(cls, memory, faults=()):
+        pool = ObjectPool.open(memory, "mech_ckpt", LAYOUT, CkptRoot)
+        return cls(pool, faults)
+
+    def annotate(self, interface):
+        root = self.pool.root
+        name = interface.add_commit_var(
+            root.field_addr("active"), 8, "ckpt_active"
+        )
+        for snap in ("snap0", "snap1"):
+            field = CkptRoot.FIELDS[snap]
+            interface.add_commit_range(
+                name, root.address + field.offset, field.size
+            )
+
+    def _snapshot(self, which):
+        root = self.pool.root
+        return root.snap1 if which else root.snap0
+
+    def update(self, step):
+        memory = self.memory
+        root = self.pool.root
+        active = root.active
+        current = self._snapshot(active)
+        scratch = self._snapshot(1 - active)
+        # Write the complete next state into the inactive snapshot.
+        for i in range(SLOTS):
+            base = current[i]
+            scratch[i] = base + (10 if i == step % SLOTS else 0)
+        field = CkptRoot.FIELDS["snap1" if 1 - active else "snap0"]
+        pmem.persist(memory, root.address + field.offset, field.size)
+        # Commit: flip the active index.
+        root.active = 1 - active
+        pmem.persist(memory, root.field_addr("active"), 8)
+
+    def recover(self):
+        # Checkpointing needs no repair: readers must simply use the
+        # committed snapshot.  The buggy build reads the stale one.
+        root = self.pool.root
+        which = root.active
+        if "read_old_checkpoint" in self.faults:
+            which = 1 - which
+        snapshot = self._snapshot(which)
+        self._last_recovered = [snapshot[i] for i in range(SLOTS)]
+
+    def read_all(self):
+        root = self.pool.root
+        which = root.active
+        if "read_old_checkpoint" in self.faults:
+            which = 1 - which
+        snapshot = self._snapshot(which)
+        return [snapshot[i] for i in range(SLOTS)]

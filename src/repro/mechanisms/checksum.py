@@ -1,0 +1,172 @@
+"""Checksum-based recovery (Table 1, row 6).
+
+Consistency rule: *data protected by the corresponding checksum is
+consistent.*
+
+The store keeps a primary record (payload + checksum) and a last-good
+replica.  An update writes the payload and its checksum and persists
+them together — deliberately with **no ordering** between payload and
+checksum: recovery reads both (a benign cross-failure race, like a
+torn-write check in a file system), verifies, and falls back to the
+replica on mismatch, then repairs the primary.
+
+This mechanism exercises the paper's Section 5.5 extensibility notes:
+
+* the primary record is registered as commit-variable ranges so its
+  post-failure reads are benign (the checksum verification, not the
+  shadow PM, decides validity);
+* ``addFailurePoint`` inserts an extra failure point between the
+  payload write and the checksum write, covering the torn state that
+  ordinary ordering-point injection would miss.
+
+Buggy variant ``no_verify``: recovery trusts the primary without
+verification (and without the benign annotation, as a program that
+does not verify would not declare a checksum) — reads of potentially
+non-persisted payload become cross-failure races.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, I64, ObjectPool, Struct, U64, pmem
+
+LAYOUT = "xf-mech-cksum"
+PAYLOAD_WORDS = 4
+
+
+class CksumRoot(Struct):
+    payload = Array(I64, PAYLOAD_WORDS)
+    checksum = U64()
+    good_payload = Array(I64, PAYLOAD_WORDS)
+    good_checksum = U64()
+
+
+def _checksum(words):
+    value = 0xCBF29CE484222325
+    for word in words:
+        for byte in int(word & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"):
+            value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class ChecksumStore:
+    mechanism_name = "checksum-recovery"
+    consistency_rule = (
+        "data protected by its checksum is consistent"
+    )
+    FAULTS = {
+        "no_verify": (
+            "R", "recovery trusts the primary record without "
+                 "checksum verification",
+        ),
+    }
+
+    def __init__(self, pool, faults):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = frozenset(faults)
+        self.interface = None
+
+    @classmethod
+    def create(cls, memory, faults=()):
+        pool = ObjectPool.create(
+            memory, "mech_cksum", LAYOUT, root_cls=CksumRoot
+        )
+        root = pool.root
+        initial = [600 + i for i in range(PAYLOAD_WORDS)]
+        for i, word in enumerate(initial):
+            root.payload[i] = word
+            root.good_payload[i] = word
+        root.checksum = _checksum(initial)
+        root.good_checksum = root.checksum
+        pmem.persist(memory, root.address, CksumRoot.SIZE)
+        return cls(pool, faults)
+
+    @classmethod
+    def open(cls, memory, faults=()):
+        pool = ObjectPool.open(memory, "mech_cksum", LAYOUT, CksumRoot)
+        return cls(pool, faults)
+
+    def annotate(self, interface):
+        self.interface = interface
+        if "no_verify" in self.faults:
+            return  # the buggy build declares no checksum semantics
+        root = self.pool.root
+        payload_field = CksumRoot.FIELDS["payload"]
+        # Primary payload + checksum: reads are benign, the checksum
+        # decides validity (Section 5.5's checksum extension).  The
+        # member range is the record itself: the checksum versions its
+        # own payload, nothing else.
+        name = interface.add_commit_var(
+            root.address + payload_field.offset,
+            payload_field.size + 8,
+            "cksum_primary",
+        )
+        interface.add_commit_range(
+            name, root.address + payload_field.offset,
+            payload_field.size + 8,
+        )
+
+    def update(self, step):
+        interface = self.interface
+        memory = self.memory
+        root = self.pool.root
+        words = [
+            root.good_payload[i] + (1 if i == step % PAYLOAD_WORDS else 0)
+            for i in range(PAYLOAD_WORDS)
+        ]
+        # Torn-write window on purpose: payload first...
+        for i, word in enumerate(words):
+            root.payload[i] = word
+        if interface is not None:
+            # Extra failure point inside the torn window (Section 5.5:
+            # checksum mechanisms need failures *between* ordering
+            # points, added via addFailurePoint).
+            interface.add_failure_point()
+        # ...then the checksum, one persist for both.
+        root.checksum = _checksum(words)
+        payload_field = CksumRoot.FIELDS["payload"]
+        pmem.persist(
+            memory,
+            root.address + payload_field.offset,
+            payload_field.size + 8,
+        )
+        # Finally refresh the last-good replica.
+        for i, word in enumerate(words):
+            root.good_payload[i] = word
+        root.good_checksum = root.checksum
+        good_field = CksumRoot.FIELDS["good_payload"]
+        pmem.persist(
+            memory,
+            root.address + good_field.offset,
+            good_field.size + 8,
+        )
+
+    def recover(self):
+        memory = self.memory
+        root = self.pool.root
+        words = [root.payload[i] for i in range(PAYLOAD_WORDS)]
+        if "no_verify" in self.faults:
+            # BUG: primary trusted blindly; torn/volatile data leaks
+            # into the resumption.
+            self._value = words
+            return
+        if _checksum(words) == root.checksum:
+            self._value = words
+            return
+        # Verification failed: fall back to the last-good replica and
+        # repair the primary.
+        replica = [root.good_payload[i] for i in range(PAYLOAD_WORDS)]
+        for i, word in enumerate(replica):
+            root.payload[i] = word
+        root.checksum = root.good_checksum
+        payload_field = CksumRoot.FIELDS["payload"]
+        pmem.persist(
+            memory,
+            root.address + payload_field.offset,
+            payload_field.size + 8,
+        )
+        self._value = replica
+
+    def read_all(self):
+        root = self.pool.root
+        return [root.payload[i] for i in range(PAYLOAD_WORDS)]

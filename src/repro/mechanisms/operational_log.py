@@ -1,0 +1,122 @@
+"""Operational logging (Table 1, row 5).
+
+Consistency rule: *logged operations are consistent.*
+
+Instead of logging data, the store logs the *operation* (opcode +
+operands) before applying it in place; recovery re-executes the logged
+operation, overwriting a possibly torn in-place application (ARIES-
+style logical redo).
+
+Buggy variant ``apply_without_log``: the operation is applied in place
+without being logged first, so recovery has nothing to re-execute and
+the resumption reads possibly non-persisted data — a cross-failure
+race.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, I64, ObjectPool, Struct, U64, pmem
+
+LAYOUT = "xf-mech-oplog"
+SLOTS = 8
+
+OP_SET = 1
+OP_ADD = 2
+
+
+class OpLogRoot(Struct):
+    op_valid = U64()  # commit variable of the operation record
+    op_code = U64()
+    op_slot = U64()
+    op_operand = I64()
+    data = Array(I64, SLOTS)
+
+
+class OperationalLogStore:
+    mechanism_name = "operational-logging"
+    consistency_rule = "logged operations are consistent"
+    FAULTS = {
+        "apply_without_log": (
+            "R", "operation applied in place without being logged",
+        ),
+    }
+
+    def __init__(self, pool, faults):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = frozenset(faults)
+
+    @classmethod
+    def create(cls, memory, faults=()):
+        pool = ObjectPool.create(
+            memory, "mech_oplog", LAYOUT, root_cls=OpLogRoot
+        )
+        root = pool.root
+        root.op_valid = 0
+        root.op_code = 0
+        root.op_slot = 0
+        root.op_operand = 0
+        for i in range(SLOTS):
+            root.data[i] = 500 + i
+        pmem.persist(memory, root.address, OpLogRoot.SIZE)
+        return cls(pool, faults)
+
+    @classmethod
+    def open(cls, memory, faults=()):
+        pool = ObjectPool.open(memory, "mech_oplog", LAYOUT, OpLogRoot)
+        return cls(pool, faults)
+
+    def annotate(self, interface):
+        root = self.pool.root
+        name = interface.add_commit_var(
+            root.field_addr("op_valid"), 8, "op_valid"
+        )
+        interface.add_commit_range(name, root.field_addr("op_code"), 24)
+
+    def _execute(self, code, slot, operand):
+        """Apply one logged operation in place.  Idempotent for OP_SET;
+        OP_ADD reads the pre-image, so the log stores the absolute
+        result (logical redo logs must be idempotent)."""
+        root = self.pool.root
+        root.data[slot] = operand
+        rng = root.data.element_range(slot)
+        pmem.persist(self.memory, rng.start, rng.size)
+
+    def update(self, step):
+        memory = self.memory
+        root = self.pool.root
+        slot = step % SLOTS
+        result = root.data[slot] + 7  # OP_ADD folded to its result
+
+        if "apply_without_log" in self.faults and step % 2 == 1:
+            # BUG: one code path skips the operation record entirely; a
+            # torn in-place apply there is unrecoverable.  (Alternating
+            # with the logged path mirrors a forgotten branch, and the
+            # logged path's ordering points are where failures land.)
+            root.data[slot] = result
+            return
+
+        root.op_code = OP_SET
+        root.op_slot = slot
+        root.op_operand = result
+        pmem.persist(memory, root.field_addr("op_code"), 24)
+        root.op_valid = 1
+        pmem.persist(memory, root.field_addr("op_valid"), 8)
+
+        self._execute(OP_SET, slot, result)
+
+        root.op_valid = 0
+        pmem.persist(memory, root.field_addr("op_valid"), 8)
+
+    def recover(self):
+        memory = self.memory
+        root = self.pool.root
+        if root.op_valid:
+            # Re-execute the logged operation over the torn apply.
+            self._execute(root.op_code, root.op_slot, root.op_operand)
+            root.op_valid = 0
+            pmem.persist(memory, root.field_addr("op_valid"), 8)
+
+    def read_all(self):
+        root = self.pool.root
+        return [root.data[i] for i in range(SLOTS)]

@@ -1,0 +1,116 @@
+"""Redo logging (Table 1, row 2).
+
+Consistency rule: *if the redo log has not been committed, the existing
+data is consistent; otherwise the committed log is consistent.*
+
+An update writes the new value into a redo entry, persists it, commits
+the entry (``committed = 1``), then applies it in place and retires the
+entry.  Recovery re-applies a committed entry (the in-place data may be
+torn) and discards an uncommitted one.
+
+Buggy variant ``apply_before_commit``: the in-place application happens
+before the redo entry is committed, so a failure leaves modified
+in-place data that recovery will not repair — a cross-failure race.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, I64, ObjectPool, Struct, U64, pmem
+
+LAYOUT = "xf-mech-redo"
+SLOTS = 8
+
+
+class RedoRoot(Struct):
+    committed = U64()
+    redo_idx = U64()
+    redo_val = I64()
+    data = Array(I64, SLOTS)
+
+
+class RedoLogStore:
+    mechanism_name = "redo-logging"
+    consistency_rule = (
+        "not committed -> existing data consistent; "
+        "committed -> the log is"
+    )
+    FAULTS = {
+        "apply_before_commit": (
+            "R", "in-place update applied before the redo entry "
+                 "was committed",
+        ),
+    }
+
+    def __init__(self, pool, faults):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = frozenset(faults)
+
+    @classmethod
+    def create(cls, memory, faults=()):
+        pool = ObjectPool.create(
+            memory, "mech_redo", LAYOUT, root_cls=RedoRoot
+        )
+        root = pool.root
+        root.committed = 0
+        root.redo_idx = 0
+        root.redo_val = 0
+        for i in range(SLOTS):
+            root.data[i] = 200 + i
+        pmem.persist(memory, root.address, RedoRoot.SIZE)
+        return cls(pool, faults)
+
+    @classmethod
+    def open(cls, memory, faults=()):
+        pool = ObjectPool.open(memory, "mech_redo", LAYOUT, RedoRoot)
+        return cls(pool, faults)
+
+    def annotate(self, interface):
+        root = self.pool.root
+        name = interface.add_commit_var(
+            root.field_addr("committed"), 8, "redo_committed"
+        )
+        interface.add_commit_range(name, root.field_addr("redo_idx"), 16)
+
+    def _apply(self, idx, value):
+        root = self.pool.root
+        root.data[idx] = value
+        rng = root.data.element_range(idx)
+        pmem.persist(self.memory, rng.start, rng.size)
+
+    def update(self, step):
+        memory = self.memory
+        root = self.pool.root
+        idx = step % SLOTS
+        value = 2000 + step
+
+        if "apply_before_commit" in self.faults:
+            # BUG: the in-place data is modified while the redo entry
+            # is neither written nor committed.
+            self._apply(idx, value)
+
+        root.redo_idx = idx
+        root.redo_val = value
+        pmem.persist(memory, root.field_addr("redo_idx"), 16)
+        root.committed = 1
+        pmem.persist(memory, root.field_addr("committed"), 8)
+
+        if "apply_before_commit" not in self.faults:
+            self._apply(idx, value)
+
+        root.committed = 0
+        pmem.persist(memory, root.field_addr("committed"), 8)
+
+    def recover(self):
+        memory = self.memory
+        root = self.pool.root
+        if root.committed:
+            # Replay the committed redo entry over the (possibly torn)
+            # in-place data.
+            self._apply(root.redo_idx, root.redo_val)
+            root.committed = 0
+            pmem.persist(memory, root.field_addr("committed"), 8)
+
+    def read_all(self):
+        root = self.pool.root
+        return [root.data[i] for i in range(SLOTS)]

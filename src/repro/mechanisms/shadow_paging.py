@@ -1,0 +1,114 @@
+"""Shadow paging / copy-on-write (Table 1, row 4).
+
+Consistency rule: *if the shadow object has been committed, data in the
+shadow object is consistent; otherwise the old data is consistent.*
+
+An update allocates a shadow copy of the record, fills it, persists it,
+and commits by atomically swapping the record pointer (the PMDK
+atomic-pointer idiom).  Readers always follow the pointer, so they see
+either the old or the fully-persisted new record.
+
+Buggy variant ``swap_before_persist``: the pointer swap happens before
+the shadow's contents are persistent — the classic shadow-paging
+ordering bug; readers can follow the pointer into volatile data
+(cross-failure race).
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import I64, ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._parray import atomic_word_write
+
+LAYOUT = "xf-mech-shadow"
+
+
+class ShadowRoot(Struct):
+    record_ptr = Ptr()
+
+
+class Record(Struct):
+    version = U64()
+    value_a = I64()
+    value_b = I64()
+
+
+class ShadowPagingStore:
+    mechanism_name = "shadow-paging"
+    consistency_rule = (
+        "committed shadow consistent; otherwise the old copy is"
+    )
+    FAULTS = {
+        "swap_before_persist": (
+            "R", "pointer swapped before the shadow copy persisted",
+        ),
+    }
+
+    def __init__(self, pool, faults):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = frozenset(faults)
+
+    @classmethod
+    def create(cls, memory, faults=()):
+        pool = ObjectPool.create(
+            memory, "mech_shadow", LAYOUT, root_cls=ShadowRoot
+        )
+        record = pool.alloc(Record)
+        record.version = 0
+        record.value_a = 400
+        record.value_b = 401
+        pmem.persist(memory, record.address, Record.SIZE)
+        atomic_word_write(
+            memory, pool.root.field_addr("record_ptr"), record.address
+        )
+        return cls(pool, faults)
+
+    @classmethod
+    def open(cls, memory, faults=()):
+        pool = ObjectPool.open(memory, "mech_shadow", LAYOUT, ShadowRoot)
+        return cls(pool, faults)
+
+    def annotate(self, interface):
+        # The record pointer is the commit variable: reading it while a
+        # swap may be in flight is the benign race of this mechanism.
+        # Its member range is itself — the committed record's fields
+        # are validated by the race check, not by version tracking.
+        ptr_addr = self.pool.root.field_addr("record_ptr")
+        name = interface.add_commit_var(ptr_addr, 8, "shadow_ptr")
+        interface.add_commit_range(name, ptr_addr, 8)
+
+    def _current(self):
+        return Record(self.memory, self.pool.root.record_ptr)
+
+    def update(self, step):
+        memory = self.memory
+        old = self._current()
+        shadow = self.pool.alloc(Record)
+        shadow.version = old.version + 1
+        shadow.value_a = old.value_a + 10
+        shadow.value_b = old.value_b + 10
+        if "swap_before_persist" not in self.faults:
+            pmem.persist(memory, shadow.address, Record.SIZE)
+            atomic_word_write(
+                memory,
+                self.pool.root.field_addr("record_ptr"),
+                shadow.address,
+            )
+        else:
+            # BUG: commit the shadow while its contents are volatile.
+            atomic_word_write(
+                memory,
+                self.pool.root.field_addr("record_ptr"),
+                shadow.address,
+            )
+            pmem.persist(memory, shadow.address, Record.SIZE)
+        self.pool.free(old.address)
+
+    def recover(self):
+        # Nothing to repair: the pointer always names a committed copy
+        # (in the correct build).
+        pass
+
+    def read_all(self):
+        record = self._current()
+        return [record.version, record.value_a, record.value_b]

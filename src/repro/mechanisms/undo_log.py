@@ -1,0 +1,112 @@
+"""Undo logging (Table 1, row 1).
+
+Consistency rule: *if the transaction has been committed, the updated
+data is consistent; otherwise the log is consistent.*
+
+The store keeps a small array and a single-slot undo log guarded by a
+``valid`` commit variable.  An update backs up the old element, commits
+the backup (``valid = 1``), updates in place, and retires the backup
+(``valid = 0``) — each step individually persisted.
+
+Buggy variant ``valid_before_log``: the commit bit is set (and
+persisted) *before* the backup data is persistent, so recovery can roll
+back with a backup that never reached the media — a cross-failure race
+on the log.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, I64, ObjectPool, Struct, U64, pmem
+
+LAYOUT = "xf-mech-undo"
+SLOTS = 8
+
+
+class UndoRoot(Struct):
+    valid = U64()
+    backup_idx = U64()
+    backup_val = I64()
+    data = Array(I64, SLOTS)
+
+
+class UndoLogStore:
+    mechanism_name = "undo-logging"
+    consistency_rule = (
+        "committed -> in-place data consistent; otherwise the log is"
+    )
+    FAULTS = {
+        "valid_before_log": (
+            "R", "commit bit persisted before the backup data",
+        ),
+    }
+
+    def __init__(self, pool, faults):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = frozenset(faults)
+
+    @classmethod
+    def create(cls, memory, faults=()):
+        pool = ObjectPool.create(
+            memory, "mech_undo", LAYOUT, root_cls=UndoRoot
+        )
+        root = pool.root
+        root.valid = 0
+        root.backup_idx = 0
+        root.backup_val = 0
+        for i in range(SLOTS):
+            root.data[i] = 100 + i
+        pmem.persist(memory, root.address, UndoRoot.SIZE)
+        return cls(pool, faults)
+
+    @classmethod
+    def open(cls, memory, faults=()):
+        pool = ObjectPool.open(memory, "mech_undo", LAYOUT, UndoRoot)
+        return cls(pool, faults)
+
+    def annotate(self, interface):
+        root = self.pool.root
+        name = interface.add_commit_var(
+            root.field_addr("valid"), 8, "undo_valid"
+        )
+        interface.add_commit_range(
+            name, root.field_addr("backup_idx"), 16
+        )
+
+    def update(self, step):
+        memory = self.memory
+        root = self.pool.root
+        idx = step % SLOTS
+
+        root.backup_idx = idx
+        root.backup_val = root.data[idx]
+        if "valid_before_log" not in self.faults:
+            pmem.persist(memory, root.field_addr("backup_idx"), 16)
+
+        root.valid = 1
+        pmem.persist(memory, root.field_addr("valid"), 8)
+        if "valid_before_log" in self.faults:
+            # BUG: the log is persisted only after it was committed.
+            pmem.persist(memory, root.field_addr("backup_idx"), 16)
+
+        root.data[idx] = 1000 + step
+        rng = root.data.element_range(idx)
+        pmem.persist(memory, rng.start, rng.size)
+
+        root.valid = 0
+        pmem.persist(memory, root.field_addr("valid"), 8)
+
+    def recover(self):
+        memory = self.memory
+        root = self.pool.root
+        if root.valid:
+            idx = root.backup_idx
+            root.data[idx] = root.backup_val
+            rng = root.data.element_range(idx)
+            pmem.persist(memory, rng.start, rng.size)
+            root.valid = 0
+            pmem.persist(memory, root.field_addr("valid"), 8)
+
+    def read_all(self):
+        root = self.pool.root
+        return [root.data[i] for i in range(SLOTS)]

@@ -1,0 +1,40 @@
+"""Persistent-memory hardware substrate.
+
+This subpackage simulates the PM hardware the paper's tool runs on: a
+byte-addressable pool mapped at a fixed virtual base address, a volatile
+cache with 64-byte lines whose persistence follows the paper's Figure 9
+state machine, and the x86 writeback/fence instructions (``CLWB``,
+``CLFLUSH``, ``CLFLUSHOPT``, non-temporal stores, ``SFENCE``).
+
+The public entry point is :class:`~repro.pm.memory.PersistentMemory`,
+which combines a pool with the cache model and emits trace events for
+every operation.
+"""
+
+from repro.pm.address import AddressRange, align_down, align_up, line_of
+from repro.pm.cacheline import CacheModel, FlushKind, LineState
+from repro.pm.constants import (
+    CACHE_LINE_SIZE,
+    DEFAULT_POOL_SIZE,
+    PMEM_MMAP_HINT,
+)
+from repro.pm.image import CrashImageMode, PMImage
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+
+__all__ = [
+    "AddressRange",
+    "CACHE_LINE_SIZE",
+    "CacheModel",
+    "CrashImageMode",
+    "DEFAULT_POOL_SIZE",
+    "FlushKind",
+    "LineState",
+    "PMEM_MMAP_HINT",
+    "PMImage",
+    "PMPool",
+    "PersistentMemory",
+    "align_down",
+    "align_up",
+    "line_of",
+]

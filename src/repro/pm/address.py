@@ -1,0 +1,77 @@
+"""Address-range value type and cache-line arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pm.constants import CACHE_LINE_SIZE
+
+
+def align_down(address, alignment=CACHE_LINE_SIZE):
+    """Round ``address`` down to a multiple of ``alignment``."""
+    return address - (address % alignment)
+
+
+def align_up(address, alignment=CACHE_LINE_SIZE):
+    """Round ``address`` up to a multiple of ``alignment``."""
+    return -(-address // alignment) * alignment
+
+
+def line_of(address):
+    """Return the base address of the cache line containing ``address``."""
+    return align_down(address, CACHE_LINE_SIZE)
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[start, start + size)`` in PM."""
+
+    start: int
+    size: int
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"negative range size {self.size}")
+
+    @property
+    def end(self):
+        return self.start + self.size
+
+    def __contains__(self, address):
+        return self.start <= address < self.end
+
+    def contains_range(self, other):
+        """True if ``other`` lies entirely within this range."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other):
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other):
+        """Overlapping sub-range, or None."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return AddressRange(start, end - start)
+
+    def lines(self):
+        """Yield the base addresses of every cache line this range
+        touches."""
+        if self.size == 0:
+            return
+        line = line_of(self.start)
+        last = line_of(self.end - 1)
+        while line <= last:
+            yield line
+            line += CACHE_LINE_SIZE
+
+    def split_by_lines(self):
+        """Yield sub-ranges of this range, one per cache line touched."""
+        for line in self.lines():
+            piece = self.intersection(AddressRange(line, CACHE_LINE_SIZE))
+            if piece is not None:
+                yield piece
+
+    def __str__(self):
+        return f"[{self.start:#x}, {self.end:#x})"

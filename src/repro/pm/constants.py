@@ -1,0 +1,20 @@
+"""Constants describing the simulated PM platform."""
+
+#: Cache-line size in bytes.  Writebacks (CLWB and friends) operate at
+#: this granularity, exactly as on the paper's x86 testbed.
+CACHE_LINE_SIZE = 64
+
+#: Fixed virtual base address for PM pools.  This mirrors PMDK's address
+#: derandomization used by XFDetector (paper Section 5.3): setting
+#: ``PMEM_MMAP_HINT=0x10000000000`` maps every pool at the same address in
+#: every execution so the pre- and post-failure traces can be correlated
+#: address-by-address.
+PMEM_MMAP_HINT = 0x10000000000
+
+#: Default pool size (bytes).  Small by hardware standards but ample for
+#: the evaluated workloads; can be raised per pool.
+DEFAULT_POOL_SIZE = 8 * 1024 * 1024
+
+#: Maximum size of a single load/store, as a sanity bound against
+#: workload bugs that would otherwise allocate absurd byte strings.
+MAX_ACCESS_SIZE = 1 * 1024 * 1024

@@ -1,0 +1,327 @@
+"""The PM runtime: pools + cache model + tracing + injection hooks.
+
+:class:`PersistentMemory` is the single interface through which workload
+and library code touches persistent memory.  Every operation
+
+* updates the program-view bytes of the owning pool,
+* advances the per-line persistence state machine, and
+* emits a trace event to the attached recorder and observers.
+
+The failure injector registers itself as an *ordering listener*: it is
+called immediately **before** a fence that would complete at least one
+writeback (i.e. before each ordering point, paper Section 4.2), which is
+exactly where failure points belong, and before hinted library-level
+ordering points.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro._location import capture_location
+from repro.errors import PMAddressError
+from repro.pm.address import AddressRange
+from repro.pm.cacheline import CacheModel, FenceKind, FlushKind
+from repro.pm.constants import MAX_ACCESS_SIZE
+from repro.pm.image import capture_image
+from repro.trace.events import EventKind
+from repro.trace.recorder import TraceRecorder
+
+
+class _ThreadState(threading.local):
+    """Per-thread annotation depths (thread-local storage, Section 7)."""
+
+    def __init__(self):
+        self.skip_failure_depth = 0
+        self.skip_detection_depth = 0
+
+
+class PersistentMemory:
+    """Simulated persistent memory with tracing.
+
+    Parameters
+    ----------
+    recorder:
+        Destination for trace events; a fresh "pre"-stage recorder is
+        created when omitted.
+    capture_ips:
+        When True (default), each event captures the source location of
+        the responsible workload frame.  Disable for the "original
+        program" baseline timing runs.
+    """
+
+    def __init__(self, recorder=None, capture_ips=True,
+                 platform=None):
+        from repro.pm.cacheline import PlatformMode
+
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        self.capture_ips = capture_ips
+        self.platform = (
+            platform if platform is not None else PlatformMode.ADR
+        )
+        # The frontend is thread-safe (paper Section 7): one reentrant
+        # lock makes each PM operation (data + cache state + trace
+        # event + injector snapshot) atomic with respect to other
+        # threads.  Multithreaded workloads run independent tasks, as
+        # in the paper's evaluation.
+        self._lock = threading.RLock()
+        self._pools = []
+        self._cache = CacheModel(self._read_line_raw)
+        self._ordering_listeners = []
+        self._observers = []
+        # Annotation state consulted by the failure injector and set by
+        # the Table 2 interface and by library internals.  Failure
+        # points are only injected while roi_active is true, the
+        # calling thread's skip_failure_depth is zero, and detection
+        # has not been completed.  The skip depths live in thread-local
+        # storage, like the original frontend's (paper Section 7): one
+        # thread inside library internals must not suppress another
+        # thread's failure points.
+        self._tls = _ThreadState()
+        self._thread_ids = {}
+        self.roi_active = False
+        self.detection_complete = False
+        self._cache.platform = self.platform
+
+    # ------------------------------------------------------------------
+    # Per-thread annotation state
+    # ------------------------------------------------------------------
+
+    @property
+    def skip_failure_depth(self):
+        return self._tls.skip_failure_depth
+
+    @skip_failure_depth.setter
+    def skip_failure_depth(self, value):
+        self._tls.skip_failure_depth = value
+
+    @property
+    def skip_detection_depth(self):
+        return self._tls.skip_detection_depth
+
+    @skip_detection_depth.setter
+    def skip_detection_depth(self, value):
+        self._tls.skip_detection_depth = value
+
+    def current_tid(self):
+        """Small stable index of the calling thread (0 = first/main)."""
+        ident = threading.get_ident()
+        tid = self._thread_ids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._thread_ids.setdefault(
+                    ident, len(self._thread_ids)
+                )
+        return tid
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+
+    def map_pool(self, pool):
+        """Map a pool into the PM address space."""
+        for existing in self._pools:
+            if (pool.base < existing.end and existing.base < pool.end):
+                raise PMAddressError(
+                    pool.base, pool.size,
+                    f"overlaps pool '{existing.name}'",
+                )
+        self._pools.append(pool)
+        return pool
+
+    def pool_named(self, name):
+        for pool in self._pools:
+            if pool.name == name:
+                return pool
+        raise KeyError(f"no pool named {name!r}")
+
+    def pool_at(self, address, size=1):
+        for pool in self._pools:
+            if pool.contains(address, size):
+                return pool
+        raise PMAddressError(address, size, "address not in any mapped pool")
+
+    @property
+    def pools(self):
+        return tuple(self._pools)
+
+    @property
+    def cache(self):
+        return self._cache
+
+    def _read_line_raw(self, line_base):
+        from repro.pm.constants import CACHE_LINE_SIZE
+
+        pool = self.pool_at(line_base)
+        end = min(line_base + CACHE_LINE_SIZE, pool.end)
+        data = pool.read(line_base, end - line_base)
+        if len(data) < CACHE_LINE_SIZE:
+            data = data + bytes(CACHE_LINE_SIZE - len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def add_ordering_listener(self, listener):
+        """``listener.before_ordering_point(memory, reason)`` is invoked
+        immediately before each ordering point takes effect."""
+        self._ordering_listeners.append(listener)
+
+    def add_observer(self, observer):
+        """``observer.on_event(event)`` sees every emitted trace event."""
+        self._observers.append(observer)
+
+    def _emit(self, kind, addr=0, size=0, info="", ip=None):
+        if ip is None and self.capture_ips:
+            ip = capture_location(skip=2)
+        event = self.recorder.append(
+            kind, addr, size, info, ip, tid=self.current_tid()
+        )
+        for observer in self._observers:
+            observer.on_event(event)
+        return event
+
+    def emit_marker(self, kind, addr=0, size=0, info=""):
+        """Emit an annotation/marker event (used by the Table 2 API and
+        the failure injector)."""
+        return self._emit(kind, addr, size, info)
+
+    def _notify_ordering_point(self, reason, force=False):
+        for listener in self._ordering_listeners:
+            listener.before_ordering_point(self, reason, force)
+
+    def force_failure_point(self, reason="user-requested"):
+        """The ``addFailurePoint`` annotation (Table 2): request a
+        failure point here regardless of pending PM operations."""
+        self._notify_ordering_point(reason, force=True)
+        self._emit(EventKind.HINT_FAILURE_POINT, info=reason)
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+
+    def _check_access(self, address, size):
+        if size <= 0 or size > MAX_ACCESS_SIZE:
+            raise PMAddressError(address, size, f"bad access size {size}")
+
+    def store(self, address, data, ip=None):
+        """Ordinary store of ``data`` (bytes) at ``address``."""
+        data = bytes(data)
+        self._check_access(address, len(data))
+        with self._lock:
+            pool = self.pool_at(address, len(data))
+            pool.write(address, data)
+            self._cache.store(address, len(data))
+            self._emit(EventKind.STORE, address, len(data), ip=ip)
+
+    def nt_store(self, address, data, ip=None):
+        """Non-temporal store: bypasses the cache, pending until fence."""
+        data = bytes(data)
+        self._check_access(address, len(data))
+        with self._lock:
+            pool = self.pool_at(address, len(data))
+            pool.write(address, data)
+            self._cache.nt_store(address, len(data))
+            self._emit(EventKind.NT_STORE, address, len(data), ip=ip)
+
+    def load(self, address, size, ip=None):
+        """Load ``size`` bytes from ``address``."""
+        self._check_access(address, size)
+        with self._lock:
+            pool = self.pool_at(address, size)
+            data = pool.read(address, size)
+            self._emit(EventKind.LOAD, address, size, ip=ip)
+            return data
+
+    def flush(self, address, size=1, kind=FlushKind.CLWB, ip=None):
+        """Writeback every cache line covering ``[address, address+size)``.
+
+        Emits one FLUSH event per line, as the hardware instruction
+        operates per line.
+        """
+        self._check_access(address, size)
+        self.pool_at(address, size)
+        self._lock.acquire()
+        try:
+            self._flush_locked(address, size, kind, ip)
+        finally:
+            self._lock.release()
+
+    def _flush_locked(self, address, size, kind, ip):
+        if kind is FlushKind.CLFLUSH:
+            # Synchronous flushes persist immediately; if any line held
+            # modified data this acts as an ordering point of its own.
+            would_persist = any(
+                self._cache.state_of(line).value in ("M", "W")
+                for line in AddressRange(address, size).lines()
+            )
+            if would_persist:
+                self._notify_ordering_point(f"CLFLUSH@{address:#x}")
+        for line in AddressRange(address, size).lines():
+            self._cache.flush(line, kind)
+            self._emit(EventKind.FLUSH, line, 64, info=kind.value, ip=ip)
+
+    def fence(self, kind=FenceKind.SFENCE, ip=None):
+        """Ordering fence; completes pending writebacks.
+
+        Returns True when the fence completed at least one writeback,
+        i.e. when it was an ordering point.
+        """
+        with self._lock:
+            return self._fence_locked(kind, ip)
+
+    def _fence_locked(self, kind, ip):
+        is_ordering_point = self._cache.is_ordering_fence()
+        if is_ordering_point:
+            # Failure points are injected *before* the ordering point:
+            # the listener snapshots PM in its pre-fence state.
+            self._notify_ordering_point(f"{kind.value}")
+        self._cache.fence(kind)
+        self._emit(EventKind.FENCE, info=kind.value, ip=ip)
+        return is_ordering_point
+
+    @contextmanager
+    def library_region(self, name):
+        """Trusted library internals (paper Section 5.3): traced, but no
+        failure points are injected inside and reads are not checked.
+        Writes inside the region still update the shadow PM, which is
+        how library recovery code repairs state during replay."""
+        self.emit_marker(EventKind.LIB_BEGIN, info=name)
+        self.skip_failure_depth += 1
+        self.skip_detection_depth += 1
+        try:
+            yield self
+        finally:
+            self.skip_detection_depth -= 1
+            self.skip_failure_depth -= 1
+            self.emit_marker(EventKind.LIB_END, info=name)
+
+    def hint_ordering_point(self, reason):
+        """Library-level ordering point (paper Section 5.5: an explicit
+        failure point for each library function containing ordering
+        points).  Called by ``repro.pmdk`` before a library function's
+        internals execute."""
+        with self._lock:
+            self._notify_ordering_point(reason)
+            self._emit(EventKind.HINT_FAILURE_POINT, info=reason)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors (typed loads/stores live in repro.pmdk)
+    # ------------------------------------------------------------------
+
+    def snapshot_images(self):
+        """Capture a crash image of every mapped pool."""
+        return [capture_image(pool, self._cache) for pool in self._pools]
+
+    def is_persisted(self, address, size=1):
+        """True if every line covering the range is in PERSISTED state
+        (or UNMODIFIED, i.e. nothing volatile outstanding)."""
+        from repro.pm.cacheline import LineState
+
+        for line in AddressRange(address, size).lines():
+            state = self._cache.state_of(line)
+            if state not in (LineState.PERSISTED, LineState.UNMODIFIED):
+                return False
+        return True

@@ -1,0 +1,85 @@
+"""PM pool files.
+
+A :class:`PMPool` models one persistent-memory pool file mapped into the
+process at a fixed virtual base address (see
+:data:`~repro.pm.constants.PMEM_MMAP_HINT`).  It is a dumb byte store:
+all persistence semantics live in :class:`~repro.pm.cacheline.CacheModel`
+and all tracing in :class:`~repro.pm.memory.PersistentMemory`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PMAddressError
+from repro.pm.constants import DEFAULT_POOL_SIZE, PMEM_MMAP_HINT
+
+
+class PMPool:
+    """A contiguous byte range of simulated persistent memory.
+
+    New pools are zero-filled, like a freshly created pool file on a DAX
+    filesystem.
+    """
+
+    def __init__(self, name, size=DEFAULT_POOL_SIZE, base=PMEM_MMAP_HINT,
+                 data=None):
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        if data is not None and len(data) != size:
+            raise ValueError(
+                f"initial data length {len(data)} != pool size {size}"
+            )
+        self.name = name
+        self.base = base
+        self.size = size
+        self._data = bytearray(data) if data is not None else bytearray(size)
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def contains(self, address, size=1):
+        return self.base <= address and address + size <= self.end
+
+    def _check(self, address, size):
+        if not self.contains(address, size):
+            raise PMAddressError(
+                address, size,
+                f"outside pool '{self.name}' [{self.base:#x}, {self.end:#x})",
+            )
+
+    def read(self, address, size):
+        """Raw read of ``size`` bytes at ``address`` (no tracing)."""
+        self._check(address, size)
+        offset = address - self.base
+        return bytes(self._data[offset:offset + size])
+
+    def write(self, address, data):
+        """Raw write at ``address`` (no tracing)."""
+        self._check(address, len(data))
+        offset = address - self.base
+        self._data[offset:offset + len(data)] = data
+
+    def raw_bytes(self):
+        """The whole program-view image as bytes."""
+        return bytes(self._data)
+
+    def load_bytes(self, data):
+        """Replace the whole image (used when restoring crash images)."""
+        if len(data) != self.size:
+            raise ValueError(
+                f"image length {len(data)} != pool size {self.size}"
+            )
+        self._data[:] = data
+
+    def clone(self, name=None):
+        """Deep copy of this pool (same base address, so the clone can be
+        mapped in a fresh runtime for a post-failure run)."""
+        return PMPool(
+            name or self.name, self.size, self.base, bytes(self._data)
+        )
+
+    def __repr__(self):
+        return (
+            f"PMPool({self.name!r}, base={self.base:#x}, "
+            f"size={self.size:#x})"
+        )

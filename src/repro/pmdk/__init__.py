@@ -1,0 +1,53 @@
+"""PMDK substitute.
+
+This subpackage re-implements the slice of Intel's Persistent Memory
+Development Kit that the paper's workloads and bugs exercise:
+
+* :mod:`repro.pmdk.pmem` — the ``libpmem``-style low-level API:
+  ``persist`` / ``flush`` / ``drain`` / ``memcpy_persist`` and
+  non-temporal copies, all traced at instruction granularity.
+* :mod:`repro.pmdk.layout` — typed persistent structs whose field
+  accesses compile down to traced PM loads and stores.
+* :mod:`repro.pmdk.pmemobj` — the ``libpmemobj``-style object pool:
+  pool metadata (creation/open/validation — the habitat of the paper's
+  Bug 4), a persistent allocator (Bug 2), a root object, and undo-log
+  transactions with genuine recovery.
+"""
+
+from repro.pmdk import pmem
+from repro.pmdk.layout import (
+    Array,
+    Blob,
+    Embed,
+    F64,
+    I32,
+    I64,
+    Ptr,
+    Struct,
+    U8,
+    U16,
+    U32,
+    U64,
+)
+from repro.pmdk.pmemobj.alloc import Allocator
+from repro.pmdk.pmemobj.pool import ObjectPool
+from repro.pmdk.pmemobj.tx import Transaction
+
+__all__ = [
+    "Allocator",
+    "Array",
+    "Blob",
+    "Embed",
+    "F64",
+    "I32",
+    "I64",
+    "ObjectPool",
+    "Ptr",
+    "Struct",
+    "Transaction",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "pmem",
+]

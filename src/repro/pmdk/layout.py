@@ -1,0 +1,269 @@
+"""Typed persistent structs.
+
+Workloads declare the layout of their persistent objects declaratively::
+
+    class Node(Struct):
+        next = Ptr()        # persistent pointer (8 bytes, 0 = NULL)
+        value = I64()
+
+    node = Node(memory, address)
+    node.value = 42         # traced PM store of 8 bytes
+    x = node.value          # traced PM load
+
+Field reads and writes compile down to
+:meth:`repro.pm.memory.PersistentMemory.load` / ``store`` calls, so every
+access appears in the trace with the *workload's* source location (this
+module lives inside the runtime and is skipped by location capture).
+
+Fields are laid out in declaration order with natural alignment; the
+struct size is rounded up to the largest field alignment.  Pointers are
+stored as absolute 8-byte PM addresses — legitimate here because pools
+map at a fixed base address (PMDK address derandomization, paper
+Section 5.3).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+
+from repro.pm.address import AddressRange
+
+
+class Field:
+    """Base descriptor for a persistent struct field."""
+
+    #: struct-module format character, or None for raw-bytes fields.
+    fmt = None
+    size = 0
+    align = 1
+
+    def __init__(self):
+        self.name = None
+        self.offset = None  # assigned by StructMeta
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def addr_in(self, instance):
+        return instance.address + self.offset
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            return self
+        raw = instance.memory.load(self.addr_in(instance), self.size)
+        return self.decode(raw)
+
+    def __set__(self, instance, value):
+        instance.memory.store(self.addr_in(instance), self.encode(value))
+
+    def decode(self, raw):
+        return _struct.unpack("<" + self.fmt, raw)[0]
+
+    def encode(self, value):
+        return _struct.pack("<" + self.fmt, value)
+
+
+def _scalar(name, fmt, size):
+    """Build a scalar Field subclass for one struct-module format."""
+    return type(name, (Field,), {"fmt": fmt, "size": size, "align": size})
+
+
+U8 = _scalar("U8", "B", 1)
+U16 = _scalar("U16", "H", 2)
+U32 = _scalar("U32", "I", 4)
+U64 = _scalar("U64", "Q", 8)
+I32 = _scalar("I32", "i", 4)
+I64 = _scalar("I64", "q", 8)
+F64 = _scalar("F64", "d", 8)
+
+
+class Ptr(U64):
+    """A persistent pointer: an absolute 8-byte PM address, 0 for NULL."""
+
+
+class Blob(Field):
+    """A fixed-size raw byte field.
+
+    Reads return exactly ``size`` bytes; writes accept at most ``size``
+    bytes and zero-pad shorter values (convenient for keys/strings).
+    """
+
+    def __init__(self, size, align=1):
+        super().__init__()
+        self.size = size
+        self.align = align
+
+    def decode(self, raw):
+        return bytes(raw)
+
+    def encode(self, value):
+        value = bytes(value)
+        if len(value) > self.size:
+            raise ValueError(
+                f"value of {len(value)} bytes exceeds blob field "
+                f"'{self.name}' of {self.size} bytes"
+            )
+        return value + bytes(self.size - len(value))
+
+
+class Embed(Field):
+    """An embedded sub-struct field.
+
+    Reading yields a bound view of the sub-struct at the right address;
+    writing is not supported (assign through the view's own fields).
+    """
+
+    def __init__(self, struct_cls):
+        super().__init__()
+        self.struct_cls = struct_cls
+        self.size = struct_cls.SIZE
+        self.align = struct_cls.ALIGN
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            return self
+        return self.struct_cls(instance.memory, self.addr_in(instance))
+
+    def __set__(self, instance, value):
+        raise AttributeError(
+            f"embedded struct field '{self.name}' cannot be assigned; "
+            "write through its own fields"
+        )
+
+
+class Array(Field):
+    """A fixed-length array of scalar elements.
+
+    Element access goes through :meth:`get_item` / :meth:`set_item` on
+    the bound :class:`BoundArray` view so that each element access is an
+    individually traced PM operation at the right address.
+    """
+
+    def __init__(self, element_field_cls, length):
+        super().__init__()
+        self.element = element_field_cls()
+        self.length = length
+        self.size = self.element.size * length
+        self.align = self.element.align
+
+    def __get__(self, instance, owner):
+        if instance is None:
+            return self
+        return BoundArray(instance, self)
+
+    def __set__(self, instance, value):
+        raise AttributeError(
+            f"array field '{self.name}' cannot be assigned wholesale; "
+            "assign elements"
+        )
+
+
+class BoundArray:
+    """View over an :class:`Array` field of one struct instance."""
+
+    __slots__ = ("_instance", "_field")
+
+    def __init__(self, instance, field):
+        self._instance = instance
+        self._field = field
+
+    def __len__(self):
+        return self._field.length
+
+    def _element_addr(self, index):
+        if not 0 <= index < self._field.length:
+            raise IndexError(
+                f"array index {index} out of range "
+                f"[0, {self._field.length})"
+            )
+        return (
+            self._field.addr_in(self._instance)
+            + index * self._field.element.size
+        )
+
+    def __getitem__(self, index):
+        raw = self._instance.memory.load(
+            self._element_addr(index), self._field.element.size
+        )
+        return self._field.element.decode(raw)
+
+    def __setitem__(self, index, value):
+        self._instance.memory.store(
+            self._element_addr(index), self._field.element.encode(value)
+        )
+
+    def element_range(self, index):
+        """AddressRange of one element (for flushes and TX_ADD)."""
+        return AddressRange(
+            self._element_addr(index), self._field.element.size
+        )
+
+
+class StructMeta(type):
+    """Assigns field offsets and computes struct size/alignment."""
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+        fields = {}
+        # Inherit parent fields first (single inheritance is enough).
+        for base in bases:
+            fields.update(getattr(base, "FIELDS", {}))
+        offset = max(
+            (f.offset + f.size for f in fields.values()), default=0
+        )
+        align = max((f.align for f in fields.values()), default=1)
+        for key, value in namespace.items():
+            if isinstance(value, Field):
+                pad = (-offset) % value.align
+                value.offset = offset + pad
+                offset = value.offset + value.size
+                align = max(align, value.align)
+                fields[key] = value
+        cls.FIELDS = fields
+        cls.ALIGN = align
+        cls.SIZE = offset + ((-offset) % align)
+        return cls
+
+
+class Struct(metaclass=StructMeta):
+    """A typed view over ``SIZE`` bytes of persistent memory."""
+
+    def __init__(self, memory, address):
+        if address == 0:
+            raise ValueError(
+                f"NULL address for {type(self).__name__} view"
+            )
+        self.memory = memory
+        self.address = address
+
+    @classmethod
+    def offset_of(cls, field_name):
+        return cls.FIELDS[field_name].offset
+
+    @classmethod
+    def size_of(cls, field_name):
+        return cls.FIELDS[field_name].size
+
+    def field_addr(self, field_name):
+        return self.address + self.offset_of(field_name)
+
+    def field_range(self, field_name):
+        """AddressRange of one field (for flushes and TX_ADD)."""
+        field = self.FIELDS[field_name]
+        return AddressRange(self.address + field.offset, field.size)
+
+    def whole_range(self):
+        return AddressRange(self.address, self.SIZE)
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.address == other.address
+            and self.memory is other.memory
+        )
+
+    def __hash__(self):
+        return hash((type(self), self.address))
+
+    def __repr__(self):
+        return f"{type(self).__name__}@{self.address:#x}"

@@ -1,0 +1,56 @@
+"""Low-level persistence API (the ``libpmem`` analogue).
+
+These helpers are deliberately thin wrappers over
+:class:`~repro.pm.memory.PersistentMemory` — they are *user-facing*, so
+they are traced at instruction granularity and failure points may be
+injected at the ordering points they create.  The paper's
+``persist_barrier()`` (a ``CLWB; SFENCE`` pair) is :func:`persist`.
+"""
+
+from __future__ import annotations
+
+from repro.pm.cacheline import FenceKind, FlushKind
+
+
+def flush(memory, address, size=1, kind=FlushKind.CLWB):
+    """Write back the cache lines covering the range (no ordering)."""
+    memory.flush(address, size, kind)
+
+
+def drain(memory):
+    """Wait for pending writebacks (``SFENCE`` in PMDK's pmem_drain)."""
+    memory.fence(FenceKind.DRAIN)
+
+
+def sfence(memory):
+    """Raw ``SFENCE``."""
+    memory.fence(FenceKind.SFENCE)
+
+
+def persist(memory, address, size=1):
+    """``persist_barrier()``: flush the range, then fence.
+
+    After this returns, the range's pre-call contents are guaranteed to
+    be on the PM media in every possible failure interleaving.
+    """
+    memory.flush(address, size, FlushKind.CLWB)
+    memory.fence(FenceKind.SFENCE)
+
+
+def memcpy_persist(memory, dest, data):
+    """Store ``data`` at ``dest`` and persist it (temporal path)."""
+    memory.store(dest, data)
+    persist(memory, dest, len(data))
+
+
+def memcpy_nodrain(memory, dest, data):
+    """Non-temporal store of ``data`` at ``dest`` without draining; the
+    caller must issue :func:`drain`/:func:`sfence` before relying on
+    persistence."""
+    memory.nt_store(dest, data)
+
+
+def memset_persist(memory, dest, value, size):
+    """Fill ``[dest, dest+size)`` with ``value`` and persist it."""
+    memory.store(dest, bytes([value]) * size)
+    persist(memory, dest, size)

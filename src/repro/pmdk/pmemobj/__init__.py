@@ -1,0 +1,7 @@
+"""``libpmemobj`` substitute: object pools, allocation, transactions."""
+
+from repro.pmdk.pmemobj.alloc import Allocator
+from repro.pmdk.pmemobj.pool import ObjectPool, PoolHeader
+from repro.pmdk.pmemobj.tx import Transaction
+
+__all__ = ["Allocator", "ObjectPool", "PoolHeader", "Transaction"]

@@ -1,0 +1,187 @@
+"""Persistent-heap allocator.
+
+A first-fit free-list allocator whose metadata lives in PM.  Internal
+metadata updates run inside a :meth:`~repro.pm.memory.PersistentMemory.
+library_region`, mirroring how XFDetector traces PMDK allocator calls at
+function granularity and does not inject failures inside them (paper
+Section 5.3/5.5) — the allocator itself is trusted; what the detector
+cares about is the *allocation event*.
+
+The allocation event matters because of the paper's Bug 2: PMDK's
+default allocator happens to zero new objects, but "with a different
+allocator, the implicit initialization is not guaranteed", so XFDetector
+treats freshly allocated memory as *unmodified* and flags post-failure
+reads of it.  We reproduce this with the ``ALLOC`` trace event; whether
+the backend trusts the allocator's zeroing is a detector configuration
+knob (``trust_allocator_zeroing``, default off, ablated in the bench
+suite).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfPMError, PMAddressError
+from repro.pmdk import pmem
+from repro.pmdk.layout import Struct, U64
+from repro.trace.events import EventKind
+
+
+class HeapHeader(Struct):
+    """Heap metadata at the start of the heap region."""
+
+    bump = U64()  # next never-used address
+    free_head = U64()  # head of the free list (0 = empty)
+
+
+class BlockHeader(Struct):
+    """Header preceding every allocated or freed block."""
+
+    size = U64()  # user size of the block
+    next_free = U64()  # next block on the free list (when freed)
+
+
+#: Every user allocation is aligned to this many bytes, so that distinct
+#: objects never share a cache line and flushes stay object-local.
+ALLOC_ALIGN = 64
+
+
+class Allocator:
+    """First-fit allocator over one pool's heap region."""
+
+    def __init__(self, memory, heap_base, heap_size):
+        self.memory = memory
+        self.heap_base = heap_base
+        self.heap_size = heap_size
+        self._header = HeapHeader(memory, heap_base)
+
+    @property
+    def heap_end(self):
+        return self.heap_base + self.heap_size
+
+    def format(self):
+        """Initialize heap metadata on a fresh pool."""
+        with self.memory.library_region("heap_format"):
+            first = _align_up(self.heap_base + HeapHeader.SIZE)
+            self._header.bump = first
+            self._header.free_head = 0
+            pmem.persist(self.memory, self.heap_base, HeapHeader.SIZE)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def alloc(self, size, zero=True):
+        """Allocate ``size`` bytes; returns the user address.
+
+        ``zero=True`` models ``POBJ_ALLOC``'s implicit zero-fill; the
+        detector still regards the new object as unmodified unless
+        configured to trust allocator zeroing (see module docstring).
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        user_size = _align_up(size)
+        # A library function containing ordering points gets a failure
+        # point of its own (paper Section 5.5) — this is what makes the
+        # paper's Bug 1 observable: metadata writes before an alloc are
+        # still volatile when the failure lands here.
+        self.memory.hint_ordering_point("pobj_alloc")
+        with self.memory.library_region("pobj_alloc"):
+            address = self._take_block(user_size)
+            if zero:
+                self.memory.store(address, bytes(user_size))
+                pmem.persist(self.memory, address, user_size)
+        self.memory.emit_marker(
+            EventKind.ALLOC, address, size, "zeroed" if zero else "raw"
+        )
+        return address
+
+    def free(self, address):
+        """Return a block to the free list."""
+        block = BlockHeader(self.memory, address - BlockHeader.SIZE)
+        size = None
+        self.memory.hint_ordering_point("pobj_free")
+        with self.memory.library_region("pobj_free"):
+            size = block.size
+            if not (self.heap_base < address < self.heap_end):
+                raise PMAddressError(address, 1, "free outside heap")
+            block.next_free = self._header.free_head
+            pmem.persist(
+                self.memory, block.address, BlockHeader.SIZE
+            )
+            self._header.free_head = block.address
+            pmem.persist(
+                self.memory,
+                self._header.field_addr("free_head"),
+                8,
+            )
+        self.memory.emit_marker(EventKind.FREE, address, size)
+
+    # ------------------------------------------------------------------
+    # Internals (called inside a library region)
+    # ------------------------------------------------------------------
+
+    def _take_block(self, user_size):
+        """Pop a fitting free block or carve a fresh one."""
+        prev = None
+        cursor = self._header.free_head
+        while cursor:
+            block = BlockHeader(self.memory, cursor)
+            if block.size >= user_size:
+                successor = block.next_free
+                if prev is None:
+                    self._header.free_head = successor
+                    pmem.persist(
+                        self.memory,
+                        self._header.field_addr("free_head"),
+                        8,
+                    )
+                else:
+                    prev.next_free = successor
+                    pmem.persist(
+                        self.memory, prev.field_addr("next_free"), 8
+                    )
+                return cursor + BlockHeader.SIZE
+            prev = block
+            cursor = block.next_free
+        return self._carve(user_size)
+
+    def _carve(self, user_size):
+        """Carve a fresh block.  The *user* address is ALLOC_ALIGN-
+        aligned (so distinct objects never share a cache line and
+        allocator-internal header persists never write back user data);
+        the block header sits in the padding just below it."""
+        bump = self._header.bump
+        user_addr = _align_up(bump + BlockHeader.SIZE)
+        header_addr = user_addr - BlockHeader.SIZE
+        new_bump = _align_up(user_addr + user_size)
+        if new_bump > self.heap_end:
+            raise OutOfPMError(
+                f"heap exhausted: need {user_size} bytes, "
+                f"{self.heap_end - bump} remain"
+            )
+        block = BlockHeader(self.memory, header_addr)
+        block.size = user_size
+        block.next_free = 0
+        pmem.persist(self.memory, header_addr, BlockHeader.SIZE)
+        self._header.bump = new_bump
+        pmem.persist(self.memory, self._header.field_addr("bump"), 8)
+        return user_addr
+
+    # ------------------------------------------------------------------
+    # Introspection (for tests)
+    # ------------------------------------------------------------------
+
+    def free_list(self):
+        """Addresses of blocks currently on the free list."""
+        blocks = []
+        cursor = self._header.free_head
+        while cursor:
+            blocks.append(cursor)
+            cursor = BlockHeader(self.memory, cursor).next_free
+        return blocks
+
+    def bytes_used(self):
+        return self._header.bump - self.heap_base
+
+
+def _align_up(value, alignment=ALLOC_ALIGN):
+    return -(-value // alignment) * alignment

@@ -1,0 +1,283 @@
+"""Object pools (``libpmemobj`` style).
+
+A pool is one PM file holding, in order: a metadata header, an undo-log
+region, and a heap.  :meth:`ObjectPool.create` mirrors PMDK's
+``pmemobj_create`` → ``util_pool_create`` → ``util_pool_create_uuids``
+call chain: it initializes the metadata step by step, each step
+individually persisted but with **no consistency guarantee across the
+whole sequence** — which is exactly the paper's Bug 4: a failure in the
+middle of creation leaves incomplete metadata and the post-failure
+``open()`` fails validation.
+
+``open()`` validates the metadata (magic, layout name, checksum) and
+then runs undo-log recovery, restoring any range an interrupted
+transaction had added.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import (
+    PoolCorruptionError,
+    PoolLayoutError,
+)
+from repro.pm.pool import PMPool
+from repro.pmdk import pmem
+from repro.pmdk.layout import Blob, Struct, U64
+from repro.pmdk.pmemobj.alloc import Allocator
+from repro.pmdk.pmemobj.tx import Transaction, rollback_log
+
+POOL_MAGIC = int.from_bytes(b"XFPMPOOL", "little")
+
+#: Size reserved for the header region (header struct + padding).
+HEADER_REGION_SIZE = 4096
+
+#: Default size of the undo-log region.
+DEFAULT_LOG_SIZE = 64 * 1024
+
+
+class PoolHeader(Struct):
+    """Pool metadata at offset 0 of the pool."""
+
+    magic = U64()
+    uuid_lo = U64()
+    uuid_hi = U64()
+    layout_name = Blob(32)
+    log_offset = U64()
+    log_size = U64()
+    heap_offset = U64()
+    heap_size = U64()
+    root_offset = U64()
+    root_size = U64()
+    checksum = U64()
+
+
+def _uuid_for(name):
+    """Deterministic 128-bit pool uuid (reproducible across runs)."""
+    digest = hashlib.sha256(name.encode()).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:16], "little"),
+    )
+
+
+def _fnv1a(data):
+    """64-bit FNV-1a hash used as the header checksum."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class ObjectPool:
+    """A validated, transactional view over one PM pool."""
+
+    def __init__(self, memory, pmpool, root_cls=None):
+        self.memory = memory
+        self.pmpool = pmpool
+        self.root_cls = root_cls
+        self.header = PoolHeader(memory, pmpool.base)
+        self.active_tx = None
+        self._txid_counter = 0
+        self._allocator = None
+
+    # ------------------------------------------------------------------
+    # Creation (pmemobj_create / util_pool_create_uuids analogue)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, memory, name, layout, size=None, root_cls=None,
+               log_size=DEFAULT_LOG_SIZE, base=None):
+        """Create, map, and initialize a new pool.
+
+        The metadata initialization deliberately mirrors PMDK's multi-
+        step, individually-persisted sequence (Bug 4's habitat): only
+        once the final checksum is persisted does the pool validate.
+        """
+        from repro.pm.constants import DEFAULT_POOL_SIZE
+
+        size = size if size is not None else DEFAULT_POOL_SIZE
+        if base is None:
+            base = _next_base(memory)
+        pmpool = memory.map_pool(PMPool(name, size, base))
+        pool = cls(memory, pmpool, root_cls)
+        pool._initialize(layout, log_size)
+        return pool
+
+    def _initialize(self, layout, log_size):
+        memory = self.memory
+        header = self.header
+        layout_bytes = layout.encode()
+        if len(layout_bytes) > PoolHeader.FIELDS["layout_name"].size:
+            raise PoolLayoutError(f"layout name too long: {layout!r}")
+
+        # Step 1: identity (magic + uuid), persisted.
+        header.magic = POOL_MAGIC
+        header.uuid_lo, header.uuid_hi = _uuid_for(self.pmpool.name)
+        pmem.persist(memory, header.address, 24)
+
+        # Step 2: layout name, persisted.
+        header.layout_name = layout_bytes
+        pmem.persist(
+            memory, header.field_addr("layout_name"), len(layout_bytes)
+        )
+
+        # Step 3: region geometry, persisted.
+        header.log_offset = HEADER_REGION_SIZE
+        header.log_size = log_size
+        heap_offset = HEADER_REGION_SIZE + log_size
+        header.heap_offset = heap_offset
+        header.heap_size = self.pmpool.size - heap_offset
+        pmem.persist(memory, header.field_addr("log_offset"), 32)
+
+        # Step 4: format the heap and zero the undo-log valid bits.
+        self._allocator = Allocator(
+            memory, self.pmpool.base + heap_offset, header.heap_size
+        )
+        self._allocator.format()
+
+        # Step 5: allocate the root object if a root type was declared.
+        if self.root_cls is not None:
+            root_addr = self._allocator.alloc(self.root_cls.SIZE, zero=True)
+            header.root_offset = root_addr - self.pmpool.base
+            header.root_size = self.root_cls.SIZE
+            pmem.persist(memory, header.field_addr("root_offset"), 16)
+
+        # Step 6: the validating checksum, persisted last.  Only now is
+        # the pool openable; a failure before this point is Bug 4.
+        header.checksum = self._compute_checksum()
+        pmem.persist(memory, header.field_addr("checksum"), 8)
+
+    # ------------------------------------------------------------------
+    # Opening (pmemobj_open analogue)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, memory, name, layout, root_cls=None):
+        """Validate and open an existing pool, running recovery.
+
+        Raises :class:`PoolCorruptionError` when metadata is incomplete
+        or corrupt, and :class:`PoolLayoutError` on a layout mismatch.
+        """
+        pmpool = memory.pool_named(name)
+        pool = cls(memory, pmpool, root_cls)
+        pool._validate(layout)
+        pool._allocator = Allocator(
+            memory,
+            pmpool.base + pool.header.heap_offset,
+            pool.header.heap_size,
+        )
+        pool._recover()
+        return pool
+
+    def _validate(self, layout):
+        header = self.header
+        if header.magic != POOL_MAGIC:
+            raise PoolCorruptionError(
+                f"pool '{self.pmpool.name}': bad magic "
+                f"{header.magic:#x} (incomplete creation?)"
+            )
+        expected_lo, expected_hi = _uuid_for(self.pmpool.name)
+        if (header.uuid_lo, header.uuid_hi) != (expected_lo, expected_hi):
+            raise PoolCorruptionError(
+                f"pool '{self.pmpool.name}': uuid mismatch"
+            )
+        stored_layout = header.layout_name.rstrip(b"\x00").decode()
+        if stored_layout != layout:
+            raise PoolLayoutError(
+                f"pool '{self.pmpool.name}': created with layout "
+                f"{stored_layout!r}, opened with {layout!r}"
+            )
+        if header.checksum != self._compute_checksum():
+            raise PoolCorruptionError(
+                f"pool '{self.pmpool.name}': header checksum mismatch "
+                "(creation was interrupted or metadata corrupted)"
+            )
+
+    def _recover(self):
+        """Roll back interrupted transactions from the undo log."""
+        with self.memory.library_region("tx_recovery"):
+            rollback_log(self.memory, self.log_base, self.log_end)
+
+    def _compute_checksum(self):
+        span = PoolHeader.offset_of("checksum")
+        raw = self.memory.load(self.pmpool.base, span)
+        return _fnv1a(raw)
+
+    # ------------------------------------------------------------------
+    # Layout accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def base(self):
+        return self.pmpool.base
+
+    @property
+    def log_base(self):
+        return self.pmpool.base + self.header.log_offset
+
+    @property
+    def log_end(self):
+        return self.log_base + self.header.log_size
+
+    @property
+    def root(self):
+        """Typed view of the root object."""
+        if self.root_cls is None:
+            raise PoolLayoutError("pool has no root type declared")
+        offset = self.header.root_offset
+        if offset == 0:
+            raise PoolCorruptionError("root object was never allocated")
+        return self.root_cls(self.memory, self.pmpool.base + offset)
+
+    @property
+    def allocator(self):
+        return self._allocator
+
+    # ------------------------------------------------------------------
+    # Allocation and transactions
+    # ------------------------------------------------------------------
+
+    def alloc(self, size_or_cls, zero=True):
+        """Allocate raw bytes (int) or an object (Struct subclass).
+
+        Returns the address for raw sizes, or a typed view for structs.
+        """
+        if isinstance(size_or_cls, int):
+            return self._allocator.alloc(size_or_cls, zero)
+        address = self._allocator.alloc(size_or_cls.SIZE, zero)
+        return size_or_cls(self.memory, address)
+
+    def free(self, address_or_struct):
+        address = getattr(address_or_struct, "address", address_or_struct)
+        self._allocator.free(address)
+
+    def transaction(self):
+        """Begin (or nest into) a failure-atomic transaction."""
+        if self.active_tx is not None:
+            return self.active_tx
+        return Transaction(self)
+
+    def next_txid(self):
+        self._txid_counter += 1
+        return self._txid_counter
+
+    def persist(self, address, size=1):
+        """Convenience persist barrier (user-facing, traced)."""
+        pmem.persist(self.memory, address, size)
+
+    def __repr__(self):
+        return f"ObjectPool({self.pmpool.name!r}, base={self.base:#x})"
+
+
+def _next_base(memory):
+    """Pick a base address for a new pool: the PMDK mmap hint for the
+    first pool, above the last mapped pool afterwards."""
+    from repro.pm.constants import PMEM_MMAP_HINT
+
+    pools = memory.pools
+    if not pools:
+        return PMEM_MMAP_HINT
+    top = max(pool.end for pool in pools)
+    return -(-top // (1 << 20)) * (1 << 20)  # align to 1 MiB

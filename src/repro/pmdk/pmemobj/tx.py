@@ -1,0 +1,272 @@
+"""Undo-log transactions (``libpmemobj`` style).
+
+``Transaction`` implements the undo-logging mechanism of Table 1 row 1:
+``add()`` snapshots the current contents of a range into a persistent
+log *before* the caller updates it in place; commit persists the in-place
+updates and retires the log; recovery (run by ``ObjectPool.open``) rolls
+back every valid log entry left behind by an interrupted transaction.
+
+Tracing follows the paper's PMDK handling (Section 5.3/5.4):
+
+* log manipulation runs inside a library region — traced, but no failure
+  points inside and no read checks;
+* each library call that contains ordering points announces a
+  library-level failure point *before* it runs (Section 5.5);
+* the ``TX_ADD`` event tells the backend the range is henceforth
+  "regarded as consistent" (PMTest-like semantics) because the old value
+  is recoverable.
+
+Writes the user performs inside the transaction to ranges that were
+**not** added follow the ordinary state machines — that is precisely the
+Figure 1 ``length`` bug this tool exists to catch.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AbortedTransactionError, TransactionError
+from repro.pmdk import pmem
+from repro.pmdk.layout import Blob, Struct, U64
+from repro.trace.events import EventKind
+
+#: Payload capacity of one undo-log slot; larger ranges span slots.
+LOG_DATA_CAPACITY = 224
+
+
+class LogEntry(Struct):
+    """One undo-log slot in the pool's log region."""
+
+    target = U64()  # PM address the snapshot belongs to
+    size = U64()  # number of valid payload bytes
+    valid = U64()  # 1 = must be rolled back on recovery
+    data = Blob(LOG_DATA_CAPACITY)
+
+
+LOG_SLOT_STRIDE = LogEntry.SIZE
+
+
+class Transaction:
+    """Context manager for one failure-atomic update region.
+
+    Usage::
+
+        with pool.transaction() as tx:
+            tx.add_field(node, "next")
+            node.next = new_head
+    """
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.memory = pool.memory
+        self.txid = None
+        self._added = []  # list of (addr, size)
+        self._slots_used = 0
+        self._depth = 0
+        self._aborted = False
+        # TX_NEW / TX_FREE bookkeeping: allocations made inside the
+        # transaction (released again on abort) and frees requested
+        # inside it (deferred until commit, so a rollback keeps the
+        # object alive).
+        self._allocated = []
+        self._deferred_frees = []
+
+    # ------------------------------------------------------------------
+    # Context manager protocol (supports flat nesting)
+    # ------------------------------------------------------------------
+
+    def __enter__(self):
+        self._depth += 1
+        if self._depth == 1:
+            self.txid = self.pool.next_txid()
+            self.memory.emit_marker(
+                EventKind.TX_BEGIN, info=str(self.txid)
+            )
+            self.pool.active_tx = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._depth -= 1
+        if self._depth > 0:
+            return False
+        try:
+            if exc_type is None and not self._aborted:
+                self._commit()
+            else:
+                self._rollback()
+                self.memory.emit_marker(
+                    EventKind.TX_ABORT, info=str(self.txid)
+                )
+        finally:
+            self.pool.active_tx = None
+        return False  # propagate any exception
+
+    # ------------------------------------------------------------------
+    # User API
+    # ------------------------------------------------------------------
+
+    def add(self, address, size):
+        """``TX_ADD``: snapshot ``[address, address+size)`` into the undo
+        log so the range can be rolled back if the transaction does not
+        commit."""
+        if self._depth <= 0:
+            raise TransactionError("TX_ADD outside an active transaction")
+        if self._aborted:
+            raise AbortedTransactionError("transaction already aborted")
+        # A failure point belongs immediately before the log update
+        # (this is a library function containing ordering points).
+        self.memory.hint_ordering_point(f"TX_ADD(tx={self.txid})")
+        with self.memory.library_region("tx_add"):
+            self._log_range(address, size)
+        self._added.append((address, size))
+        self.memory.emit_marker(
+            EventKind.TX_ADD, address, size, str(self.txid)
+        )
+
+    def add_field(self, struct, field_name):
+        """Add a single struct field to the undo log."""
+        rng = struct.field_range(field_name)
+        self.add(rng.start, rng.size)
+
+    def add_struct(self, struct):
+        """Add an entire struct to the undo log."""
+        rng = struct.whole_range()
+        self.add(rng.start, rng.size)
+
+    def alloc(self, size_or_cls, zero=True):
+        """``TX_NEW``: allocate inside the transaction.
+
+        The allocation itself is immediate; if the transaction aborts,
+        the object is released again.  (On a crash, the block leaks —
+        real PMDK recovers it through its internal redo log; a leak is
+        the safe direction and keeps this library honest about what it
+        implements.)
+        """
+        if self._depth <= 0:
+            raise TransactionError("TX_NEW outside an active transaction")
+        result = self.pool.alloc(size_or_cls, zero)
+        address = getattr(result, "address", result)
+        self._allocated.append(address)
+        return result
+
+    def free(self, address_or_struct):
+        """``TX_FREE``: free an object *at commit*.
+
+        Deferring the release until commit means an aborted (or failed)
+        transaction keeps the object alive — freeing eagerly would let
+        a rollback resurrect pointers to recycled memory.
+        """
+        if self._depth <= 0:
+            raise TransactionError(
+                "TX_FREE outside an active transaction"
+            )
+        address = getattr(
+            address_or_struct, "address", address_or_struct
+        )
+        self._deferred_frees.append(address)
+
+    def abort(self):
+        """Explicitly abort: roll back on exit and raise."""
+        self._aborted = True
+        raise AbortedTransactionError(f"transaction {self.txid} aborted")
+
+    @property
+    def added_ranges(self):
+        return tuple(self._added)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _log_range(self, address, size):
+        """Write undo-log entries covering the range (library internal)."""
+        memory = self.memory
+        offset = 0
+        while offset < size:
+            chunk = min(LOG_DATA_CAPACITY, size - offset)
+            entry = self._next_slot()
+            snapshot = memory.load(address + offset, chunk)
+            entry.target = address + offset
+            entry.size = chunk
+            entry.data = snapshot
+            pmem.persist(memory, entry.address, LogEntry.SIZE)
+            # The valid bit is set only after the payload is persistent,
+            # the correct ordering the paper's Figure 2 gets wrong.
+            entry.valid = 1
+            pmem.persist(memory, entry.field_addr("valid"), 8)
+            offset += chunk
+
+    def _next_slot(self):
+        entry_addr = (
+            self.pool.log_base + self._slots_used * LOG_SLOT_STRIDE
+        )
+        if entry_addr + LOG_SLOT_STRIDE > self.pool.log_end:
+            raise TransactionError(
+                f"undo log exhausted after {self._slots_used} slots"
+            )
+        self._slots_used += 1
+        return LogEntry(self.memory, entry_addr)
+
+    def _commit(self):
+        """Persist in-place updates, then retire the log."""
+        memory = self.memory
+        memory.hint_ordering_point(f"TX_COMMIT(tx={self.txid})")
+        with memory.library_region("tx_commit"):
+            # Make every added range durable before invalidating its
+            # undo entries; committing is the ordering point after which
+            # the in-place data is the consistent version (Table 1).
+            for address, size in self._added:
+                memory.flush(address, size)
+            if self._added:
+                pmem.sfence(memory)
+            self._retire_log()
+        memory.emit_marker(EventKind.TX_COMMIT, info=str(self.txid))
+        # Deferred TX_FREEs run only once the commit is durable.
+        for address in self._deferred_frees:
+            self.pool.free(address)
+        self._deferred_frees.clear()
+        self._allocated.clear()
+
+    def _rollback(self):
+        """Undo in-place updates from the log (abort path)."""
+        memory = self.memory
+        with memory.library_region("tx_abort"):
+            rollback_log(memory, self.pool.log_base, self.pool.log_end)
+        self._added.clear()
+        self._slots_used = 0
+        # Abort path: deferred frees never happen; TX_NEW allocations
+        # are released.
+        self._deferred_frees.clear()
+        for address in self._allocated:
+            self.pool.free(address)
+        self._allocated.clear()
+
+    def _retire_log(self):
+        memory = self.memory
+        for slot in range(self._slots_used):
+            entry = LogEntry(
+                memory, self.pool.log_base + slot * LOG_SLOT_STRIDE
+            )
+            entry.valid = 0
+            pmem.persist(memory, entry.field_addr("valid"), 8)
+        self._slots_used = 0
+
+
+def rollback_log(memory, log_base, log_end):
+    """Roll back every valid undo-log entry in ``[log_base, log_end)``.
+
+    Shared by transaction abort and by pool-open recovery.  Returns the
+    number of entries rolled back.  Restored ranges are persisted, so the
+    shadow PM sees them as persisted-and-overwritten after recovery.
+    """
+    rolled_back = 0
+    cursor = log_base
+    while cursor + LOG_SLOT_STRIDE <= log_end:
+        entry = LogEntry(memory, cursor)
+        if entry.valid == 1:
+            payload = entry.data[: entry.size]
+            memory.store(entry.target, payload)
+            pmem.persist(memory, entry.target, entry.size)
+            entry.valid = 0
+            pmem.persist(memory, entry.field_addr("valid"), 8)
+            rolled_back += 1
+        cursor += LOG_SLOT_STRIDE
+    return rolled_back

@@ -1,0 +1,97 @@
+"""Trace event types.
+
+A trace is a sequence of :class:`TraceEvent` records.  The set of kinds
+mirrors what the paper's frontend traces: low-level PM operations
+(``WRITE``, ``CLWB``, ``SFENCE``...) at instruction granularity, PMDK
+library calls (transactions, allocation) at function granularity, plus
+the markers produced by the Table 2 annotation interface and by the
+failure injector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._location import UNKNOWN_LOCATION, SourceLocation
+
+
+class EventKind(enum.Enum):
+    """What a trace entry describes."""
+
+    # --- instruction-granularity PM operations -----------------------
+    STORE = "STORE"  # ordinary store to PM
+    NT_STORE = "NT_STORE"  # non-temporal store
+    LOAD = "LOAD"  # load from PM
+    FLUSH = "FLUSH"  # CLWB / CLFLUSHOPT / CLFLUSH (info = kind)
+    FENCE = "FENCE"  # SFENCE / MFENCE / drain (info = kind)
+
+    # --- function-granularity library operations ----------------------
+    TX_BEGIN = "TX_BEGIN"  # info = tx id
+    TX_ADD = "TX_ADD"  # range added to the undo log; info = tx id
+    TX_COMMIT = "TX_COMMIT"  # info = tx id
+    TX_ABORT = "TX_ABORT"  # info = tx id
+    ALLOC = "ALLOC"  # persistent allocation (info = "zeroed"/"raw")
+    FREE = "FREE"
+    LIB_BEGIN = "LIB_BEGIN"  # enter library internals (info = name)
+    LIB_END = "LIB_END"
+
+    # --- annotation interface markers (Table 2) -----------------------
+    ROI_BEGIN = "ROI_BEGIN"
+    ROI_END = "ROI_END"
+    SKIP_DET_BEGIN = "SKIP_DET_BEGIN"
+    SKIP_DET_END = "SKIP_DET_END"
+    COMMIT_VAR = "COMMIT_VAR"  # register commit variable (info = name)
+    COMMIT_RANGE = "COMMIT_RANGE"  # associate range with var (info = name)
+
+    # --- injector markers ---------------------------------------------
+    FAILURE_POINT = "FAILURE_POINT"  # info = failure point id
+    HINT_FAILURE_POINT = "HINT_FAILURE_POINT"  # info = reason
+
+
+#: Kinds that directly touch PM data (used by the "no empty failure
+#: point" optimization, paper Section 5.4).
+PM_DATA_KINDS = frozenset({
+    EventKind.STORE,
+    EventKind.NT_STORE,
+    EventKind.TX_ADD,
+    EventKind.ALLOC,
+    EventKind.FREE,
+})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of a PM operation trace.
+
+    ``addr``/``size`` describe the affected byte range (0/0 for events
+    without one, such as fences and markers); ``info`` carries the
+    kind-specific payload documented on :class:`EventKind`; ``ip`` is the
+    source location of the responsible workload code; ``tid`` is a
+    small per-runtime thread index (0 for single-threaded runs) that
+    lets the backend scope library regions and transactions per thread
+    (paper Section 7).
+    """
+
+    seq: int
+    kind: EventKind
+    addr: int = 0
+    size: int = 0
+    info: str = ""
+    ip: SourceLocation = field(default=UNKNOWN_LOCATION)
+    tid: int = 0
+
+    @property
+    def end(self):
+        return self.addr + self.size
+
+    def touches_pm_data(self):
+        return self.kind in PM_DATA_KINDS
+
+    def __str__(self):
+        loc = f" @ {self.ip}" if self.ip is not UNKNOWN_LOCATION else ""
+        rng = (
+            f" [{self.addr:#x},+{self.size}]" if self.size else ""
+        )
+        info = f" {self.info}" if self.info else ""
+        return f"#{self.seq} {self.kind.value}{rng}{info}{loc}"

@@ -1,0 +1,80 @@
+"""Trace recording."""
+
+from __future__ import annotations
+
+from repro.trace.events import EventKind, TraceEvent
+
+
+class TraceRecorder:
+    """Accumulates trace events in order.
+
+    The recorder is deliberately simple: sequence numbers are assigned
+    here, and the events list may be sliced by the backend to replay the
+    prefix of the pre-failure trace leading up to a given failure point.
+    """
+
+    def __init__(self, stage="pre"):
+        #: "pre" or "post" — which execution stage this trace belongs to.
+        self.stage = stage
+        self.events = []
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def append(self, kind, addr=0, size=0, info="", ip=None, tid=0):
+        """Record an event; returns the created :class:`TraceEvent`."""
+        from repro._location import UNKNOWN_LOCATION
+
+        event = TraceEvent(
+            seq=len(self.events),
+            kind=kind,
+            addr=addr,
+            size=size,
+            info=info,
+            ip=ip if ip is not None else UNKNOWN_LOCATION,
+            tid=tid,
+        )
+        self.events.append(event)
+        return event
+
+    def prefix(self, upto):
+        """Events with seq < ``upto`` (replay window for one failure
+        point)."""
+        return self.events[:upto]
+
+    def count(self, kind):
+        """Number of recorded events of one kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def failure_points(self):
+        """The FAILURE_POINT markers in recording order."""
+        return [
+            event for event in self.events
+            if event.kind is EventKind.FAILURE_POINT
+        ]
+
+
+class NullRecorder(TraceRecorder):
+    """A recorder that drops events: used to time the "original
+    program" baseline (Figure 12b), where the workload runs with no
+    tracing cost beyond the runtime itself."""
+
+    def __init__(self, stage="pre"):
+        super().__init__(stage)
+        self._count = 0
+
+    def append(self, kind, addr=0, size=0, info="", ip=None, tid=0):
+        from repro._location import UNKNOWN_LOCATION
+
+        self._count += 1
+        return TraceEvent(
+            seq=self._count - 1, kind=kind, addr=addr, size=size,
+            info=info, ip=ip if ip is not None else UNKNOWN_LOCATION,
+            tid=tid,
+        )
+
+    def __len__(self):
+        return self._count

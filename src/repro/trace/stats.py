@@ -1,0 +1,86 @@
+"""Trace statistics — the offline analysis side of the toolchain.
+
+Summarizes a recorded trace: operation counts per kind, the PM
+footprint actually touched, writeback/fence discipline, and transaction
+shape.  Used by the ``xfdetector trace`` subcommand and available as a
+library for custom trace analyses (the paper's Section 5.5 decoupling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._rangemap import RangeMap
+from repro.trace.events import EventKind
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of one trace."""
+
+    events: int = 0
+    by_kind: dict = field(default_factory=dict)
+    stored_bytes: int = 0
+    loaded_bytes: int = 0
+    footprint_bytes: int = 0  # distinct PM bytes written
+    flushes: int = 0
+    fences: int = 0
+    ordering_hints: int = 0
+    transactions: int = 0
+    tx_added_bytes: int = 0
+    failure_points: int = 0
+    threads: int = 0
+
+    def format(self):
+        lines = [
+            f"events:           {self.events}",
+            f"threads:          {self.threads}",
+            f"stored bytes:     {self.stored_bytes}"
+            f" (footprint {self.footprint_bytes})",
+            f"loaded bytes:     {self.loaded_bytes}",
+            f"flushes/fences:   {self.flushes}/{self.fences}",
+            f"transactions:     {self.transactions}"
+            f" (logged {self.tx_added_bytes} bytes)",
+            f"failure points:   {self.failure_points}",
+            f"library hints:    {self.ordering_hints}",
+            "per kind:",
+        ]
+        for kind, count in sorted(
+            self.by_kind.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {kind:20s} {count}")
+        return "\n".join(lines)
+
+
+def analyze_trace(events):
+    """Compute :class:`TraceStats` for an event iterable."""
+    stats = TraceStats()
+    written = RangeMap(False)
+    tids = set()
+    for event in events:
+        stats.events += 1
+        tids.add(event.tid)
+        name = event.kind.value
+        stats.by_kind[name] = stats.by_kind.get(name, 0) + 1
+        if event.kind in (EventKind.STORE, EventKind.NT_STORE):
+            stats.stored_bytes += event.size
+            written.set(event.addr, event.end, True)
+        elif event.kind is EventKind.LOAD:
+            stats.loaded_bytes += event.size
+        elif event.kind is EventKind.FLUSH:
+            stats.flushes += 1
+        elif event.kind is EventKind.FENCE:
+            stats.fences += 1
+        elif event.kind is EventKind.TX_BEGIN:
+            stats.transactions += 1
+        elif event.kind is EventKind.TX_ADD:
+            stats.tx_added_bytes += event.size
+        elif event.kind is EventKind.FAILURE_POINT:
+            stats.failure_points += 1
+        elif event.kind is EventKind.HINT_FAILURE_POINT:
+            stats.ordering_hints += 1
+    stats.footprint_bytes = sum(
+        end - start for start, end, _v in written.iter_ranges()
+    )
+    stats.threads = len(tids)
+    return stats

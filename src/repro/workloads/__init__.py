@@ -1,0 +1,61 @@
+"""Evaluated PM programs (paper Table 4 plus the Section 2 examples).
+
+Each module implements one persistent data structure or application on
+top of :mod:`repro.pmdk`, wrapped in a :class:`~repro.workloads.base.
+Workload` that defines its setup / pre-failure / post-failure stages.
+Workloads accept a set of *fault* flags that switch on specific
+synthetic bugs — the registry in :mod:`repro.bugsuite` maps these to the
+paper's Table 5 bug counts.
+"""
+
+from repro.workloads.array_backup import ArrayBackupWorkload
+from repro.workloads.base import Workload
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.ctree import CTreeWorkload
+from repro.workloads.hashmap_atomic import HashmapAtomicWorkload
+from repro.workloads.hashmap_tx import HashmapTxWorkload
+from repro.workloads.linkedlist import LinkedListWorkload
+from repro.workloads.pmcache import PMCacheWorkload
+from repro.workloads.pmkv import PMKVWorkload
+from repro.workloads.queue import QueueWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+
+#: The five microbenchmarks of Table 4, by paper name.
+MICROBENCHMARKS = {
+    "btree": BTreeWorkload,
+    "ctree": CTreeWorkload,
+    "rbtree": RBTreeWorkload,
+    "hashmap_tx": HashmapTxWorkload,
+    "hashmap_atomic": HashmapAtomicWorkload,
+}
+
+#: The two real-world workloads of Table 4 (reduced to their PM cores).
+REAL_WORKLOADS = {
+    "redis": PMKVWorkload,
+    "memcached": PMCacheWorkload,
+}
+
+ALL_WORKLOADS = {
+    **MICROBENCHMARKS,
+    **REAL_WORKLOADS,
+    "linkedlist": LinkedListWorkload,
+    "array_backup": ArrayBackupWorkload,
+    "queue": QueueWorkload,
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "ArrayBackupWorkload",
+    "BTreeWorkload",
+    "CTreeWorkload",
+    "HashmapAtomicWorkload",
+    "HashmapTxWorkload",
+    "LinkedListWorkload",
+    "MICROBENCHMARKS",
+    "PMCacheWorkload",
+    "PMKVWorkload",
+    "QueueWorkload",
+    "RBTreeWorkload",
+    "REAL_WORKLOADS",
+    "Workload",
+]

@@ -1,0 +1,73 @@
+"""Helpers shared by workload implementations.
+
+``PersistentPtrArray`` provides traced element access to a dynamically
+sized array of 8-byte pointers (bucket tables).  ``atomic_list`` wraps
+the PMDK atomic-list idiom: an 8-byte pointer swap plus persist executed
+as trusted library internals (``POBJ_LIST_INSERT``/``REMOVE``), so no
+failure point can land between the store and its persist — the paper's
+workloads rely on PMDK's atomic list API being internally crash-safe.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+
+from repro.pmdk import pmem
+
+
+class PersistentPtrArray:
+    """A length-``n`` array of 8-byte PM pointers at a raw address."""
+
+    def __init__(self, memory, base, length):
+        self.memory = memory
+        self.base = base
+        self.length = length
+
+    def _addr(self, index):
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"pointer array index {index} out of range "
+                f"[0, {self.length})"
+            )
+        return self.base + 8 * index
+
+    def __len__(self):
+        return self.length
+
+    def get(self, index):
+        raw = self.memory.load(self._addr(index), 8)
+        return _struct.unpack("<Q", raw)[0]
+
+    def set(self, index, value):
+        self.memory.store(self._addr(index), _struct.pack("<Q", value))
+
+    def addr_of(self, index):
+        return self._addr(index)
+
+    def zero_fill(self):
+        """Initialize every slot to NULL with one store (so the shadow
+        PM sees the table as explicitly initialized)."""
+        self.memory.store(self.base, bytes(8 * self.length))
+
+    def persist_all(self, memory=None):
+        pmem.persist(memory or self.memory, self.base, 8 * self.length)
+
+
+def atomic_word_write(memory, address, value, skip_persist=False):
+    """The PMDK atomic-update idiom: store one 8-byte word and persist
+    it inside a trusted library region, like ``POBJ_LIST_INSERT`` or an
+    atomic value overwrite.  No failure point can land between the
+    store and its persist, but one is announced before the operation
+    (a library function containing ordering points, Section 5.5).
+
+    ``skip_persist=True`` models a *buggy* hand-rolled version that
+    performs the swap outside the safe library path and forgets the
+    persist — used by the synthetic bug suite.
+    """
+    if skip_persist:
+        memory.store(address, _struct.pack("<Q", value))
+        return
+    memory.hint_ordering_point("pobj_atomic_word")
+    with memory.library_region("pobj_atomic_word"):
+        memory.store(address, _struct.pack("<Q", value))
+        pmem.persist(memory, address, 8)

@@ -1,0 +1,67 @@
+"""Transaction helpers shared by the tree workloads."""
+
+from __future__ import annotations
+
+
+class TxAdder:
+    """Tracks which objects were already added to the current
+    transaction, so each node is TX_ADDed exactly once per transaction
+    (PMDK behaves the same way; adding twice is the performance bug the
+    detector reports).
+
+    Fault flags suppress specific adds: ``add(node, flag)`` is a no-op
+    when ``flag`` is in the workload's fault set.
+    """
+
+    def __init__(self, tx, faults=frozenset()):
+        self.tx = tx
+        self.faults = faults
+        self._added = set()
+
+    def add(self, struct, flag=None):
+        """Add a whole struct to the undo log (once)."""
+        if flag is not None and flag in self.faults:
+            return
+        if struct.address in self._added:
+            return
+        self._added.add(struct.address)
+        self.tx.add(struct.address, struct.SIZE)
+
+    def add_range(self, address, size, flag=None):
+        if flag is not None and flag in self.faults:
+            return
+        key = (address, size)
+        if key in self._added:
+            return
+        self._added.add(key)
+        self.tx.add(address, size)
+
+    def add_field(self, struct, field_name, flag=None):
+        if flag is not None and flag in self.faults:
+            return
+        key = (struct.address, field_name)
+        if key in self._added:
+            return
+        self._added.add(key)
+        self.tx.add_field(struct, field_name)
+
+    def force_duplicate(self, struct, condition=True):
+        """Deliberately add a struct twice (the synthetic perf bug)."""
+        if condition:
+            self.tx.add(struct.address, struct.SIZE)
+            self.tx.add(struct.address, struct.SIZE)
+
+
+class NullAdder:
+    """An adder that logs nothing — the umbrella synthetic bug of
+    skipping every TX_ADD inside one procedure (e.g. a whole red-black
+    fix-up)."""
+
+    def add(self, struct, flag=None):
+        pass
+
+    def add_range(self, address, size, flag=None):
+        pass
+
+    def add_field(self, struct, field_name, flag=None):
+        pass

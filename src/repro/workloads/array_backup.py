@@ -1,0 +1,136 @@
+"""The paper's Figure 2 example: a valid-bit backup over an array.
+
+``update()`` backs up the old element, sets a ``valid`` bit, performs
+the in-place update, and resets the bit — with ``persist_barrier()``
+calls in all the right places.  With the ``swapped_valid`` fault the
+*values* written to ``valid`` are inverted (the paper's green-box fix
+undone), so recovery always does the wrong thing: it skips the rollback
+of a potentially non-persisted update (cross-failure race) or rolls
+back with a stale backup (cross-failure semantic bug).
+
+This is a low-level workload: it registers ``valid`` as a commit
+variable and associates the backup fields and the array with it
+(Table 2 annotation interface), exactly the amount of annotation the
+paper requires of programs built on raw primitives.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, I64, ObjectPool, Struct, U64, pmem
+from repro.workloads.base import Workload
+
+LAYOUT = "xf-array-backup"
+ARRAY_LEN = 16
+
+
+class BackupRoot(Struct):
+    backup_idx = U64()
+    backup_val = I64()
+    valid = U64()
+    arr = Array(I64, ARRAY_LEN)
+
+
+class BackupArray:
+    """Figure 2's update/recover pair over a persistent array."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    @property
+    def root(self):
+        return self.pool.root
+
+    def annotate(self, interface):
+        """Register the commit variable and its associated range.
+
+        ``valid`` versions the *backup slots* (the data that alternates
+        between generations); the array itself is protected in place by
+        the rollback and is not part of the versioned set — associating
+        it would mark long-untouched elements stale on every commit.
+        """
+        root = self.root
+        name = interface.add_commit_var(
+            root.field_addr("valid"), 8, "valid"
+        )
+        interface.add_commit_range(name, root.field_addr("backup_idx"), 16)
+
+    def update(self, idx, new_value):
+        """Paper Figure 2 ``update()``."""
+        memory = self.memory
+        root = self.root
+        buggy = "swapped_valid" in self.faults
+
+        root.backup_idx = idx
+        root.backup_val = root.arr[idx]
+        pmem.persist(memory, root.field_addr("backup_idx"), 16)
+
+        root.valid = 0 if buggy else 1  # paper: should be 1
+        pmem.persist(memory, root.field_addr("valid"), 8)
+
+        root.arr[idx] = new_value
+        rng = root.arr.element_range(idx)
+        pmem.persist(memory, rng.start, rng.size)
+
+        root.valid = 1 if buggy else 0  # paper: should be 0
+        pmem.persist(memory, root.field_addr("valid"), 8)
+
+    def recover(self):
+        """Paper Figure 2 ``recover()``: roll back if the backup is
+        valid."""
+        memory = self.memory
+        root = self.root
+        if root.valid:
+            idx = root.backup_idx
+            root.arr[idx] = root.backup_val
+            rng = root.arr.element_range(idx)
+            pmem.persist(memory, rng.start, rng.size)
+            root.valid = 0
+            pmem.persist(memory, root.field_addr("valid"), 8)
+
+    def read_all(self):
+        return [self.root.arr[i] for i in range(ARRAY_LEN)]
+
+
+class ArrayBackupWorkload(Workload):
+    """Figure 2 as a detectable workload."""
+
+    name = "array_backup"
+
+    FAULTS = {
+        "swapped_valid": (
+            "S",
+            "update() writes inverted values to the valid bit "
+            "(paper Figure 2)",
+        ),
+    }
+
+    def _open(self, memory):
+        pool = ObjectPool.open(memory, "array_backup", LAYOUT, BackupRoot)
+        return BackupArray(pool, self.faults)
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "array_backup", LAYOUT, root_cls=BackupRoot
+        )
+        root = pool.root
+        root.backup_idx = 0
+        root.backup_val = 0
+        root.valid = 0
+        for i in range(ARRAY_LEN):
+            root.arr[i] = 10 * (i + 1)
+        pmem.persist(ctx.memory, root.address, BackupRoot.SIZE)
+
+    def pre_failure(self, ctx):
+        backup = self._open(ctx.memory)
+        backup.annotate(ctx.interface)
+        for step in range(self.test_size):
+            backup.update(step % ARRAY_LEN, 1000 + step)
+
+    def post_failure(self, ctx):
+        backup = self._open(ctx.memory)
+        backup.annotate(ctx.interface)
+        backup.recover()
+        # Resume: the application reads the array.
+        backup.read_all()

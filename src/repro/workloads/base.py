@@ -1,0 +1,97 @@
+"""Workload protocol and fault-flag plumbing."""
+
+from __future__ import annotations
+
+
+class Workload:
+    """One testable PM program.
+
+    Subclasses implement three stages, each receiving an
+    :class:`~repro.core.frontend.ExecutionContext`:
+
+    * :meth:`setup` — create the pool and populate the initial PM image
+      (the paper's ``INITSIZE`` insertions).  Runs with failure
+      injection and detection suppressed.
+    * :meth:`pre_failure` — the updates under test (``TESTSIZE``
+      operations).  Failure points are injected at its ordering points.
+    * :meth:`post_failure` — recovery plus resumption, run once per
+      failure point on a copy of the PM image.  Remember that this
+      stage models a *fresh process*: it must rediscover all state from
+      PM (open the pool, re-derive counters), never from Python
+      attributes set by :meth:`pre_failure`.
+
+    ``faults`` is a set of string flags switching on synthetic bugs;
+    the class attribute :attr:`FAULTS` documents the flags a workload
+    understands, mapping each to its expected bug class (``"R"`` race,
+    ``"S"`` semantic, ``"P"`` performance).
+    """
+
+    #: Paper-style workload name (overridden by subclasses).
+    name = "workload"
+
+    #: True when the workload annotates its own region of interest;
+    #: otherwise the whole pre-/post-failure stage is the RoI.
+    uses_roi = False
+
+    #: Documented fault flags: {flag: (bug_class, description)}.
+    FAULTS = {}
+
+    def __init__(self, faults=(), init_size=0, test_size=1, **options):
+        unknown = set(faults) - set(self.FAULTS)
+        if unknown:
+            raise ValueError(
+                f"{self.name}: unknown fault flag(s): {sorted(unknown)}"
+            )
+        self.faults = frozenset(faults)
+        self.init_size = init_size
+        self.test_size = test_size
+        self.options = options
+
+    def has_fault(self, flag):
+        return flag in self.faults
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def setup(self, ctx):
+        """Create pools and the initial PM image (not under test)."""
+
+    def pre_failure(self, ctx):
+        raise NotImplementedError
+
+    def post_failure(self, ctx):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fault_flags(cls, bug_class=None):
+        """Documented fault flags, optionally filtered by bug class."""
+        return [
+            flag
+            for flag, (kind, _description) in cls.FAULTS.items()
+            if bug_class is None or kind == bug_class
+        ]
+
+    def __repr__(self):
+        fault_text = f", faults={sorted(self.faults)}" if self.faults else ""
+        return (
+            f"{type(self).__name__}(init={self.init_size}, "
+            f"test={self.test_size}{fault_text})"
+        )
+
+
+def deterministic_keys(count, seed=1, modulus=(1 << 31) - 1):
+    """A reproducible pseudo-random key sequence (no global RNG state).
+
+    A multiplicative Lehmer generator: good enough dispersion for tree
+    and hash workloads while keeping every run identical, which the
+    snapshot-replay frontend requires.
+    """
+    keys = []
+    state = seed % modulus or 1
+    for _ in range(count):
+        state = (state * 48271) % modulus
+        keys.append(state)
+    return keys

@@ -1,0 +1,389 @@
+"""B-Tree: the transactional B-tree of PMDK's examples (Table 4).
+
+An order-4 B-tree (at most 3 items per node) with preemptive top-down
+splitting, every mutation wrapped in an undo-log transaction.  Deletion
+is lazy (leaf-only compaction, no rebalancing), like the PMDK example's
+simple variant.
+
+The synthetic fault flags each omit one specific ``TX_ADD``, mirroring
+the PMTest bug-suite patches the paper validates against (Table 5):
+B-Tree carries the largest share of the suite (12 race bugs, 2
+performance bugs).
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Array, ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._txutil import TxAdder
+from repro.workloads.base import Workload, deterministic_keys
+
+LAYOUT = "xf-btree"
+
+#: Maximum children per node; max items per node is ORDER - 1.
+ORDER = 4
+MAX_ITEMS = ORDER - 1
+
+
+class BTreeNode(Struct):
+    nkeys = U64()
+    is_leaf = U64()
+    keys = Array(U64, MAX_ITEMS)
+    values = Array(U64, MAX_ITEMS)
+    children = Array(U64, ORDER)
+
+
+class BTreeRoot(Struct):
+    root_ptr = Ptr()
+    count = U64()
+
+
+class BTree:
+    """Persistent B-tree operations."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    @property
+    def root(self):
+        return self.pool.root
+
+    def _node(self, address):
+        return BTreeNode(self.memory, address)
+
+    def _new_node(self, adder, is_leaf, flag=None):
+        node = self.pool.alloc(BTreeNode)
+        adder.add(node, flag)
+        node.nkeys = 0
+        node.is_leaf = 1 if is_leaf else 0
+        return node
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value):
+        pool = self.pool
+        root = self.root
+        updated = False
+        update_slot = None
+        with pool.transaction() as tx:
+            adder = TxAdder(tx, self.faults)
+            if "dup_add_count" in self.faults:
+                adder.force_duplicate(root)
+            if root.root_ptr == 0:
+                leaf = self._new_node(adder, is_leaf=True,
+                                      flag="skip_add_leaf")
+                self._place_item(leaf, 0, key, value)
+                leaf.nkeys = 1
+                adder.add_field(root, "root_ptr", "skip_add_root_ptr")
+                root.root_ptr = leaf.address
+                self._bump_count(tx, adder, root)
+                return
+            node = self._node(root.root_ptr)
+            if node.nkeys == MAX_ITEMS:
+                # Preemptive root split: a fresh root with one child.
+                # Both adds of the fresh root fall under the same fault
+                # flag — it is one object, logged once.
+                new_root = self._new_node(adder, is_leaf=False,
+                                          flag="skip_add_new_root")
+                new_root.children[0] = node.address
+                self._split_child(adder, new_root, 0, node,
+                                  parent_flag="skip_add_new_root")
+                adder.add_field(root, "root_ptr", "skip_add_root_ptr")
+                root.root_ptr = new_root.address
+                node = new_root
+            updated, update_slot = self._insert_nonfull(
+                adder, node, key, value
+            )
+            if not updated:
+                self._bump_count(tx, adder, root)
+        if "count_outside_tx" in self.faults and not updated:
+            # BUG: count bumped outside the transaction, never flushed.
+            root.count = root.count + 1
+        if (
+            updated
+            and update_slot is not None
+            and "unpersisted_value_write" in self.faults
+        ):
+            # BUG: a raw value write after the transaction ended,
+            # outside any persistence discipline.
+            self.memory.store(
+                update_slot, int(value).to_bytes(8, "little")
+            )
+
+    def _bump_count(self, tx, adder, root):
+        if "count_outside_tx" in self.faults:
+            return  # handled (buggily) after TX_END
+        adder.add_field(root, "count", "skip_add_count")
+        root.count = root.count + 1
+
+    def _insert_nonfull(self, adder, node, key, value):
+        """Insert below ``node`` (known non-full).  Returns
+        ``(updated, value_slot_addr)``: True when an existing key was
+        updated in place."""
+        while True:
+            nkeys = node.nkeys
+            if node.is_leaf:
+                idx = self._search(node, key)
+                if idx is not None:
+                    adder.add(node, "skip_add_update_value")
+                    node.values[idx] = value
+                    return True, node.values.element_range(idx).start
+                adder.add(node, "skip_add_leaf")
+                pos = nkeys
+                while pos > 0 and node.keys[pos - 1] > key:
+                    node.keys[pos] = node.keys[pos - 1]
+                    node.values[pos] = node.values[pos - 1]
+                    pos -= 1
+                self._place_item(node, pos, key, value)
+                node.nkeys = nkeys + 1
+                return False, None
+            idx = self._search(node, key)
+            if idx is not None:
+                adder.add(node, "skip_add_update_value")
+                node.values[idx] = value
+                return True, node.values.element_range(idx).start
+            pos = self._child_slot(node, key)
+            child = self._node(node.children[pos])
+            if child.nkeys == MAX_ITEMS:
+                self._split_child(adder, node, pos, child)
+                # The separator moved up; re-pick the side.
+                if key == node.keys[pos]:
+                    adder.add(node, "skip_add_update_value")
+                    node.values[pos] = value
+                    return True, node.values.element_range(pos).start
+                if key > node.keys[pos]:
+                    pos += 1
+                child = self._node(node.children[pos])
+            node = child
+
+    def _split_child(self, adder, parent, slot, child,
+                     parent_flag="skip_add_parent_split"):
+        """Split full ``child``; middle item moves up into ``parent`` at
+        ``slot``."""
+        adder.add(parent, parent_flag)
+        adder.add(child, "skip_add_split_child")
+        sibling = self._new_node(
+            adder, is_leaf=bool(child.is_leaf),
+            flag="skip_add_new_sibling",
+        )
+        mid = MAX_ITEMS // 2
+        right_items = MAX_ITEMS - mid - 1
+        for i in range(right_items):
+            sibling.keys[i] = child.keys[mid + 1 + i]
+            sibling.values[i] = child.values[mid + 1 + i]
+        if not child.is_leaf:
+            for i in range(right_items + 1):
+                sibling.children[i] = child.children[mid + 1 + i]
+        sibling.nkeys = right_items
+        mid_key = child.keys[mid]
+        mid_value = child.values[mid]
+        child.nkeys = mid
+        # Shift parent items/children right to make room at slot.
+        pkeys = parent.nkeys
+        for i in range(pkeys, slot, -1):
+            parent.keys[i] = parent.keys[i - 1]
+            parent.values[i] = parent.values[i - 1]
+            parent.children[i + 1] = parent.children[i]
+        parent.keys[slot] = mid_key
+        parent.values[slot] = mid_value
+        parent.children[slot + 1] = sibling.address
+        parent.nkeys = pkeys + 1
+
+    def _place_item(self, node, pos, key, value):
+        node.keys[pos] = key
+        node.values[pos] = value
+
+    # ------------------------------------------------------------------
+    # Remove (lazy: leaf compaction only)
+    # ------------------------------------------------------------------
+
+    def remove(self, key):
+        root = self.root
+        if root.root_ptr == 0:
+            return False
+        node = self._node(root.root_ptr)
+        while True:
+            idx = self._search(node, key)
+            if node.is_leaf:
+                break
+            if idx is not None:
+                # Internal hit: lazy delete not supported there; treat
+                # as an in-place tombstone via value overwrite.
+                with self.pool.transaction() as tx:
+                    adder = TxAdder(tx, self.faults)
+                    adder.add(node, "skip_add_remove_leaf")
+                    node.values[idx] = 0
+                return True
+            node = self._node(
+                node.children[self._child_slot(node, key)]
+            )
+        if idx is None:
+            return False
+        with self.pool.transaction() as tx:
+            adder = TxAdder(tx, self.faults)
+            adder.add(node, "skip_add_remove_leaf")
+            nkeys = node.nkeys
+            for i in range(idx, nkeys - 1):
+                node.keys[i] = node.keys[i + 1]
+                node.values[i] = node.values[i + 1]
+            node.nkeys = nkeys - 1
+            adder.add_field(root, "count", "skip_add_count_remove")
+            root.count = root.count - 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _search(self, node, key):
+        """Index of ``key`` inside ``node``, or None."""
+        for i in range(node.nkeys):
+            if node.keys[i] == key:
+                return i
+        return None
+
+    def _child_slot(self, node, key):
+        pos = 0
+        while pos < node.nkeys and key > node.keys[pos]:
+            pos += 1
+        return pos
+
+    def get(self, key):
+        root = self.root
+        if root.root_ptr == 0:
+            return None
+        node = self._node(root.root_ptr)
+        while True:
+            idx = self._search(node, key)
+            if idx is not None:
+                return node.values[idx]
+            if node.is_leaf:
+                return None
+            node = self._node(
+                node.children[self._child_slot(node, key)]
+            )
+
+    def items(self):
+        """All (key, value) pairs in key order."""
+        pairs = []
+        root = self.root
+        if root.root_ptr:
+            self._walk(self._node(root.root_ptr), pairs)
+        return pairs
+
+    def _walk(self, node, pairs):
+        nkeys = node.nkeys
+        if node.is_leaf:
+            for i in range(nkeys):
+                pairs.append((node.keys[i], node.values[i]))
+            return
+        for i in range(nkeys):
+            self._walk(self._node(node.children[i]), pairs)
+            pairs.append((node.keys[i], node.values[i]))
+        self._walk(self._node(node.children[nkeys]), pairs)
+
+    def count(self):
+        return self.root.count
+
+    def check(self):
+        """Structural invariant check (for the test suite): keys in
+        order, leaf depth uniform."""
+        pairs = self.items()
+        keys = [key for key, _value in pairs]
+        assert keys == sorted(keys), "B-tree keys out of order"
+        root = self.root
+        if root.root_ptr:
+            self._check_depth(self._node(root.root_ptr))
+        return True
+
+    def _check_depth(self, node):
+        if node.is_leaf:
+            return 1
+        depths = {
+            self._check_depth(self._node(node.children[i]))
+            for i in range(node.nkeys + 1)
+        }
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1
+
+
+class BTreeWorkload(Workload):
+    """Table 4's B-Tree as a detectable workload."""
+
+    name = "btree"
+
+    FAULTS = {
+        "skip_add_root_ptr": ("R", "insert: root pointer not TX_ADDed"),
+        "skip_add_count": ("R", "insert: count not TX_ADDed"),
+        "skip_add_leaf": ("R", "insert: target leaf not TX_ADDed"),
+        "skip_add_new_root": ("R", "split: new root node not TX_ADDed"),
+        "skip_add_split_child": ("R", "split: shrunk child not TX_ADDed"),
+        "skip_add_new_sibling": ("R", "split: new sibling not TX_ADDed"),
+        "skip_add_parent_split": ("R", "split: parent not TX_ADDed"),
+        "skip_add_update_value": ("R", "update: value not TX_ADDed"),
+        "count_outside_tx": ("R", "insert: count updated outside tx"),
+        "skip_add_remove_leaf": ("R", "remove: leaf not TX_ADDed"),
+        "skip_add_count_remove": ("R", "remove: count not TX_ADDed"),
+        "unpersisted_value_write": (
+            "R", "update: extra raw value write outside persistence",
+        ),
+        "dup_add_count": ("P", "insert: root struct TX_ADDed twice"),
+        "dup_add_leaf": ("P", "insert: leaf TX_ADDed twice"),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 key_order="hashed", **options):
+        super().__init__(faults, init_size, test_size, **options)
+        if key_order not in ("hashed", "ascending", "descending"):
+            raise ValueError(f"unknown key order: {key_order!r}")
+        self.key_order = key_order
+
+    def _keys(self):
+        total = self.init_size + self.test_size + 1
+        if self.key_order == "ascending":
+            return list(range(1, total + 1))
+        if self.key_order == "descending":
+            return list(range(total, 0, -1))
+        return deterministic_keys(total, seed=5)
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "btree", LAYOUT, root_cls=BTreeRoot
+        )
+        root = pool.root
+        root.root_ptr = 0
+        root.count = 0
+        pmem.persist(ctx.memory, root.address, BTreeRoot.SIZE)
+        tree = BTree(pool, self.faults)
+        for key in self._keys()[: self.init_size]:
+            tree.insert(key, key ^ 0xFF)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "btree", LAYOUT, BTreeRoot)
+        tree = BTree(pool, self.faults)
+        if "dup_add_leaf" in self.faults:
+            # Trigger the duplicate-add perf bug explicitly: one insert
+            # whose leaf is logged twice.
+            tree.faults = frozenset(self.faults - {"dup_add_leaf"})
+            with pool.transaction() as tx:
+                if pool.root.root_ptr:
+                    node = BTreeNode(ctx.memory, pool.root.root_ptr)
+                    tx.add(node.address, BTreeNode.SIZE)
+                    tx.add(node.address, BTreeNode.SIZE)
+        keys = self._keys()
+        test_keys = keys[self.init_size:self.init_size + self.test_size]
+        for key in test_keys:
+            tree.insert(key, key ^ 0xAB)
+        if len(test_keys) >= 2:
+            tree.insert(test_keys[0], 0xDEAD)  # update path
+            tree.remove(test_keys[1])
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "btree", LAYOUT, BTreeRoot)
+        tree = BTree(pool, self.faults)
+        tree.items()  # full structural walk
+        tree.count()
+        tree.insert(self._keys()[-1], 0xBEEF)  # resumption

@@ -1,0 +1,314 @@
+"""C-Tree: the crit-bit tree of PMDK's examples (Table 4).
+
+A binary radix (crit-bit) tree: internal nodes store the index of the
+highest bit where the two subtrees differ; leaves store key/value.
+Leaf pointers are tagged in their lowest bit (allocations are 64-byte
+aligned, so the bit is free) to distinguish them from internal nodes,
+as PMDK's example does.  Every mutation runs inside a transaction.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._txutil import TxAdder
+from repro.workloads.base import Workload, deterministic_keys
+
+LAYOUT = "xf-ctree"
+
+KEY_BITS = 64
+
+
+class CTreeInternal(Struct):
+    diff = U64()  # critical bit index (higher = nearer the root)
+    left = Ptr()
+    right = Ptr()
+
+
+class CTreeLeaf(Struct):
+    key = U64()
+    value = U64()
+
+
+class CTreeRoot(Struct):
+    root_ptr = Ptr()
+    count = U64()
+
+
+def _tag_leaf(address):
+    return address | 1
+
+
+def _is_leaf(pointer):
+    return bool(pointer & 1)
+
+
+def _untag(pointer):
+    return pointer & ~1
+
+
+def _bit(key, index):
+    return (key >> index) & 1
+
+
+def _critical_bit(a, b):
+    """Index of the highest differing bit between two distinct keys."""
+    return (a ^ b).bit_length() - 1
+
+
+class CTree:
+    """Persistent crit-bit tree operations."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    @property
+    def root(self):
+        return self.pool.root
+
+    def _leaf(self, pointer):
+        return CTreeLeaf(self.memory, _untag(pointer))
+
+    def _internal(self, pointer):
+        return CTreeInternal(self.memory, pointer)
+
+    def _descend_leaf(self, key):
+        """The leaf a lookup for ``key`` lands on (None when empty)."""
+        pointer = self.root.root_ptr
+        if pointer == 0:
+            return None
+        while not _is_leaf(pointer):
+            node = self._internal(pointer)
+            pointer = node.right if _bit(key, node.diff) else node.left
+        return self._leaf(pointer)
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value):
+        pool = self.pool
+        root = self.root
+        with pool.transaction() as tx:
+            adder = TxAdder(tx, self.faults)
+            if "dup_add_parent" in self.faults:
+                adder.force_duplicate(root)
+            landing = self._descend_leaf(key)
+            if landing is None:
+                leaf = self._new_leaf(adder, key, value)
+                adder.add_field(root, "root_ptr", "skip_add_parent_ptr")
+                root.root_ptr = _tag_leaf(leaf.address)
+                self._bump_count(adder, +1)
+                return
+            if landing.key == key:
+                adder.add(landing, "skip_add_update_value")
+                landing.value = value
+                return
+            diff = _critical_bit(key, landing.key)
+            leaf = self._new_leaf(adder, key, value)
+            node = pool.alloc(CTreeInternal)
+            adder.add(node, "skip_add_new_internal")
+            node.diff = diff
+            if _bit(key, diff):
+                node.left = 0  # placeholder, set below
+                node.right = _tag_leaf(leaf.address)
+            else:
+                node.left = _tag_leaf(leaf.address)
+                node.right = 0
+            # Re-descend to find the edge where the new internal node
+            # belongs: the first pointer whose subtree has diff < ours.
+            parent, field, pointer = self._find_edge(key, diff)
+            if _bit(key, diff):
+                node.left = pointer
+            else:
+                node.right = pointer
+            if parent is None:
+                adder.add_field(root, "root_ptr", "skip_add_parent_ptr")
+                root.root_ptr = node.address
+            else:
+                adder.add_field(parent, field, "skip_add_parent_ptr")
+                setattr(parent, field, node.address)
+            self._bump_count(adder, +1)
+
+    def _new_leaf(self, adder, key, value):
+        leaf = self.pool.alloc(CTreeLeaf)
+        adder.add(leaf, "skip_add_new_leaf")
+        leaf.key = key
+        leaf.value = value
+        return leaf
+
+    def _bump_count(self, adder, delta):
+        root = self.root
+        adder.add_field(root, "count", "skip_add_count")
+        root.count = root.count + delta
+
+    def _find_edge(self, key, diff):
+        """Walk from the root to the edge where a node with critical
+        bit ``diff`` must be spliced in.
+
+        Returns ``(parent_internal_or_None, field_name, pointer)``.
+        """
+        parent = None
+        field = None
+        pointer = self.root.root_ptr
+        while not _is_leaf(pointer):
+            node = self._internal(pointer)
+            if node.diff < diff:
+                break
+            parent = node
+            field = "right" if _bit(key, node.diff) else "left"
+            pointer = getattr(node, field)
+        return parent, field, pointer
+
+    # ------------------------------------------------------------------
+    # Remove
+    # ------------------------------------------------------------------
+
+    def remove(self, key):
+        root = self.root
+        pointer = root.root_ptr
+        if pointer == 0:
+            return False
+        grand = None
+        grand_field = None
+        parent = None
+        parent_field = None
+        while not _is_leaf(pointer):
+            node = self._internal(pointer)
+            grand, grand_field = parent, parent_field
+            parent = node
+            parent_field = "right" if _bit(key, node.diff) else "left"
+            pointer = getattr(node, parent_field)
+        leaf = self._leaf(pointer)
+        if leaf.key != key:
+            return False
+        with self.pool.transaction() as tx:
+            adder = TxAdder(tx, self.faults)
+            if parent is None:
+                adder.add_field(root, "root_ptr", "skip_add_remove_ptr")
+                root.root_ptr = 0
+            else:
+                sibling_field = (
+                    "left" if parent_field == "right" else "right"
+                )
+                sibling = getattr(parent, sibling_field)
+                if grand is None:
+                    adder.add_field(
+                        root, "root_ptr", "skip_add_remove_ptr"
+                    )
+                    root.root_ptr = sibling
+                else:
+                    adder.add_field(
+                        grand, grand_field, "skip_add_remove_ptr"
+                    )
+                    setattr(grand, grand_field, sibling)
+            self._bump_count(adder, -1)
+            tx.free(_untag(pointer))  # TX_FREE: released at commit
+            if parent is not None:
+                tx.free(parent.address)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key):
+        leaf = self._descend_leaf(key)
+        if leaf is not None and leaf.key == key:
+            return leaf.value
+        return None
+
+    def items(self):
+        pairs = []
+        pointer = self.root.root_ptr
+        if pointer:
+            self._walk(pointer, pairs)
+        return sorted(pairs)
+
+    def _walk(self, pointer, pairs):
+        if _is_leaf(pointer):
+            leaf = self._leaf(pointer)
+            pairs.append((leaf.key, leaf.value))
+            return
+        node = self._internal(pointer)
+        self._walk(node.left, pairs)
+        self._walk(node.right, pairs)
+
+    def count(self):
+        return self.root.count
+
+    def check(self):
+        """Invariant: along any path, diff values strictly decrease, and
+        each leaf's key matches the branch bits taken."""
+        pointer = self.root.root_ptr
+        if pointer:
+            self._check_subtree(pointer, KEY_BITS)
+        return True
+
+    def _check_subtree(self, pointer, bound):
+        if _is_leaf(pointer):
+            return
+        node = self._internal(pointer)
+        assert node.diff < bound, "crit-bit order violated"
+        self._check_subtree(node.left, node.diff)
+        self._check_subtree(node.right, node.diff)
+
+
+class CTreeWorkload(Workload):
+    """Table 4's C-Tree as a detectable workload."""
+
+    name = "ctree"
+
+    FAULTS = {
+        "skip_add_parent_ptr": (
+            "R", "insert: spliced parent pointer not TX_ADDed",
+        ),
+        "skip_add_new_internal": (
+            "R", "insert: new internal node not TX_ADDed",
+        ),
+        "skip_add_new_leaf": ("R", "insert: new leaf not TX_ADDed"),
+        "skip_add_count": ("R", "insert: count not TX_ADDed"),
+        "skip_add_remove_ptr": (
+            "R", "remove: replacement pointer not TX_ADDed",
+        ),
+        "skip_add_update_value": ("R", "update: value not TX_ADDed"),
+        "dup_add_parent": ("P", "insert: root struct TX_ADDed twice"),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1, **options):
+        super().__init__(faults, init_size, test_size, **options)
+
+    def _keys(self):
+        return deterministic_keys(self.init_size + self.test_size + 1,
+                                  seed=9)
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "ctree", LAYOUT, root_cls=CTreeRoot
+        )
+        root = pool.root
+        root.root_ptr = 0
+        root.count = 0
+        pmem.persist(ctx.memory, root.address, CTreeRoot.SIZE)
+        tree = CTree(pool, self.faults)
+        for key in self._keys()[: self.init_size]:
+            tree.insert(key, key ^ 0xFF)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "ctree", LAYOUT, CTreeRoot)
+        tree = CTree(pool, self.faults)
+        keys = self._keys()
+        test_keys = keys[self.init_size:self.init_size + self.test_size]
+        for key in test_keys:
+            tree.insert(key, key ^ 0xAB)
+        if len(test_keys) >= 2:
+            tree.insert(test_keys[0], 0xDEAD)  # update path
+            tree.remove(test_keys[1])
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "ctree", LAYOUT, CTreeRoot)
+        tree = CTree(pool, self.faults)
+        tree.items()
+        tree.count()
+        tree.insert(self._keys()[-1], 0xBEEF)

@@ -1,0 +1,453 @@
+"""Hashmap-Atomic: the low-level hashmap of PMDK's examples (Table 4).
+
+Unlike Hashmap-TX this structure uses no transactions: entries are made
+reachable by atomic 8-byte pointer swaps (PMDK's atomic list API), and
+the element count is protected by a ``count_dirty`` commit variable —
+when a failure interrupts an update, recovery recounts the entries and
+rebuilds ``count``.
+
+The header struct is embedded in the pool root, as in PMDK's example
+where the hashmap object exists (zero-filled) before ``create_hashmap``
+populates it.  That is precisely what makes two of the paper's new bugs
+(Section 6.3.2) observable:
+
+* **Bug 1** (``bug1_unpersisted_create``): ``create_hashmap`` assigns
+  the hash-function parameters and seed but persists nothing until the
+  very end; a failure during creation (e.g. at the bucket-table
+  allocation) leaves them volatile and the post-failure hash
+  computation reads them — a cross-failure race.
+* **Bug 2** (``bug2_uninit_count``): ``count`` is never explicitly
+  initialized; the example relies on the allocator's implicit
+  zero-fill, which "is not guaranteed" — reading it after a failure is
+  a cross-failure race on allocated-but-uninitialized PM.
+
+The detector needs exactly one annotation here: the ``count_dirty``
+commit variable with ``count`` as its associated range (paper: "We only
+annotated a commit variable, count_dirty, to detect these two bugs").
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Embed, ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._parray import PersistentPtrArray, atomic_word_write
+from repro.workloads.base import Workload, deterministic_keys
+
+LAYOUT = "xf-hashmap-atomic"
+DEFAULT_NBUCKETS = 16
+
+#: Fault flags that move hashmap creation into the pre-failure RoI.
+CREATE_FAULTS = frozenset({
+    "bug1_unpersisted_create",
+    "bug2_uninit_count",
+    "skip_persist_buckets_init",
+    "skip_persist_geometry",
+})
+
+
+class AtomicHashmapHeader(Struct):
+    seed = U64()
+    hash_a = U64()
+    hash_b = U64()
+    count = U64()
+    count_dirty = U64()
+    nbuckets = U64()
+    buckets = Ptr()
+
+
+class AtomicRoot(Struct):
+    hashmap = Embed(AtomicHashmapHeader)
+
+
+class AtomicEntry(Struct):
+    next = Ptr()
+    key = U64()
+    value = U64()
+
+
+class HashmapAtomic:
+    """Low-level hashmap operations with a count_dirty commit variable."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    # ------------------------------------------------------------------
+    # Construction (paper Figure 14a)
+    # ------------------------------------------------------------------
+
+    def create(self, nbuckets=DEFAULT_NBUCKETS, seed=11):
+        """Populate the (pre-allocated, zero-filled) header."""
+        memory = self.memory
+        header = self.header
+        faults = self.faults
+
+        # Hash metadata.  The buggy original persists nothing until the
+        # end of creation (Bug 1); the fixed version persists stepwise.
+        header.seed = seed
+        header.hash_a = 2654435761
+        header.hash_b = 40503
+        if "bug1_unpersisted_create" not in faults:
+            pmem.persist(memory, header.field_addr("seed"), 24)
+
+        if "bug2_uninit_count" not in faults:
+            # The fix for Bug 2: initialize count instead of relying on
+            # the allocator's implicit zero-fill.
+            header.count = 0
+            header.count_dirty = 0
+            pmem.persist(memory, header.field_addr("count"), 16)
+
+        table_addr = self.pool.alloc(8 * nbuckets, zero=True)
+        table = PersistentPtrArray(memory, table_addr, nbuckets)
+        table.zero_fill()
+        if "skip_persist_buckets_init" not in faults:
+            table.persist_all()
+        header.nbuckets = nbuckets
+        header.buckets = table_addr
+        if "skip_persist_geometry" not in faults:
+            pmem.persist(memory, header.field_addr("nbuckets"), 16)
+        if "bug1_unpersisted_create" in faults:
+            # The original code's single trailing persist — too late for
+            # the failure points injected during creation.
+            pmem.persist(memory, header.address, AtomicHashmapHeader.SIZE)
+        return self
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def header(self):
+        return self.pool.root.hashmap
+
+    def annotate(self, interface):
+        """The single annotation the paper needs for this workload."""
+        header = self.header
+        name = interface.add_commit_var(
+            header.field_addr("count_dirty"), 8, "count_dirty"
+        )
+        interface.add_commit_range(name, header.field_addr("count"), 8)
+
+    def _table(self, header):
+        return PersistentPtrArray(
+            self.memory, header.buckets, header.nbuckets
+        )
+
+    def _bucket_of(self, header, key):
+        return (
+            (header.hash_a * key + header.hash_b) ^ header.seed
+        ) % header.nbuckets
+
+    def _has(self, flag):
+        return flag in self.faults
+
+    def _persist_unless(self, flag, addr, size):
+        if not self._has(flag):
+            pmem.persist(self.memory, addr, size)
+
+    def is_created(self):
+        """Post-failure sanity probe, as the application would do."""
+        return self.header.nbuckets != 0
+
+    # ------------------------------------------------------------------
+    # Operations (paper Figure 14a lines 10-16 pattern)
+    # ------------------------------------------------------------------
+
+    def _set_dirty(self, header, value):
+        header.count_dirty = value
+        pmem.persist(self.memory, header.field_addr("count_dirty"), 8)
+
+    def insert(self, key, value):
+        memory = self.memory
+        header = self.header
+        table = self._table(header)
+        idx = self._bucket_of(header, key)
+
+        dirty_on_entry = 0 if self._has("swapped_dirty") else 1
+        if not self._has("skip_dirty_set"):
+            self._set_dirty(header, dirty_on_entry)
+        if self._has("early_dirty_clear"):
+            # BUG: the commit variable is reset before the update it
+            # guards has even begun.
+            self._set_dirty(header, 0)
+
+        entry = self.pool.alloc(AtomicEntry)
+        if self._has("unordered_link_before_entry"):
+            # BUG: make the entry reachable before its fields persist.
+            atomic_word_write(memory, table.addr_of(idx), entry.address)
+            entry.key = key
+            entry.value = value
+            entry.next = 0
+            pmem.persist(memory, entry.address, AtomicEntry.SIZE)
+        else:
+            entry.key = key
+            entry.value = value
+            entry.next = table.get(idx)
+            self._persist_unless(
+                "skip_persist_entry", entry.address, AtomicEntry.SIZE
+            )
+            if self._has("redundant_flush_entry"):
+                pmem.persist(memory, entry.address, AtomicEntry.SIZE)
+            atomic_word_write(
+                memory,
+                table.addr_of(idx),
+                entry.address,
+                skip_persist=self._has("skip_persist_bucket_link"),
+            )
+
+        header.count = header.count + 1
+        if self._has("skip_fence_count"):
+            pmem.flush(memory, header.field_addr("count"), 8)
+        else:
+            self._persist_unless(
+                "skip_persist_count", header.field_addr("count"), 8
+            )
+        if self._has("redundant_flush_count"):
+            pmem.persist(memory, header.field_addr("count"), 8)
+
+        if not self._has("skip_dirty_set"):
+            self._set_dirty(
+                header, 1 if self._has("swapped_dirty") else 0
+            )
+
+    def update(self, key, value):
+        """Overwrite the value of an existing key (atomic 8-byte
+        update)."""
+        memory = self.memory
+        entry = self._find(key)
+        if entry is None:
+            return False
+        if self._has("nt_value_no_drain"):
+            # BUG: non-temporal store without a drain; the value is
+            # writeback-pending, not guaranteed persistent.
+            memory.nt_store(
+                entry.field_addr("value"), value.to_bytes(8, "little")
+            )
+        else:
+            atomic_word_write(
+                memory,
+                entry.field_addr("value"),
+                value,
+                skip_persist=self._has("skip_persist_value"),
+            )
+        return True
+
+    def remove(self, key):
+        memory = self.memory
+        header = self.header
+        table = self._table(header)
+        idx = self._bucket_of(header, key)
+        prev = None
+        cursor = table.get(idx)
+        while cursor:
+            entry = AtomicEntry(memory, cursor)
+            if entry.key == key:
+                break
+            prev = entry
+            cursor = entry.next
+        else:
+            return False
+
+        if not self._has("skip_dirty_set"):
+            self._set_dirty(header, 1)
+
+        entry = AtomicEntry(memory, cursor)
+        successor = entry.next
+        if prev is None:
+            atomic_word_write(
+                memory,
+                table.addr_of(idx),
+                successor,
+                skip_persist=self._has("skip_persist_unlink"),
+            )
+        else:
+            atomic_word_write(
+                memory,
+                prev.field_addr("next"),
+                successor,
+                skip_persist=self._has("skip_persist_unlink"),
+            )
+
+        header.count = header.count - 1
+        self._persist_unless(
+            "skip_persist_count_remove", header.field_addr("count"), 8
+        )
+        if not self._has("skip_dirty_set"):
+            self._set_dirty(header, 0)
+        self.pool.free(cursor)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads / recovery
+    # ------------------------------------------------------------------
+
+    def _find(self, key):
+        header = self.header
+        table = self._table(header)
+        cursor = table.get(self._bucket_of(header, key))
+        while cursor:
+            entry = AtomicEntry(self.memory, cursor)
+            if entry.key == key:
+                return entry
+            cursor = entry.next
+        return None
+
+    def get(self, key):
+        entry = self._find(key)
+        return entry.value if entry is not None else None
+
+    def count(self):
+        return self.header.count
+
+    def _recount(self):
+        header = self.header
+        table = self._table(header)
+        seen = 0
+        for idx in range(header.nbuckets):
+            cursor = table.get(idx)
+            while cursor:
+                cursor = AtomicEntry(self.memory, cursor).next
+                seen += 1
+        return seen
+
+    def recover(self):
+        """Post-failure recovery: rebuild count if it was left dirty."""
+        header = self.header
+        if self._has("recovery_reads_dirty_count"):
+            # BUG (post-failure stage): "log" the dirty count by reading
+            # it even though count_dirty says it cannot be trusted.
+            _ = header.count
+        if header.count_dirty:
+            header.count = self._recount()
+            pmem.persist(self.memory, header.field_addr("count"), 8)
+            self._set_dirty(header, 0)
+
+    def items(self):
+        header = self.header
+        table = self._table(header)
+        pairs = []
+        for idx in range(header.nbuckets):
+            cursor = table.get(idx)
+            while cursor:
+                entry = AtomicEntry(self.memory, cursor)
+                pairs.append((entry.key, entry.value))
+                cursor = entry.next
+        return sorted(pairs)
+
+
+class HashmapAtomicWorkload(Workload):
+    """Table 4's Hashmap-Atomic as a detectable workload.
+
+    Pre-failure performs ``test_size`` inserts, then (with at least two
+    test keys) an update and a remove.  Post-failure runs the
+    dirty-count recovery and resumes with a lookup and a count query.
+    """
+
+    name = "hashmap_atomic"
+
+    FAULTS = {
+        # --- cross-failure races (PMTest-suite style + new bugs) -----
+        "bug1_unpersisted_create": (
+            "R", "create: hash metadata persisted only at the end "
+                 "(paper Bug 1)",
+        ),
+        "bug2_uninit_count": (
+            "R", "create: count never initialized (paper Bug 2)",
+        ),
+        "skip_persist_entry": ("R", "insert: entry fields not persisted"),
+        "skip_persist_bucket_link": (
+            "R", "insert: bucket link outside the atomic-list API",
+        ),
+        "skip_persist_count": ("R", "insert: count not persisted"),
+        "skip_persist_value": ("R", "update: value not persisted"),
+        "skip_persist_unlink": (
+            "R", "remove: unlink outside the atomic-list API",
+        ),
+        "skip_persist_count_remove": ("R", "remove: count not persisted"),
+        "skip_persist_buckets_init": (
+            "R", "create: bucket table zero-fill not persisted",
+        ),
+        "skip_persist_geometry": (
+            "R", "create: nbuckets/buckets pointer not persisted",
+        ),
+        "unordered_link_before_entry": (
+            "R", "insert: entry linked before its fields persist",
+        ),
+        "skip_fence_count": ("R", "insert: count flushed but no fence"),
+        "nt_value_no_drain": (
+            "R", "update: non-temporal store without drain",
+        ),
+        # --- cross-failure semantic bugs ------------------------------
+        "skip_dirty_set": (
+            "S", "updates never set the count_dirty commit variable",
+        ),
+        "early_dirty_clear": (
+            "S", "count_dirty cleared before the guarded update",
+        ),
+        "swapped_dirty": (
+            "S", "count_dirty values inverted (Figure 2 pattern)",
+        ),
+        "recovery_reads_dirty_count": (
+            "S", "recovery reads count while count_dirty is set",
+        ),
+        # --- performance bugs -----------------------------------------
+        "redundant_flush_entry": ("P", "insert: entry persisted twice"),
+        "redundant_flush_count": ("P", "insert: count persisted twice"),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 nbuckets=DEFAULT_NBUCKETS, **options):
+        super().__init__(faults, init_size, test_size, **options)
+        self.nbuckets = nbuckets
+
+    def _keys(self):
+        return deterministic_keys(self.init_size + self.test_size + 1,
+                                  seed=3)
+
+    def _creates_in_pre(self):
+        return bool(self.faults & CREATE_FAULTS)
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "hashmap_atomic", LAYOUT, root_cls=AtomicRoot
+        )
+        hashmap = HashmapAtomic(pool, self.faults)
+        if self._creates_in_pre():
+            return
+        hashmap.create(self.nbuckets)
+        for key in self._keys()[: self.init_size]:
+            hashmap.insert(key, key ^ 0xFF)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(
+            ctx.memory, "hashmap_atomic", LAYOUT, AtomicRoot
+        )
+        hashmap = HashmapAtomic(pool, self.faults)
+        hashmap.annotate(ctx.interface)
+        if self._creates_in_pre():
+            hashmap.create(self.nbuckets)
+        keys = self._keys()
+        test_keys = keys[self.init_size:self.init_size + self.test_size]
+        for key in test_keys:
+            hashmap.insert(key, key ^ 0xAB)
+        if len(test_keys) >= 2:
+            hashmap.update(test_keys[0], 0xDEAD)
+            hashmap.remove(test_keys[1])
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(
+            ctx.memory, "hashmap_atomic", LAYOUT, AtomicRoot
+        )
+        hashmap = HashmapAtomic(pool, self.faults)
+        hashmap.annotate(ctx.interface)
+        if not hashmap.is_created():
+            return
+        hashmap.recover()
+        # Resumption: lookups (recomputing the hash from metadata,
+        # including the key whose value the pre-failure stage updated
+        # in place) and a count query.
+        keys = self._keys()
+        hashmap.get(keys[0])
+        if self.test_size:
+            hashmap.get(keys[self.init_size])
+        hashmap.count()

@@ -1,0 +1,290 @@
+"""Hashmap-TX: the transactional hashmap of PMDK's examples (Table 4).
+
+Every update runs inside an undo-log transaction; the synthetic faults
+each omit one specific ``TX_ADD`` (or move a write outside the
+transaction), reproducing the PMTest-bug-suite style of injected bugs
+the paper validates against (Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._parray import PersistentPtrArray
+from repro.workloads.base import Workload, deterministic_keys
+
+LAYOUT = "xf-hashmap-tx"
+DEFAULT_NBUCKETS = 16
+
+
+class TxRoot(Struct):
+    map_ptr = Ptr()
+
+
+class TxHashmapHeader(Struct):
+    seed = U64()
+    count = U64()
+    nbuckets = U64()
+    buckets = Ptr()
+
+
+class TxEntry(Struct):
+    next = Ptr()
+    key = U64()
+    value = U64()
+
+
+class HashmapTX:
+    """Transactional hashmap operations."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, pool, nbuckets=DEFAULT_NBUCKETS, seed=7,
+               faults=frozenset()):
+        memory = pool.memory
+        header = pool.alloc(TxHashmapHeader)
+        with pool.transaction() as tx:
+            tx.add_struct(header)
+            header.seed = seed
+            header.count = 0
+            header.nbuckets = nbuckets
+            table_addr = pool.alloc(8 * nbuckets, zero=True)
+            header.buckets = table_addr
+            table = PersistentPtrArray(memory, table_addr, nbuckets)
+            tx.add(table_addr, 8 * nbuckets)  # add before writing
+            table.zero_fill()
+            tx.add_field(pool.root, "map_ptr")
+            pool.root.map_ptr = header.address
+        return cls(pool, faults)
+
+    @property
+    def header(self):
+        return TxHashmapHeader(self.memory, self.pool.root.map_ptr)
+
+    def _table(self, header):
+        return PersistentPtrArray(
+            self.memory, header.buckets, header.nbuckets
+        )
+
+    def _bucket_of(self, header, key):
+        return (key * 2654435761 + header.seed) % header.nbuckets
+
+    def _add(self, tx, fault, add_fn):
+        """Perform a TX_ADD unless its fault flag is set."""
+        if fault not in self.faults:
+            add_fn(tx)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert or update one key within a transaction."""
+        pool = self.pool
+        header = self.header
+        table = self._table(header)
+        idx = self._bucket_of(header, key)
+        existing = self._find(header, key)
+        with pool.transaction() as tx:
+            if existing is not None:
+                self._add(
+                    tx, "skip_add_value",
+                    lambda t: t.add_field(existing, "value"),
+                )
+                existing.value = value
+                if "dup_add_count" in self.faults:
+                    tx.add_field(header, "count")
+                    tx.add_field(header, "count")
+                return
+            entry = pool.alloc(TxEntry)
+            self._add(
+                tx, "skip_add_entry",
+                lambda t: t.add_struct(entry),
+            )
+            entry.key = key
+            entry.value = value
+            entry.next = table.get(idx)
+            self._add(
+                tx, "skip_add_bucket",
+                lambda t: t.add(table.addr_of(idx), 8),
+            )
+            table.set(idx, entry.address)
+            if "dup_add_count" in self.faults:
+                tx.add_field(header, "count")
+            if "count_outside_tx" not in self.faults:
+                self._add(
+                    tx, "skip_add_count",
+                    lambda t: t.add_field(header, "count"),
+                )
+                header.count = header.count + 1
+        if "count_outside_tx" in self.faults:
+            # BUG: count updated outside any transaction, never flushed.
+            header.count = header.count + 1
+
+    def remove(self, key):
+        """Remove one key within a transaction; returns True if found."""
+        pool = self.pool
+        header = self.header
+        table = self._table(header)
+        idx = self._bucket_of(header, key)
+        prev = None
+        cursor = table.get(idx)
+        while cursor:
+            entry = TxEntry(self.memory, cursor)
+            if entry.key == key:
+                break
+            prev = entry
+            cursor = entry.next
+        else:
+            return False
+        if not cursor:
+            return False
+        with pool.transaction() as tx:
+            entry = TxEntry(self.memory, cursor)
+            if prev is None:
+                self._add(
+                    tx, "skip_add_bucket_remove",
+                    lambda t: t.add(table.addr_of(idx), 8),
+                )
+                table.set(idx, entry.next)
+            else:
+                self._add(
+                    tx, "skip_add_prev_next",
+                    lambda t: t.add_field(prev, "next"),
+                )
+                prev.next = entry.next
+            self._add(
+                tx, "skip_add_count_remove",
+                lambda t: t.add_field(header, "count"),
+            )
+            header.count = header.count - 1
+            tx.free(cursor)  # TX_FREE: released at commit
+        return True
+
+    def _find(self, header, key):
+        table = self._table(header)
+        cursor = table.get(self._bucket_of(header, key))
+        while cursor:
+            entry = TxEntry(self.memory, cursor)
+            if entry.key == key:
+                return entry
+            cursor = entry.next
+        return None
+
+    def get(self, key):
+        entry = self._find(self.header, key)
+        return entry.value if entry is not None else None
+
+    def count(self):
+        return self.header.count
+
+    def verify(self):
+        """Walk every bucket, returning (entries seen, stored count).
+
+        Exercised as post-failure resumption: it reads every persistent
+        location the structure owns.
+        """
+        header = self.header
+        table = self._table(header)
+        seen = 0
+        for idx in range(header.nbuckets):
+            cursor = table.get(idx)
+            while cursor:
+                entry = TxEntry(self.memory, cursor)
+                _ = entry.key
+                _ = entry.value
+                cursor = entry.next
+                seen += 1
+        return seen, header.count
+
+    def items(self):
+        header = self.header
+        table = self._table(header)
+        pairs = []
+        for idx in range(header.nbuckets):
+            cursor = table.get(idx)
+            while cursor:
+                entry = TxEntry(self.memory, cursor)
+                pairs.append((entry.key, entry.value))
+                cursor = entry.next
+        return sorted(pairs)
+
+
+class HashmapTxWorkload(Workload):
+    """Table 4's Hashmap-TX as a detectable workload.
+
+    Pre-failure performs ``test_size`` inserts; when at least two keys
+    exist it also updates the first and removes the second, exercising
+    every faultable path.  Post-failure opens the pool (recovery), walks
+    the map, and resumes with one insert.
+    """
+
+    name = "hashmap_tx"
+
+    FAULTS = {
+        "skip_add_bucket": ("R", "insert: bucket head not TX_ADDed"),
+        "skip_add_count": ("R", "insert: count not TX_ADDed"),
+        "skip_add_entry": ("R", "insert: new entry not TX_ADDed"),
+        "skip_add_value": ("R", "update: value not TX_ADDed"),
+        "skip_add_bucket_remove": ("R", "remove: bucket head not added"),
+        "skip_add_prev_next": ("R", "remove: predecessor not added"),
+        "skip_add_count_remove": ("R", "remove: count not added"),
+        "count_outside_tx": ("R", "insert: count updated outside tx"),
+        "unpersisted_create_seed": (
+            "R", "creation in RoI leaves seed unpersisted",
+        ),
+        "dup_add_count": ("P", "insert: count TX_ADDed twice"),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 nbuckets=DEFAULT_NBUCKETS, **options):
+        super().__init__(faults, init_size, test_size, **options)
+        self.nbuckets = nbuckets
+
+    def _keys(self):
+        return deterministic_keys(self.init_size + self.test_size + 1)
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "hashmap_tx", LAYOUT, root_cls=TxRoot
+        )
+        if self.has_fault("unpersisted_create_seed"):
+            # Creation happens in the pre-failure RoI instead.
+            return
+        hashmap = HashmapTX.create(
+            pool, self.nbuckets, faults=self.faults
+        )
+        for key in self._keys()[: self.init_size]:
+            hashmap.insert(key, key ^ 0xFF)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "hashmap_tx", LAYOUT, TxRoot)
+        if self.has_fault("unpersisted_create_seed"):
+            # BUG: seed written outside any transaction, not persisted.
+            hashmap = HashmapTX.create(
+                pool, self.nbuckets, faults=self.faults
+            )
+            hashmap.header.seed = 1234
+        else:
+            hashmap = HashmapTX(pool, self.faults)
+        keys = self._keys()
+        test_keys = keys[self.init_size:self.init_size + self.test_size]
+        for key in test_keys:
+            hashmap.insert(key, key ^ 0xAB)
+        if len(test_keys) >= 2:
+            hashmap.insert(test_keys[0], 0xDEAD)  # update path
+            hashmap.remove(test_keys[1])
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "hashmap_tx", LAYOUT, TxRoot)
+        hashmap = HashmapTX(pool, self.faults)
+        hashmap.verify()
+        resume_key = self._keys()[-1]
+        hashmap.insert(resume_key, 0xBEEF)

@@ -1,0 +1,151 @@
+"""The paper's Figure 1 example: a persistent linked list.
+
+``append`` runs inside a PMDK-style transaction and adds ``head`` to the
+undo log, but — with the ``unlogged_length`` fault — forgets ``length``.
+Whether that pre-failure sloppiness becomes a bug depends on the
+post-failure stage:
+
+* the **naive** recovery (paper ``recover()``) only rolls back the undo
+  log and resumes with ``pop()``, which reads the inconsistent
+  ``length`` — a cross-failure race, and potentially a crash (popping a
+  NULL head when the incremented length happened to persist);
+* the **alt** recovery (paper ``recover_alt()``) re-derives ``length``
+  by traversing the list and overwrites it before resuming, so no bug
+  exists — pre-failure-only tools report a false positive here
+  (Section 2.1), which the baseline comparison bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import I64, ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads.base import Workload
+
+LAYOUT = "xf-linkedlist"
+
+
+class ListRoot(Struct):
+    head = Ptr()
+    length = U64()
+
+
+class ListNode(Struct):
+    next = Ptr()
+    value = I64()
+
+
+class PersistentList:
+    """Operations on the persistent list (paper Figure 1)."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.faults = faults
+
+    @property
+    def root(self):
+        return self.pool.root
+
+    def append(self, value):
+        """Push a node at the head (paper's ``append``)."""
+        pool = self.pool
+        root = self.root
+        with pool.transaction() as tx:
+            node = pool.alloc(ListNode)
+            tx.add(node.address, ListNode.SIZE)
+            node.value = value
+            node.next = root.head
+            tx.add_field(root, "head")  # paper line 4: TX_ADD(list.head)
+            root.head = node.address
+            if "unlogged_length" not in self.faults:
+                tx.add_field(root, "length")
+            root.length = root.length + 1
+
+    def pop(self):
+        """Remove the head node (paper's ``pop``)."""
+        pool = self.pool
+        root = self.root
+        with pool.transaction() as tx:
+            if root.length:
+                tx.add_field(root, "head")
+                head = ListNode(pool.memory, root.head)  # crashes on NULL
+                root.head = head.next
+                tx.add_field(root, "length")
+                root.length = root.length - 1
+                tx.free(head.address)  # TX_FREE: released at commit
+
+    def recover_alt(self):
+        """Paper's ``recover_alt``: re-derive length by traversal and
+        overwrite the possibly-inconsistent value.  The overwrite needs
+        no transaction — it is reset on every recovery."""
+        root = self.root
+        count = 0
+        cursor = root.head
+        while cursor:
+            cursor = ListNode(self.pool.memory, cursor).next
+            count += 1
+        root.length = count
+        pmem.persist(self.pool.memory, root.field_addr("length"), 8)
+
+    def items(self):
+        values = []
+        cursor = self.root.head
+        while cursor:
+            node = ListNode(self.pool.memory, cursor)
+            values.append(node.value)
+            cursor = node.next
+        return values
+
+    def length(self):
+        return self.root.length
+
+
+class LinkedListWorkload(Workload):
+    """Figure 1 as a detectable workload.
+
+    ``recovery="naive"`` reproduces the bug; ``recovery="alt"`` is the
+    fixed version (and the baselines' false-positive witness).
+    """
+
+    name = "linkedlist"
+
+    FAULTS = {
+        "unlogged_length": (
+            "R",
+            "append() does not TX_ADD list.length (paper Figure 1)",
+        ),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 recovery="naive", **options):
+        super().__init__(faults, init_size, test_size, **options)
+        if recovery not in ("naive", "alt"):
+            raise ValueError(f"unknown recovery variant: {recovery!r}")
+        self.recovery = recovery
+
+    def _open(self, memory):
+        pool = ObjectPool.open(memory, "linkedlist", LAYOUT, ListRoot)
+        return pool, PersistentList(pool, self.faults)
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "linkedlist", LAYOUT, root_cls=ListRoot
+        )
+        root = pool.root
+        root.head = 0
+        root.length = 0
+        pmem.persist(ctx.memory, root.address, ListRoot.SIZE)
+        plist = PersistentList(pool, self.faults)
+        for value in range(self.init_size):
+            plist.append(value)
+
+    def pre_failure(self, ctx):
+        _pool, plist = self._open(ctx.memory)
+        for value in range(self.test_size):
+            plist.append(1000 + value)
+
+    def post_failure(self, ctx):
+        # A fresh process: open the pool (undo-log recovery runs here).
+        _pool, plist = self._open(ctx.memory)
+        if self.recovery == "alt":
+            plist.recover_alt()
+        # Resume normal execution: the next operation is pop().
+        plist.pop()

@@ -1,0 +1,383 @@
+"""PM-Memcached: a reduction of Lenovo's PM-optimized Memcached
+(Table 4).
+
+Memcached-pmem keeps item storage in persistent memory with low-level
+persists, while the LRU ordering remains volatile and is rebuilt on
+restart.  We reproduce that split: persistent items chained from a
+persistent hash table (with an ``item_count`` guarded by a
+``count_dirty`` commit variable, the same protocol as Hashmap-Atomic),
+and a volatile LRU list reconstructed in the post-failure stage.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Blob, Embed, ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._parray import PersistentPtrArray, atomic_word_write
+from repro.workloads.base import Workload
+
+LAYOUT = "xf-pmcache"
+DEFAULT_NBUCKETS = 32
+MAX_KEY = 32
+MAX_VALUE = 64
+
+
+class CacheHeader(Struct):
+    nbuckets = U64()
+    buckets = Ptr()
+    item_count = U64()
+    count_dirty = U64()
+    cas_counter = U64()  # monotonically increasing CAS stamp source
+
+
+class CacheRoot(Struct):
+    cache = Embed(CacheHeader)
+
+
+class CacheItem(Struct):
+    hnext = Ptr()  # hash-chain link (persistent)
+    flags = U64()
+    cas_id = U64()  # version stamp for compare-and-swap
+    keylen = U64()
+    vallen = U64()
+    key = Blob(MAX_KEY)
+    value = Blob(MAX_VALUE)
+
+
+def _hash_bytes(data):
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class PMCache:
+    """The Memcached-like cache: persistent items, volatile LRU."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+        #: Volatile LRU order (most recent last); rebuilt on restart.
+        self.lru = []
+
+    @property
+    def header(self):
+        return self.pool.root.cache
+
+    def annotate(self, interface):
+        header = self.header
+        name = interface.add_commit_var(
+            header.field_addr("count_dirty"), 8, "cache_count_dirty"
+        )
+        interface.add_commit_range(name, header.field_addr("item_count"), 8)
+
+    # ------------------------------------------------------------------
+    # Construction / restart
+    # ------------------------------------------------------------------
+
+    def create(self, nbuckets=DEFAULT_NBUCKETS):
+        memory = self.memory
+        header = self.header
+        header.item_count = 0
+        header.count_dirty = 0
+        header.cas_counter = 0
+        pmem.persist(memory, header.field_addr("item_count"), 24)
+        table_addr = self.pool.alloc(8 * nbuckets, zero=True)
+        table = PersistentPtrArray(memory, table_addr, nbuckets)
+        table.zero_fill()
+        table.persist_all()
+        header.nbuckets = nbuckets
+        header.buckets = table_addr
+        pmem.persist(memory, header.field_addr("nbuckets"), 16)
+        return self
+
+    def warm_restart(self):
+        """Post-failure start: fix the item count if it was left dirty
+        and rebuild the volatile LRU from the persistent index."""
+        header = self.header
+        keys = []
+        for key_bytes, _item in self._iterate():
+            keys.append(key_bytes)
+        if header.count_dirty:
+            header.item_count = len(keys)
+            pmem.persist(
+                self.memory, header.field_addr("item_count"), 8
+            )
+            header.count_dirty = 0
+            pmem.persist(
+                self.memory, header.field_addr("count_dirty"), 8
+            )
+        self.lru = keys
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _table(self):
+        header = self.header
+        return PersistentPtrArray(
+            self.memory, header.buckets, header.nbuckets
+        )
+
+    def _bucket_of(self, key_bytes):
+        return _hash_bytes(key_bytes) % self.header.nbuckets
+
+    def _find(self, key_bytes):
+        _prev, item = self._find_with_prev(key_bytes)
+        return item
+
+    def _find_with_prev(self, key_bytes):
+        table = self._table()
+        prev = None
+        cursor = table.get(self._bucket_of(key_bytes))
+        while cursor:
+            item = CacheItem(self.memory, cursor)
+            if item.key[: item.keylen] == key_bytes:
+                return prev, item
+            prev = item
+            cursor = item.hnext
+        return None, None
+
+    def set(self, key, value, flags=0):
+        memory = self.memory
+        header = self.header
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        value_bytes = _as_bytes(value, MAX_VALUE, "value")
+
+        prev, existing = self._find_with_prev(key_bytes)
+        if existing is not None:
+            # Memcached never updates items in place: build a fresh
+            # item, atomically swap it into the chain, free the old one.
+            replacement = self.pool.alloc(CacheItem)
+            replacement.flags = flags
+            replacement.cas_id = self._next_cas_id()
+            replacement.keylen = len(key_bytes)
+            replacement.vallen = len(value_bytes)
+            replacement.key = key_bytes
+            replacement.value = value_bytes
+            replacement.hnext = existing.hnext
+            if "skip_persist_value" not in self.faults:
+                pmem.persist(
+                    memory, replacement.address, CacheItem.SIZE
+                )
+            slot = (
+                self._table().addr_of(self._bucket_of(key_bytes))
+                if prev is None
+                else prev.field_addr("hnext")
+            )
+            atomic_word_write(memory, slot, replacement.address)
+            self.pool.free(existing.address)
+            self._touch_lru(key_bytes)
+            return
+
+        self._set_dirty(header, 1)
+        item = self.pool.alloc(CacheItem)
+        item.flags = flags
+        item.cas_id = self._next_cas_id()
+        item.keylen = len(key_bytes)
+        item.vallen = len(value_bytes)
+        item.key = key_bytes
+        item.value = value_bytes
+        table = self._table()
+        idx = self._bucket_of(key_bytes)
+        item.hnext = table.get(idx)
+        if "skip_persist_item" not in self.faults:
+            pmem.persist(memory, item.address, CacheItem.SIZE)
+        atomic_word_write(
+            memory,
+            table.addr_of(idx),
+            item.address,
+            skip_persist="skip_persist_link" in self.faults,
+        )
+        header.item_count = header.item_count + 1
+        pmem.persist(memory, header.field_addr("item_count"), 8)
+        self._set_dirty(header, 0)
+        self._touch_lru(key_bytes)
+
+    def get(self, key):
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        item = self._find(key_bytes)
+        if item is None:
+            return None
+        self._touch_lru(key_bytes)
+        return item.value[: item.vallen]
+
+    def gets(self, key):
+        """Memcached ``gets``: value plus its CAS stamp, or None."""
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        item = self._find(key_bytes)
+        if item is None:
+            return None
+        self._touch_lru(key_bytes)
+        return item.value[: item.vallen], item.cas_id
+
+    def cas(self, key, value, cas_id, flags=0):
+        """Compare-and-swap: replace only if the item's CAS stamp still
+        matches.  Returns "STORED", "EXISTS" (stamp changed), or
+        "NOT_FOUND"."""
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        item = self._find(key_bytes)
+        if item is None:
+            return "NOT_FOUND"
+        if item.cas_id != cas_id:
+            return "EXISTS"
+        self.set(key, value, flags)
+        return "STORED"
+
+    def touch(self, key):
+        """Refresh a key's LRU position; True if present."""
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        if self._find(key_bytes) is None:
+            return False
+        self._touch_lru(key_bytes)
+        return True
+
+    def evict_lru(self, keep):
+        """Evict least-recently-used items until at most ``keep``
+        remain.  Returns the evicted keys (memcached's memory-pressure
+        path, here driven explicitly)."""
+        evicted = []
+        while len(self.lru) > keep:
+            victim = self.lru[0]
+            self.delete(victim.decode())
+            evicted.append(victim)
+        return evicted
+
+    def delete(self, key):
+        memory = self.memory
+        header = self.header
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        table = self._table()
+        idx = self._bucket_of(key_bytes)
+        prev = None
+        cursor = table.get(idx)
+        while cursor:
+            item = CacheItem(memory, cursor)
+            if item.key[: item.keylen] == key_bytes:
+                break
+            prev = item
+            cursor = item.hnext
+        else:
+            return False
+        self._set_dirty(header, 1)
+        item = CacheItem(memory, cursor)
+        successor = item.hnext
+        if prev is None:
+            atomic_word_write(memory, table.addr_of(idx), successor)
+        else:
+            atomic_word_write(
+                memory, prev.field_addr("hnext"), successor
+            )
+        header.item_count = header.item_count - 1
+        pmem.persist(memory, header.field_addr("item_count"), 8)
+        self._set_dirty(header, 0)
+        self.pool.free(cursor)
+        if key_bytes in self.lru:
+            self.lru.remove(key_bytes)
+        return True
+
+    def stats(self):
+        return {
+            "item_count": self.header.item_count,
+            "lru_depth": len(self.lru),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_cas_id(self):
+        """Monotonic CAS stamp (persisted with the atomic-word API —
+        a torn counter would hand out duplicate stamps)."""
+        header = self.header
+        value = header.cas_counter + 1
+        atomic_word_write(
+            self.memory, header.field_addr("cas_counter"), value
+        )
+        return value
+
+    def _set_dirty(self, header, value):
+        if "skip_dirty_set" in self.faults:
+            return
+        header.count_dirty = value
+        pmem.persist(self.memory, header.field_addr("count_dirty"), 8)
+
+    def _touch_lru(self, key_bytes):
+        if key_bytes in self.lru:
+            self.lru.remove(key_bytes)
+        self.lru.append(key_bytes)
+
+    def _iterate(self):
+        header = self.header
+        table = self._table()
+        for idx in range(header.nbuckets):
+            cursor = table.get(idx)
+            while cursor:
+                item = CacheItem(self.memory, cursor)
+                yield bytes(item.key[: item.keylen]), item
+                cursor = item.hnext
+
+
+def _as_bytes(value, limit, what):
+    data = value.encode() if isinstance(value, str) else bytes(value)
+    if not data or len(data) > limit:
+        raise ValueError(
+            f"{what} must be 1..{limit} bytes, got {len(data)}"
+        )
+    return data
+
+
+class PMCacheWorkload(Workload):
+    """PM-Memcached as a detectable workload."""
+
+    name = "memcached"
+
+    FAULTS = {
+        "skip_persist_item": ("R", "set: item fields not persisted"),
+        "skip_persist_link": (
+            "R", "set: hash link outside the atomic-update API",
+        ),
+        "skip_persist_value": ("R", "set: value overwrite not persisted"),
+        "skip_dirty_set": (
+            "S", "updates never set the count_dirty commit variable",
+        ),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 nbuckets=DEFAULT_NBUCKETS, **options):
+        super().__init__(faults, init_size, test_size, **options)
+        self.nbuckets = nbuckets
+
+    def _pairs(self, count, offset=0):
+        return [
+            (f"item:{i + offset}", f"payload-{i + offset}")
+            for i in range(count)
+        ]
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "pmcache", LAYOUT, root_cls=CacheRoot
+        )
+        cache = PMCache(pool, self.faults).create(self.nbuckets)
+        for key, value in self._pairs(self.init_size):
+            cache.set(key, value)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "pmcache", LAYOUT, CacheRoot)
+        cache = PMCache(pool, self.faults)
+        cache.annotate(ctx.interface)
+        cache.warm_restart()
+        for key, value in self._pairs(self.test_size, self.init_size):
+            cache.set(key, value)
+        if self.test_size >= 2:
+            cache.set(f"item:{self.init_size}", "rewritten")
+            cache.delete(f"item:{self.init_size + 1}")
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "pmcache", LAYOUT, CacheRoot)
+        cache = PMCache(pool, self.faults)
+        cache.annotate(ctx.interface)
+        cache.warm_restart()
+        cache.stats()
+        cache.get(f"item:{self.init_size}")
+        cache.set("resume", "after-restart")

@@ -1,0 +1,335 @@
+"""PM-Redis: a reduction of Intel's PM-optimized Redis (Table 4).
+
+The paper tests Redis built on PMDK transactions; its PM core is a
+persistent dictionary of string keys/values plus server bookkeeping.
+We reproduce that core: ``SET``/``GET``/``DEL`` commands over a chained
+hash dictionary, all updates transactional.
+
+This is the habitat of the paper's **Bug 3** (Section 6.3.2, Figure
+14c): ``initPersistentMemory`` initializes server state —
+``root->num_dict_entries = 0`` and the dictionary table — *without* the
+protection of any transaction.  A failure in the middle of
+initialization leaves the fields volatile; the restarted server reads
+them: a cross-failure race.  The ``bug3_unprotected_init`` fault
+switches the stock (buggy) initialization on; the default build uses
+the fixed, transactional initialization.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import Blob, ObjectPool, Ptr, Struct, U64
+from repro.workloads._parray import PersistentPtrArray
+from repro.workloads._txutil import TxAdder
+from repro.workloads.base import Workload
+
+LAYOUT = "xf-pmkv"
+DEFAULT_NBUCKETS = 32
+MAX_KEY = 32
+MAX_VALUE = 64
+
+
+class KVRoot(Struct):
+    initialized = U64()
+    num_dict_entries = U64()
+    nbuckets = U64()
+    buckets = Ptr()
+
+
+class KVEntry(Struct):
+    next = Ptr()
+    keylen = U64()
+    vallen = U64()
+    key = Blob(MAX_KEY)
+    value = Blob(MAX_VALUE)
+
+
+def _hash_bytes(data):
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class PMKVServer:
+    """The Redis-like server: init + SET/GET/DEL command handlers."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    @property
+    def root(self):
+        return self.pool.root
+
+    # ------------------------------------------------------------------
+    # Server start (paper Figure 14c)
+    # ------------------------------------------------------------------
+
+    def init_persistent_memory(self, nbuckets=DEFAULT_NBUCKETS):
+        """Initialize server state on first start.
+
+        Stock Redis (``bug3_unprotected_init``) performs these writes
+        with no crash-consistency protection; the fix wraps them in a
+        transaction so an interrupted initialization rolls back.
+        """
+        pool = self.pool
+        root = self.root
+        if root.initialized:
+            return
+        if "bug3_unprotected_init" in self.faults:
+            # BUG (paper Bug 3): plain writes, no transaction, persisted
+            # only at the very end.
+            table_addr = pool.alloc(8 * nbuckets, zero=True)
+            table = PersistentPtrArray(self.memory, table_addr, nbuckets)
+            table.zero_fill()
+            root.num_dict_entries = 0
+            root.nbuckets = nbuckets
+            root.buckets = table_addr
+            root.initialized = 1
+            pool.persist(root.address, KVRoot.SIZE)
+            table.persist_all()
+            return
+        with pool.transaction() as tx:
+            tx.add(root.address, KVRoot.SIZE)
+            table_addr = pool.alloc(8 * nbuckets, zero=True)
+            table = PersistentPtrArray(self.memory, table_addr, nbuckets)
+            table.zero_fill()
+            tx.add(table_addr, 8 * nbuckets)
+            root.num_dict_entries = 0
+            root.nbuckets = nbuckets
+            root.buckets = table_addr
+            root.initialized = 1
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _table(self):
+        root = self.root
+        return PersistentPtrArray(
+            self.memory, root.buckets, root.nbuckets
+        )
+
+    def _bucket_of(self, key_bytes):
+        return _hash_bytes(key_bytes) % self.root.nbuckets
+
+    def _find(self, key_bytes):
+        table = self._table()
+        cursor = table.get(self._bucket_of(key_bytes))
+        while cursor:
+            entry = KVEntry(self.memory, cursor)
+            if entry.key[: entry.keylen] == key_bytes:
+                return entry
+            cursor = entry.next
+        return None
+
+    def set(self, key, value):
+        """SET key value."""
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        value_bytes = _as_bytes(value, MAX_VALUE, "value")
+        pool = self.pool
+        root = self.root
+        existing = self._find(key_bytes)
+        with pool.transaction() as tx:
+            adder = TxAdder(tx, self.faults)
+            if existing is not None:
+                adder.add(existing, "skip_add_value_set")
+                existing.vallen = len(value_bytes)
+                existing.value = value_bytes
+                return
+            entry = pool.alloc(KVEntry)
+            adder.add(entry)
+            entry.keylen = len(key_bytes)
+            entry.vallen = len(value_bytes)
+            entry.key = key_bytes
+            entry.value = value_bytes
+            table = self._table()
+            idx = self._bucket_of(key_bytes)
+            entry.next = table.get(idx)
+            adder.add_range(table.addr_of(idx), 8)
+            table.set(idx, entry.address)
+            adder.add_field(root, "num_dict_entries",
+                            "skip_add_dict_count")
+            root.num_dict_entries = root.num_dict_entries + 1
+
+    def get(self, key):
+        """GET key -> bytes or None."""
+        entry = self._find(_as_bytes(key, MAX_KEY, "key"))
+        if entry is None:
+            return None
+        return entry.value[: entry.vallen]
+
+    def incr(self, key, delta=1):
+        """INCR key: atomic read-modify-write of an integer value.
+
+        Creates the key at ``delta`` when missing; errors when the
+        stored value is not an integer, like Redis.
+        """
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        existing = self._find(key_bytes)
+        if existing is None:
+            self.set(key, str(delta))
+            return delta
+        raw = existing.value[: existing.vallen]
+        try:
+            current = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"value of {key!r} is not an integer: {raw!r}"
+            ) from None
+        updated = current + delta
+        with self.pool.transaction() as tx:
+            tx.add_struct(existing)
+            text = str(updated).encode()
+            existing.vallen = len(text)
+            existing.value = text
+        return updated
+
+    def append(self, key, suffix):
+        """APPEND key suffix -> new length (creates missing keys)."""
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        suffix_bytes = _as_bytes(suffix, MAX_VALUE, "suffix")
+        existing = self._find(key_bytes)
+        if existing is None:
+            self.set(key, suffix)
+            return len(suffix_bytes)
+        current = existing.value[: existing.vallen]
+        combined = current + suffix_bytes
+        if len(combined) > MAX_VALUE:
+            raise ValueError(
+                f"APPEND would exceed {MAX_VALUE} bytes"
+            )
+        with self.pool.transaction() as tx:
+            tx.add_struct(existing)
+            existing.vallen = len(combined)
+            existing.value = combined
+        return len(combined)
+
+    def delete(self, key):
+        """DEL key -> bool."""
+        key_bytes = _as_bytes(key, MAX_KEY, "key")
+        pool = self.pool
+        root = self.root
+        table = self._table()
+        idx = self._bucket_of(key_bytes)
+        prev = None
+        cursor = table.get(idx)
+        while cursor:
+            entry = KVEntry(self.memory, cursor)
+            if entry.key[: entry.keylen] == key_bytes:
+                break
+            prev = entry
+            cursor = entry.next
+        else:
+            return False
+        with pool.transaction() as tx:
+            adder = TxAdder(tx, self.faults)
+            entry = KVEntry(self.memory, cursor)
+            if prev is None:
+                adder.add_range(table.addr_of(idx), 8)
+                table.set(idx, entry.next)
+            else:
+                adder.add_field(prev, "next")
+                prev.next = entry.next
+            adder.add_field(root, "num_dict_entries",
+                            "skip_add_dict_count")
+            root.num_dict_entries = root.num_dict_entries - 1
+            tx.free(cursor)  # TX_FREE: released at commit
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection (INFO command analogue)
+    # ------------------------------------------------------------------
+
+    def info(self):
+        return {"num_dict_entries": self.root.num_dict_entries}
+
+    def keys(self):
+        root = self.root
+        table = self._table()
+        found = []
+        for idx in range(root.nbuckets):
+            cursor = table.get(idx)
+            while cursor:
+                entry = KVEntry(self.memory, cursor)
+                found.append(bytes(entry.key[: entry.keylen]))
+                cursor = entry.next
+        return sorted(found)
+
+
+def _as_bytes(value, limit, what):
+    data = value.encode() if isinstance(value, str) else bytes(value)
+    if not data or len(data) > limit:
+        raise ValueError(
+            f"{what} must be 1..{limit} bytes, got {len(data)}"
+        )
+    return data
+
+
+class PMKVWorkload(Workload):
+    """PM-Redis as a detectable workload.
+
+    ``setup`` creates the pool; the server "starts" in the pre-failure
+    stage (running initialization — where Bug 3 lives) and serves
+    ``test_size`` SET commands.  The post-failure stage restarts the
+    server and serves reads, exactly how a recovered Redis resumes.
+    """
+
+    name = "redis"
+
+    FAULTS = {
+        "bug3_unprotected_init": (
+            "R", "initPersistentMemory without transaction "
+                 "(paper Bug 3)",
+        ),
+        "skip_add_value_set": ("R", "SET: value overwrite not TX_ADDed"),
+        "skip_add_dict_count": (
+            "R", "SET/DEL: num_dict_entries not TX_ADDed",
+        ),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 nbuckets=DEFAULT_NBUCKETS, **options):
+        super().__init__(faults, init_size, test_size, **options)
+        self.nbuckets = nbuckets
+
+    def _pairs(self, count, offset=0):
+        return [
+            (f"key:{i + offset}", f"value-{i + offset}")
+            for i in range(count)
+        ]
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "pmkv", LAYOUT, root_cls=KVRoot
+        )
+        root = pool.root
+        root.initialized = 0
+        root.num_dict_entries = 0
+        pool.persist(root.address, KVRoot.SIZE)
+        if self.init_size and not self.has_fault("bug3_unprotected_init"):
+            server = PMKVServer(pool, self.faults)
+            server.init_persistent_memory(self.nbuckets)
+            for key, value in self._pairs(self.init_size):
+                server.set(key, value)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "pmkv", LAYOUT, KVRoot)
+        server = PMKVServer(pool, self.faults)
+        server.init_persistent_memory(self.nbuckets)
+        for key, value in self._pairs(self.test_size, self.init_size):
+            server.set(key, value)
+        if self.test_size >= 2:
+            server.set(f"key:{self.init_size}", "updated")
+            server.delete(f"key:{self.init_size + 1}")
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "pmkv", LAYOUT, KVRoot)
+        server = PMKVServer(pool, self.faults)
+        if not pool.root.initialized:
+            return
+        server.info()
+        server.keys()
+        server.get(f"key:{self.init_size}")
+        server.set("resume", "after-restart")

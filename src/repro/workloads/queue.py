@@ -1,0 +1,171 @@
+"""A persistent ring-buffer queue (PMDK's queue example pattern).
+
+The crash-consistent idiom: the producer writes the payload slot and
+persists it *before* atomically bumping ``tail``; the consumer reads a
+slot and then atomically bumps ``head``.  The two cursors are 8-byte
+words updated through the atomic-word API, so at any failure the queue
+state is the contiguous range ``[head, tail)`` of fully persisted
+slots.
+
+The cursors are annotated as commit variables: recovery reads them to
+find the valid window (benign cross-failure races), and each versions
+only itself — the slots' validity is positional.
+"""
+
+from __future__ import annotations
+
+from repro.pmdk import I64, ObjectPool, Ptr, Struct, U64, pmem
+from repro.workloads._parray import atomic_word_write
+from repro.workloads.base import Workload
+
+LAYOUT = "xf-queue"
+DEFAULT_CAPACITY = 16
+
+
+class QueueRoot(Struct):
+    capacity = U64()
+    head = U64()  # next slot to dequeue
+    tail = U64()  # next slot to enqueue
+    slots = Ptr()  # -> capacity * i64
+
+
+class QueueFullError(Exception):
+    pass
+
+
+class PersistentQueue:
+    """FIFO operations over the persistent ring buffer."""
+
+    def __init__(self, pool, faults=frozenset()):
+        self.pool = pool
+        self.memory = pool.memory
+        self.faults = faults
+
+    @property
+    def root(self):
+        return self.pool.root
+
+    def annotate(self, interface):
+        root = self.root
+        for cursor in ("head", "tail"):
+            name = interface.add_commit_var(
+                root.field_addr(cursor), 8, f"queue_{cursor}"
+            )
+            interface.add_commit_range(
+                name, root.field_addr(cursor), 8
+            )
+
+    def create(self, capacity=DEFAULT_CAPACITY):
+        memory = self.memory
+        root = self.root
+        root.capacity = capacity
+        root.head = 0
+        root.tail = 0
+        slots_addr = self.pool.alloc(8 * capacity, zero=True)
+        memory.store(slots_addr, bytes(8 * capacity))
+        pmem.persist(memory, slots_addr, 8 * capacity)
+        root.slots = slots_addr
+        pmem.persist(memory, root.address, QueueRoot.SIZE)
+        return self
+
+    def _slot_addr(self, index):
+        root = self.root
+        return root.slots + 8 * (index % root.capacity)
+
+    def size(self):
+        root = self.root
+        return root.tail - root.head
+
+    def enqueue(self, value):
+        memory = self.memory
+        root = self.root
+        tail = root.tail
+        if tail - root.head >= root.capacity:
+            raise QueueFullError(f"queue full at {root.capacity}")
+        slot = self._slot_addr(tail)
+
+        if "tail_before_slot" in self.faults:
+            # BUG: publish the slot before its payload is durable.
+            atomic_word_write(
+                memory, root.field_addr("tail"), tail + 1
+            )
+            memory.store(slot, int(value).to_bytes(8, "little",
+                                                   signed=True))
+            pmem.persist(memory, slot, 8)
+            return
+
+        memory.store(slot, int(value).to_bytes(8, "little", signed=True))
+        if "skip_persist_slot" not in self.faults:
+            pmem.persist(memory, slot, 8)
+        if "double_flush_slot" in self.faults:
+            pmem.persist(memory, slot, 8)
+        atomic_word_write(memory, root.field_addr("tail"), tail + 1)
+
+    def dequeue(self):
+        memory = self.memory
+        root = self.root
+        head = root.head
+        if head == root.tail:
+            return None
+        raw = memory.load(self._slot_addr(head), 8)
+        value = int.from_bytes(raw, "little", signed=True)
+        atomic_word_write(memory, root.field_addr("head"), head + 1)
+        return value
+
+    def peek_all(self):
+        """Every value currently in the queue, oldest first."""
+        memory = self.memory
+        root = self.root
+        values = []
+        for index in range(root.head, root.tail):
+            raw = memory.load(self._slot_addr(index), 8)
+            values.append(int.from_bytes(raw, "little", signed=True))
+        return values
+
+
+class QueueWorkload(Workload):
+    """The ring-buffer queue as a detectable workload."""
+
+    name = "queue"
+
+    FAULTS = {
+        "tail_before_slot": (
+            "R", "enqueue: tail published before the slot persisted",
+        ),
+        "skip_persist_slot": (
+            "R", "enqueue: payload slot never persisted",
+        ),
+        "double_flush_slot": ("P", "enqueue: slot persisted twice"),
+    }
+
+    def __init__(self, faults=(), init_size=0, test_size=1,
+                 capacity=DEFAULT_CAPACITY, **options):
+        super().__init__(faults, init_size, test_size, **options)
+        self.capacity = capacity
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(
+            ctx.memory, "queue", LAYOUT, root_cls=QueueRoot
+        )
+        queue = PersistentQueue(pool, self.faults).create(self.capacity)
+        for value in range(self.init_size):
+            queue.enqueue(value)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "queue", LAYOUT, QueueRoot)
+        queue = PersistentQueue(pool, self.faults)
+        queue.annotate(ctx.interface)
+        for value in range(self.test_size):
+            queue.enqueue(100 + value)
+        if self.init_size:
+            queue.dequeue()
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "queue", LAYOUT, QueueRoot)
+        queue = PersistentQueue(pool, self.faults)
+        queue.annotate(ctx.interface)
+        # Recovery: the [head, tail) window is the valid queue; drain
+        # it, then resume producing.
+        queue.peek_all()
+        queue.dequeue()
+        queue.enqueue(999)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetectorConfig, XFDetector
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.recorder import TraceRecorder
+
+
+@pytest.fixture
+def memory():
+    """A fresh PM runtime with a pre-stage recorder."""
+    return PersistentMemory(TraceRecorder("pre"), capture_ips=True)
+
+
+@pytest.fixture
+def pool(memory):
+    """A 1 MiB raw pool mapped at the standard hint address."""
+    return memory.map_pool(PMPool("test", size=1 << 20))
+
+
+@pytest.fixture
+def detector():
+    return XFDetector(DetectorConfig())
+
+
+@pytest.fixture
+def config():
+    return DetectorConfig()

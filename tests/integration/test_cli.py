@@ -1,0 +1,82 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_clean_workload_exits_zero(self, capsys):
+        code = main(["run", "linkedlist", "--init", "1", "--test", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no bugs" in out
+        assert "failure points" in out
+
+    def test_run_buggy_workload_exits_nonzero(self, capsys):
+        code = main([
+            "run", "linkedlist", "--init", "2", "--test", "1",
+            "--fault", "unlogged_length",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cross-failure race" in out
+
+    def test_run_with_strict_image_and_cap(self, capsys):
+        code = main([
+            "run", "array_backup", "--test", "1", "--strict-image",
+            "--max-failure-points", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 failure points" in out
+
+    def test_all_occurrences_flag(self, capsys):
+        main([
+            "run", "linkedlist", "--init", "2", "--test", "2",
+            "--fault", "unlogged_length", "--all-occurrences",
+        ])
+        out = capsys.readouterr().out
+        assert out.count("cross-failure race") >= 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuch"])
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError):
+            main(["run", "btree", "--fault", "nosuch"])
+
+
+class TestInformational:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("btree", "redis", "memcached"):
+            assert name in out
+
+    def test_list_faults(self, capsys):
+        assert main(["list-faults", "hashmap_atomic"]) == 0
+        out = capsys.readouterr().out
+        assert "bug1_unpersisted_create" in out
+        assert "[S]" in out and "[R]" in out and "[P]" in out
+
+    def test_list_faults_empty(self, capsys):
+        from repro.bugsuite.newbugs import PoolCreationWorkload  # noqa
+
+        # array_backup has one flag; pick a workload with none? All
+        # registered workloads have flags, so just verify formatting.
+        assert main(["list-faults", "array_backup"]) == 0
+        assert "swapped_valid" in capsys.readouterr().out
+
+
+class TestSuiteAndNewBugs:
+    def test_new_bugs_all_detected(self, capsys):
+        assert main(["new-bugs"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("DETECTED") == 4
+
+    def test_suite_subset(self, capsys):
+        assert main(["suite", "--workload", "ctree"]) == 0
+        out = capsys.readouterr().out
+        assert "detected 7/7" in out

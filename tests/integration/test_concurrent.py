@@ -1,0 +1,77 @@
+"""Tests for multithreaded workloads (paper Section 7)."""
+
+import pytest
+
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.core.frontend import Frontend
+from repro.pm.image import CrashImageMode
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.concurrent import (
+    ConcurrentHashmapWorkload,
+    client_states,
+)
+
+
+class TestConcurrentDetection:
+    def test_correct_concurrent_workload_clean(self):
+        workload = ConcurrentHashmapWorkload(clients=3, test_size=2)
+        report = XFDetector(DetectorConfig()).run(workload)
+        assert report.bugs == [], report.format()
+        assert report.stats.failure_points > 0
+
+    def test_faulty_concurrent_workload_detected(self):
+        workload = ConcurrentHashmapWorkload(
+            clients=3, test_size=2, faults={"skip_add_count"},
+        )
+        report = XFDetector(DetectorConfig()).run(workload)
+        assert any(
+            bug.kind is BugKind.CROSS_FAILURE_RACE
+            for bug in report.bugs
+        ), report.format()
+
+    def test_client_errors_surface(self):
+        workload = ConcurrentHashmapWorkload(clients=2, test_size=1)
+
+        def broken(ctx, client, errors):
+            errors.append((client, ValueError("boom")))
+
+        workload._client_body = broken
+        with pytest.raises(RuntimeError):
+            XFDetector(DetectorConfig()).run(workload)
+
+    def test_invalid_client_count_rejected(self):
+        with pytest.raises(ValueError):
+            ConcurrentHashmapWorkload(clients=0)
+
+
+class TestConcurrentAtomicity:
+    def test_every_failure_point_is_per_client_consistent(self):
+        """At any failure point, every client's pool independently
+        recovers to a prefix of that client's inserts — transactions
+        of different threads never bleed into each other."""
+        workload = ConcurrentHashmapWorkload(clients=3, test_size=3)
+        result = Frontend(DetectorConfig()).run(workload)
+        assert result.failure_points
+        for failure_point in result.failure_points[::2]:
+            memory = PersistentMemory(
+                TraceRecorder("post"), capture_ips=False
+            )
+            for image in failure_point.images:
+                memory.map_pool(PMPool(
+                    image.pool_name, image.size, image.base,
+                    data=image.bytes_for(
+                        CrashImageMode.PERSISTED_ONLY
+                    ),
+                ))
+            states = client_states(memory, workload)
+            for client, items in enumerate(states):
+                keys = workload._keys(client)[workload.init_size:]
+                prefixes = [
+                    sorted((key, key ^ 0xAB) for key in keys[:k])
+                    for k in range(len(keys) + 1)
+                ]
+                assert items in prefixes, (
+                    f"fp#{failure_point.fid} client {client}: {items}"
+                )

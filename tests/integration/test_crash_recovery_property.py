@@ -1,0 +1,169 @@
+"""The strong crash-consistency property, checked end-to-end.
+
+For a *correct* transactional workload, take the crash image at every
+injected failure point, open it in a fresh runtime (running recovery),
+and check that the recovered structure equals the state after some
+prefix of the completed operations — i.e. every transaction is all or
+nothing, at every possible failure.
+
+This is the semantic ground truth behind the detector: if this property
+held nowhere, a clean detector report would be meaningless.
+"""
+
+import pytest
+
+from repro.core import DetectorConfig
+from repro.core.frontend import Frontend
+from repro.pm.image import CrashImageMode
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.pmdk import ObjectPool
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.hashmap_tx import HashmapTX, LAYOUT as HT_LAYOUT, TxRoot
+from repro.workloads.linkedlist import (
+    LAYOUT as LL_LAYOUT,
+    ListRoot,
+    PersistentList,
+)
+
+
+def open_image(image, mode):
+    memory = PersistentMemory(TraceRecorder("post"), capture_ips=False)
+    memory.map_pool(
+        PMPool(image.pool_name, image.size, image.base,
+               data=image.bytes_for(mode))
+    )
+    return memory
+
+
+class TestTreeAtomicity:
+    """Crash the tree workloads at every failure point; the recovered
+    structure must equal the state after some prefix of the completed
+    operations and keep its own invariants."""
+
+    def _model_states(self, ops):
+        """Dict snapshots after each prefix of (op, key, value) ops."""
+        states = [{}]
+        model = {}
+        for op, key, value in ops:
+            if op == "insert":
+                model[key] = value
+            else:
+                model.pop(key, None)
+            states.append(dict(model))
+        return [sorted(s.items()) for s in states]
+
+    @pytest.mark.parametrize(
+        "name", ["btree", "ctree", "rbtree"],
+    )
+    def test_tree_recovers_to_an_operation_prefix(self, name):
+        from repro.workloads import MICROBENCHMARKS
+
+        cls = MICROBENCHMARKS[name]
+        workload = cls(init_size=0, test_size=5)
+        keys = workload._keys()[:5]
+        ops = [("insert", key, key ^ 0xAB) for key in keys]
+        # pre_failure also runs one update (all trees) and, for btree
+        # and ctree, one remove.
+        ops.append(("insert", keys[0], 0xDEAD))
+        if name in ("btree", "ctree"):
+            ops.append(("remove", keys[1], None))
+        valid_states = self._model_states(ops)
+
+        result = Frontend(DetectorConfig()).run(workload)
+        assert result.failure_points
+        for failure_point in result.failure_points:
+            memory = open_image(
+                failure_point.images[0], CrashImageMode.PERSISTED_ONLY
+            )
+            import repro.workloads.btree as bt
+            import repro.workloads.ctree as ct
+            import repro.workloads.rbtree as rt
+
+            module = {"btree": bt, "ctree": ct, "rbtree": rt}[name]
+            root_cls = {
+                "btree": bt.BTreeRoot,
+                "ctree": ct.CTreeRoot,
+                "rbtree": rt.RBRoot,
+            }[name]
+            tree_cls = {
+                "btree": bt.BTree,
+                "ctree": ct.CTree,
+                "rbtree": rt.RBTree,
+            }[name]
+            pool = ObjectPool.open(
+                memory, name, module.LAYOUT, root_cls
+            )
+            tree = tree_cls(pool)
+            items = tree.items()
+            assert items in valid_states, (
+                f"{name} fp#{failure_point.fid}: {items}"
+            )
+            assert tree.count() == len(items)
+            tree.check()
+
+
+@pytest.mark.parametrize(
+    "mode", [CrashImageMode.AS_WRITTEN, CrashImageMode.PERSISTED_ONLY],
+    ids=["as-written", "persisted-only"],
+)
+class TestTransactionAtomicity:
+    def test_linkedlist_recovers_to_an_operation_prefix(self, mode):
+        appends = 4
+        workload_values = [1000 + i for i in range(appends)]
+        from repro.workloads.linkedlist import LinkedListWorkload
+
+        workload = LinkedListWorkload(
+            recovery="alt", init_size=0, test_size=appends
+        )
+        result = Frontend(DetectorConfig()).run(workload)
+        assert result.failure_points
+
+        valid_states = [
+            list(reversed(workload_values[:k]))
+            for k in range(appends + 1)
+        ]
+        for failure_point in result.failure_points:
+            memory = open_image(failure_point.images[0], mode)
+            pool = ObjectPool.open(memory, "linkedlist", LL_LAYOUT,
+                                   ListRoot)
+            plist = PersistentList(pool)
+            plist.recover_alt()
+            items = plist.items()
+            assert items in valid_states, (
+                f"fp#{failure_point.fid}: {items}"
+            )
+            assert plist.length() == len(items)
+
+    def test_hashmap_tx_recovers_to_an_operation_prefix(self, mode):
+        from repro.workloads.hashmap_tx import HashmapTxWorkload
+
+        inserts = 4
+        workload = HashmapTxWorkload(init_size=0, test_size=inserts)
+        keys = workload._keys()[:inserts]
+        result = Frontend(DetectorConfig()).run(workload)
+        assert result.failure_points
+
+        valid_states = [
+            sorted((key, key ^ 0xAB) for key in keys[:k])
+            for k in range(inserts + 1)
+        ]
+        # pre_failure with test_size=4 also runs one update and one
+        # remove after the inserts; add those terminal states.
+        updated = dict(valid_states[-1])
+        updated[keys[0]] = 0xDEAD
+        valid_states.append(sorted(updated.items()))
+        removed = dict(updated)
+        removed.pop(keys[1])
+        valid_states.append(sorted(removed.items()))
+
+        for failure_point in result.failure_points:
+            memory = open_image(failure_point.images[0], mode)
+            pool = ObjectPool.open(memory, "hashmap_tx", HT_LAYOUT,
+                                   TxRoot)
+            hashmap = HashmapTX(pool)
+            items = hashmap.items()
+            assert items in valid_states, (
+                f"fp#{failure_point.fid}: {items}"
+            )
+            assert hashmap.count() == len(items)

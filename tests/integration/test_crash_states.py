@@ -1,0 +1,84 @@
+"""Tests for the crash-state enumeration extension
+(DetectorConfig.crash_state_variants)."""
+
+import pytest
+
+from repro.core import DetectorConfig, XFDetector
+from repro.core.frontend import Frontend
+from repro.pm.image import PMImage
+from repro.workloads import LinkedListWorkload
+
+
+class TestVariantImages:
+    def test_variant_bytes_masks_lines(self):
+        data = bytes(b"N" * 128)
+        persisted = bytes(b"O" * 128)
+        image = PMImage("p", 0, data, persisted, volatile_lines=(0, 64))
+        assert image.crash_state_count == 4
+        assert image.variant_bytes(0b11) == data
+        assert image.variant_bytes(0b00) == persisted
+        mixed = image.variant_bytes(0b01)
+        assert mixed[:64] == b"N" * 64
+        assert mixed[64:] == b"O" * 64
+
+    def test_images_record_volatile_lines(self):
+        workload = LinkedListWorkload(
+            recovery="naive", init_size=1, test_size=1,
+            faults={"unlogged_length"},
+        )
+        result = Frontend(DetectorConfig()).run(workload)
+        # At a mid-transaction failure point something is volatile.
+        assert any(
+            fp.images[0].volatile_lines
+            for fp in result.failure_points
+        )
+
+
+class TestVariantRuns:
+    def _workload(self):
+        return LinkedListWorkload(
+            recovery="naive", init_size=1, test_size=1,
+            faults={"unlogged_length"},
+        )
+
+    def test_variants_spawn_extra_post_runs(self):
+        base = Frontend(DetectorConfig()).run(self._workload())
+        fuzzed = Frontend(
+            DetectorConfig(crash_state_variants=3)
+        ).run(self._workload())
+        assert len(fuzzed.post_runs) > len(base.post_runs)
+        variants = [
+            run.variant for run in fuzzed.post_runs
+            if run.variant is not None
+        ]
+        assert variants, "expected variant runs"
+        assert all(0 <= v < 3 for v in variants)
+
+    def test_variant_sampling_is_deterministic(self):
+        first = Frontend(
+            DetectorConfig(crash_state_variants=3)
+        ).run(self._workload())
+        second = Frontend(
+            DetectorConfig(crash_state_variants=3)
+        ).run(self._workload())
+        assert len(first.post_runs) == len(second.post_runs)
+
+    def test_detection_still_works_with_variants(self):
+        report = XFDetector(
+            DetectorConfig(crash_state_variants=2)
+        ).run(self._workload())
+        assert report.races
+
+    def test_variants_can_expose_value_dependent_crashes(self):
+        """The paper's pop-on-empty-list crash depends on which values
+        survive: the crash-state sweep must surface at least as many
+        crashing states as the single-image run."""
+        base = XFDetector(DetectorConfig()).run(self._workload())
+        fuzzed = XFDetector(
+            DetectorConfig(crash_state_variants=4)
+        ).run(self._workload())
+        assert len(fuzzed.crashes) >= len(base.crashes)
+
+    def test_zero_variants_by_default(self):
+        result = Frontend(DetectorConfig()).run(self._workload())
+        assert all(run.variant is None for run in result.post_runs)

@@ -1,0 +1,116 @@
+"""Tests for the eADR platform model: persistent caches make every
+store durable, eliminating cross-failure races but not semantic bugs."""
+
+import pytest
+
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.pm.cacheline import PlatformMode
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.recorder import TraceRecorder
+from repro.workloads import (
+    ArrayBackupWorkload,
+    HashmapAtomicWorkload,
+    LinkedListWorkload,
+)
+
+
+def eadr_config(**kwargs):
+    return DetectorConfig(platform=PlatformMode.EADR, **kwargs)
+
+
+class TestEadrRuntime:
+    def make_memory(self):
+        memory = PersistentMemory(
+            TraceRecorder(), capture_ips=False,
+            platform=PlatformMode.EADR,
+        )
+        pool = memory.map_pool(PMPool("p", size=1 << 16))
+        return memory, pool
+
+    def test_store_is_immediately_durable(self):
+        memory, pool = self.make_memory()
+        memory.store(pool.base, b"x")
+        assert memory.is_persisted(pool.base, 1)
+
+    def test_nt_store_is_immediately_durable(self):
+        memory, pool = self.make_memory()
+        memory.nt_store(pool.base, b"x")
+        assert memory.is_persisted(pool.base, 1)
+
+    def test_strict_image_equals_program_view(self):
+        memory, pool = self.make_memory()
+        memory.store(pool.base, b"durable")
+        image = memory.snapshot_images()[0]
+        assert image.persisted_data[:7] == b"durable"
+        assert image.volatile_lines == ()
+
+    def test_fence_is_ordering_point_after_store(self):
+        memory, pool = self.make_memory()
+        assert memory.fence() is False
+        memory.store(pool.base, b"x")
+        assert memory.fence() is True
+        assert memory.fence() is False
+
+    def test_flush_is_redundant(self):
+        memory, pool = self.make_memory()
+        memory.store(pool.base, b"x")
+        assert memory.cache.flush(pool.base) is False
+
+
+class TestEadrDetection:
+    def test_races_vanish_on_eadr(self):
+        """Figure 1's length race is an ADR phenomenon: with persistent
+        caches, the unlogged write is durable and recovery reads a
+        well-defined (pre- or post-increment) value."""
+        workload_args = dict(
+            recovery="naive", init_size=2, test_size=1,
+            faults={"unlogged_length"},
+        )
+        adr = XFDetector(DetectorConfig()).run(
+            LinkedListWorkload(**workload_args)
+        )
+        eadr = XFDetector(eadr_config()).run(
+            LinkedListWorkload(**workload_args)
+        )
+        assert adr.races
+        assert not eadr.races
+
+    def test_semantic_bugs_survive_eadr(self):
+        """Figure 2's inverted valid bit is a *semantic* bug: durability
+        does not fix wrong commit values."""
+        report = XFDetector(eadr_config()).run(
+            ArrayBackupWorkload(test_size=2, faults={"swapped_valid"})
+        )
+        assert report.semantic_bugs
+        assert not report.races
+
+    def test_every_flush_is_a_perf_bug_on_eadr(self):
+        """Software written for ADR wastes writebacks on eADR — the
+        detector's perf reports quantify the cleanup opportunity."""
+        report = XFDetector(eadr_config()).run(
+            ArrayBackupWorkload(test_size=1)
+        )
+        assert report.perf_bugs
+        assert all(
+            "redundant writeback" in bug.detail
+            for bug in report.perf_bugs
+        )
+
+    def test_failure_points_still_injected_on_eadr(self):
+        report = XFDetector(eadr_config()).run(
+            LinkedListWorkload(recovery="alt", init_size=1, test_size=1)
+        )
+        assert report.stats.failure_points > 0
+
+    def test_uninitialized_reads_still_caught_on_eadr(self):
+        """Bug 2 is not a durability problem: allocated-but-never-
+        written memory is undefined on any platform."""
+        report = XFDetector(eadr_config(report_perf_bugs=False)).run(
+            HashmapAtomicWorkload(
+                faults={"bug2_uninit_count"}, test_size=1
+            )
+        )
+        assert any(
+            "never-initialized" in bug.detail for bug in report.races
+        )

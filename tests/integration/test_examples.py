@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs clean and prints what its
+docstring promises."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+EXPECTATIONS = {
+    "quickstart.py": ["cross-failure race", "cross-failure semantic"],
+    "detect_new_bugs.py": ["Bug 1", "Bug 4", "DETECTED"],
+    "redis_recovery.py": [
+        "no bugs", "crash-consistent", "GET post-crash",
+    ],
+    "custom_mechanism.py": ["no bugs", "cross-failure race"],
+    "offline_trace_analysis.py": [
+        "offline verdict matches the online pipeline",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in EXPECTATIONS[script]:
+        assert needle in result.stdout, (
+            f"{script}: {needle!r} missing from output"
+        )
+
+
+def test_examples_inventory_complete():
+    scripts = {
+        name for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert scripts == set(EXPECTATIONS), (
+        "every example needs a smoke test"
+    )

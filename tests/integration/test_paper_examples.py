@@ -1,0 +1,166 @@
+"""End-to-end reproduction of the paper's Section 2 examples.
+
+Figure 1: the linked-list ``length`` bug is only a bug with the naive
+recovery; ``recover_alt`` makes the same pre-failure code correct —
+pre-failure-only tools report a false positive there.
+
+Figure 2 / Figure 11: the inverted valid bit produces a cross-failure
+race when the backup is not yet persistent and a cross-failure semantic
+bug when it is persistent but stale/uncommitted.
+"""
+
+import pytest
+
+from repro.baselines import PmemcheckBaseline, PMTestBaseline
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.workloads import ArrayBackupWorkload, LinkedListWorkload
+
+
+class TestFigure1:
+    def make(self, recovery):
+        return LinkedListWorkload(
+            recovery=recovery, init_size=2, test_size=1,
+            faults={"unlogged_length"},
+        )
+
+    def test_naive_recovery_races_on_length(self):
+        report = XFDetector().run(self.make("naive"))
+        assert len(report.races) >= 1
+        bug = report.races[0]
+        assert "pop" in bug.reader_ip.function
+        assert "append" in bug.writer_ip.function
+
+    def test_recover_alt_is_clean(self):
+        report = XFDetector().run(self.make("alt"))
+        assert report.bugs == []
+
+    def test_correct_append_is_clean_either_way(self):
+        for recovery in ("naive", "alt"):
+            workload = LinkedListWorkload(
+                recovery=recovery, init_size=2, test_size=1
+            )
+            report = XFDetector().run(workload)
+            assert report.bugs == [], recovery
+
+    def test_baselines_false_positive_on_recover_alt(self):
+        """Section 2.1: 'existing works can report a false positive as
+        they only check the pre-failure stage'."""
+        workload = self.make("alt")
+        assert XFDetector().run(self.make("alt")).bugs == []
+        pmtest = PMTestBaseline().run(workload)
+        assert pmtest.has_findings  # the false positive
+        assert any(
+            finding.kind == "write-without-add"
+            for finding in pmtest.findings
+        )
+
+    def test_empty_list_scenario_can_crash_recovery(self):
+        """The paper's segfault analogue: length=1 persisted via the
+        image while head rolls back to NULL -> pop dereferences NULL."""
+        workload = LinkedListWorkload(
+            recovery="naive", init_size=0, test_size=1,
+            faults={"unlogged_length"},
+        )
+        report = XFDetector().run(workload)
+        assert report.crashes, "pop on empty list should crash"
+
+
+class TestFigure2:
+    def test_buggy_valid_bit_produces_both_bug_classes(self):
+        workload = ArrayBackupWorkload(
+            test_size=2, faults={"swapped_valid"}
+        )
+        report = XFDetector().run(workload)
+        kinds = {bug.kind for bug in report.bugs}
+        assert BugKind.CROSS_FAILURE_RACE in kinds
+        assert BugKind.CROSS_FAILURE_SEMANTIC in kinds
+
+    def test_correct_valid_bit_is_clean(self):
+        report = XFDetector().run(ArrayBackupWorkload(test_size=3))
+        assert report.bugs == []
+        assert report.stats.benign_races > 0  # valid-bit reads
+
+    def test_baselines_miss_the_semantic_bug(self):
+        """Figure 3: the pre-failure stage looks perfectly disciplined
+        (all persists in place), so pre-failure-only tools see nothing;
+        only cross-failure analysis catches it."""
+        workload = ArrayBackupWorkload(
+            test_size=2, faults={"swapped_valid"}
+        )
+        assert not PmemcheckBaseline().run(workload).has_findings
+        assert not PMTestBaseline().run(workload).has_findings
+        report = XFDetector().run(workload)
+        assert report.semantic_bugs
+
+
+class TestFigure11Walkthrough:
+    """The worked example of Section 5.4, reconstructed literally:
+    write backup; write valid (commit var, same epoch); CLWB covering
+    both; SFENCE; write arr.  F1 must report a race on the backup, F2 a
+    semantic bug on the (persisted, same-epoch-committed) backup."""
+
+    def run_walkthrough(self):
+        from repro.pmdk import ObjectPool, Struct, U64, I64, pmem
+        from repro.workloads.base import Workload
+
+        class Fig11Root(Struct):
+            backup = I64()  # 0x...00
+            valid = U64()  # 0x...08 (same cache line as backup)
+            arr = I64()  # stand-in for arr[idx]
+
+        class Fig11(Workload):
+            name = "fig11"
+            FAULTS = {}
+
+            def setup(self, ctx):
+                pool = ObjectPool.create(
+                    ctx.memory, "f11", "f11", root_cls=Fig11Root
+                )
+                root = pool.root
+                root.backup = 0
+                root.valid = 0
+                root.arr = 5
+                pmem.persist(ctx.memory, root.address, Fig11Root.SIZE)
+
+            def pre_failure(self, ctx):
+                pool = ObjectPool.open(ctx.memory, "f11", "f11",
+                                       Fig11Root)
+                root = pool.root
+                name = ctx.interface.add_commit_var(
+                    root.field_addr("valid"), 8, "valid"
+                )
+                ctx.interface.add_commit_range(
+                    name, root.field_addr("backup"), 8
+                )
+                memory = ctx.memory
+                root.backup = root.arr  # WRITE 0x100
+                root.valid = 0  # WRITE 0x110 (commit, same epoch)
+                memory.flush(root.address, 16)  # CLWB covers both
+                memory.fence()  # SFENCE  (F1 lands before this)
+                root.arr = 99  # WRITE 0x200
+                memory.flush(root.field_addr("arr"), 8)
+                memory.fence()  # (F2 lands before this)
+
+            def post_failure(self, ctx):
+                pool = ObjectPool.open(ctx.memory, "f11", "f11",
+                                       Fig11Root)
+                root = pool.root
+                ctx.interface.add_commit_var(
+                    root.field_addr("valid"), 8, "valid"
+                )
+                _ = root.valid  # benign commit-variable read
+                _ = root.backup  # the checked read
+
+        return XFDetector(DetectorConfig()).run(Fig11())
+
+    def test_f1_race_and_f2_semantic(self):
+        report = self.run_walkthrough()
+        assert report.stats.failure_points == 2
+        races = {bug.failure_point for bug in report.races}
+        semantics = {
+            bug.failure_point for bug in report.semantic_bugs
+        }
+        assert races == {0}, report.format(unique=False)
+        assert semantics == {1}, report.format(unique=False)
+        # The valid-bit reads are benign at both failure points.
+        assert report.stats.benign_races == 2

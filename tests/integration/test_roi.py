@@ -1,0 +1,80 @@
+"""Tests for region-of-interest confinement (paper Table 2 / §6.1:
+'select the code region that performs updates to PM objects as the
+pre-failure RoI and the region that performs recovery as the
+post-failure RoI for larger real-world workloads')."""
+
+from repro.core import DetectorConfig, XFDetector
+from repro.pmdk import I64, ObjectPool, Struct, pmem
+from repro.workloads.base import Workload
+
+
+class RoIRoot(Struct):
+    inside = I64()
+    outside = I64()
+
+
+class RoIWorkload(Workload):
+    """Leaves `outside` unpersisted outside the RoI and `inside`
+    unpersisted inside it; only the latter may be reported."""
+
+    name = "roi-demo"
+    uses_roi = True
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(ctx.memory, "roi", "roi",
+                                 root_cls=RoIRoot)
+        root = pool.root
+        root.inside = 0
+        root.outside = 0
+        pmem.persist(ctx.memory, root.address, RoIRoot.SIZE)
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "roi", "roi", RoIRoot)
+        root = pool.root
+        memory = ctx.memory
+        # Outside the RoI: sloppy code the user chose not to test.
+        root.outside = 1
+        pmem.persist(memory, root.field_addr("inside"), 8)  # fp bait
+        ctx.interface.roi_begin()
+        root.inside = 2  # never persisted: the bug under test
+        pmem.persist(memory, root.address, 8)
+        root.inside = 3
+        pmem.persist(memory, root.field_addr("inside"), 8)
+        ctx.interface.roi_end()
+        # Outside again: more unpersisted writes, more fences.
+        root.outside = 4
+        pmem.persist(memory, root.field_addr("inside"), 8)
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "roi", "roi", RoIRoot)
+        root = pool.root
+        ctx.interface.roi_begin()
+        _ = root.inside
+        ctx.interface.roi_end()
+        _ = root.outside  # read outside the post RoI: unchecked
+
+
+class TestRoIConfinement:
+    def run(self):
+        return XFDetector(DetectorConfig()).run(RoIWorkload())
+
+    def test_failure_points_only_inside_pre_roi(self):
+        report = self.run()
+        # Two persists inside the RoI -> exactly two failure points.
+        assert report.stats.failure_points == 2
+
+    def test_only_roi_reads_checked(self):
+        report = self.run()
+        # `inside` is reported (written in RoI, read in post RoI);
+        # `outside` never is, although it is equally unpersisted.
+        flagged = {bug.address for bug in report.races}
+        assert len(flagged) == 1
+        assert "roi-demo" in report.format()
+
+    def test_roi_less_post_read_of_outside_not_flagged(self):
+        report = self.run()
+        # All flagged addresses must be the `inside` field: offset 0 of
+        # the root object.
+        for bug in report.races:
+            # The two fields are 8 bytes apart; `outside` is at +8.
+            assert bug.address % 16 == 0, bug

@@ -1,0 +1,161 @@
+"""Validation integration tests: the Table 5 synthetic suite, the four
+new bugs, the baseline coverage matrix (Figure 3), and the Table 1
+mechanisms."""
+
+import pytest
+
+from repro.baselines import PmemcheckBaseline, PMTestBaseline
+from repro.bugsuite import (
+    NEW_BUGS,
+    SUITE_ADDITIONAL,
+    SUITE_PMTEST,
+    bug_entries,
+    build_workload,
+    expected_counts,
+    run_bug,
+)
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.mechanisms import MECHANISMS, MechanismWorkload
+from repro.workloads import ALL_WORKLOADS
+
+
+class TestTable5Counts:
+    """The registry must reproduce the paper's Table 5 matrix."""
+
+    PAPER_TABLE5 = {
+        "btree": {"pmtest_R": 8, "pmtest_P": 2, "add_R": 4, "add_S": 0},
+        "ctree": {"pmtest_R": 5, "pmtest_P": 1, "add_R": 1, "add_S": 0},
+        "rbtree": {"pmtest_R": 7, "pmtest_P": 1, "add_R": 1, "add_S": 0},
+        "hashmap_tx": {
+            "pmtest_R": 6, "pmtest_P": 1, "add_R": 3, "add_S": 0,
+        },
+        "hashmap_atomic": {
+            "pmtest_R": 10, "pmtest_P": 2, "add_R": 3, "add_S": 4,
+        },
+    }
+
+    def test_registry_matches_paper(self):
+        counts = expected_counts()
+        for workload, row in self.PAPER_TABLE5.items():
+            got = counts[workload]
+            assert got.get((SUITE_PMTEST, "R"), 0) == row["pmtest_R"]
+            assert got.get((SUITE_PMTEST, "P"), 0) == row["pmtest_P"]
+            assert got.get((SUITE_ADDITIONAL, "R"), 0) == row["add_R"]
+            assert got.get((SUITE_ADDITIONAL, "S"), 0) == row["add_S"]
+
+
+@pytest.mark.parametrize(
+    "bug", bug_entries(), ids=[str(b) for b in bug_entries()]
+)
+def test_every_synthetic_bug_detected(bug):
+    """Section 6.3.1: XFDetector detects every synthetic bug, with the
+    expected bug class."""
+    _report, detected = run_bug(bug)
+    assert detected, f"{bug} not detected"
+
+
+@pytest.mark.parametrize(
+    "scenario", NEW_BUGS, ids=[f"bug{s.number}" for s in NEW_BUGS]
+)
+def test_new_bugs_detected(scenario):
+    """Section 6.3.2: the four new bugs are found."""
+    report, detected = scenario.run()
+    assert detected, report.format()
+
+
+class TestNoFalsePositives:
+    """Correct builds of every workload produce zero reports."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_correct_workload_clean(self, name):
+        cls = ALL_WORKLOADS[name]
+        if name == "linkedlist":
+            workload = cls(recovery="alt", init_size=2, test_size=2)
+        elif name == "array_backup":
+            workload = cls(test_size=3)
+        else:
+            workload = cls(init_size=2, test_size=3)
+        report = XFDetector().run(workload)
+        assert report.bugs == [], report.format()
+
+    @pytest.mark.parametrize(
+        "store_cls", list(MECHANISMS),
+        ids=[s.mechanism_name for s in MECHANISMS],
+    )
+    def test_correct_mechanism_clean(self, store_cls):
+        report = XFDetector().run(
+            MechanismWorkload(store_cls, test_size=3)
+        )
+        assert report.bugs == [], report.format()
+
+
+class TestTable1Mechanisms:
+    """Each mechanism's buggy build violates its own consistency rule
+    and is caught with the expected bug class."""
+
+    KIND = {
+        "R": BugKind.CROSS_FAILURE_RACE,
+        "S": BugKind.CROSS_FAILURE_SEMANTIC,
+    }
+
+    @pytest.mark.parametrize(
+        "store_cls", list(MECHANISMS),
+        ids=[s.mechanism_name for s in MECHANISMS],
+    )
+    def test_buggy_mechanism_detected(self, store_cls):
+        for flag, (code, _description) in store_cls.FAULTS.items():
+            report = XFDetector().run(
+                MechanismWorkload(
+                    store_cls, faults={flag}, test_size=4
+                )
+            )
+            assert any(
+                bug.kind is self.KIND[code] for bug in report.bugs
+            ), f"{store_cls.mechanism_name}:{flag} missed"
+
+
+class TestFigure3Coverage:
+    """Pre-failure-only tools vs. XFDetector on three scenario types."""
+
+    def scenarios(self):
+        from repro.workloads import (
+            ArrayBackupWorkload,
+            HashmapAtomicWorkload,
+            LinkedListWorkload,
+        )
+
+        return {
+            # (pre-failure bug visible to baselines, cross-failure race)
+            "race": LinkedListWorkload(
+                recovery="naive", init_size=2, test_size=1,
+                faults={"unlogged_length"},
+            ),
+            # pre-failure code looks clean; only post-failure reveals it
+            "semantic": HashmapAtomicWorkload(
+                faults={"swapped_dirty"}, init_size=2, test_size=3,
+            ),
+            # correct program that pre-failure tools flag anyway
+            "false-positive": LinkedListWorkload(
+                recovery="alt", init_size=2, test_size=1,
+                faults={"unlogged_length"},
+            ),
+        }
+
+    def test_coverage_matrix(self):
+        scenarios = self.scenarios()
+
+        race = XFDetector().run(scenarios["race"])
+        assert race.has_cross_failure_bugs
+
+        semantic = XFDetector().run(scenarios["semantic"])
+        assert semantic.semantic_bugs
+        assert not PMTestBaseline().run(
+            scenarios["semantic"]
+        ).has_findings
+        assert not PmemcheckBaseline().run(
+            scenarios["semantic"]
+        ).has_findings
+
+        fp = scenarios["false-positive"]
+        assert not XFDetector().run(fp).bugs
+        assert PMTestBaseline().run(fp).has_findings

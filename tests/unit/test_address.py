@@ -1,0 +1,105 @@
+"""Tests for address ranges and cache-line arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pm.address import AddressRange, align_down, align_up, line_of
+from repro.pm.constants import CACHE_LINE_SIZE
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0) == 0
+        assert align_down(63) == 0
+        assert align_down(64) == 64
+        assert align_down(130) == 128
+
+    def test_align_up(self):
+        assert align_up(0) == 0
+        assert align_up(1) == 64
+        assert align_up(64) == 64
+        assert align_up(65) == 128
+
+    def test_custom_alignment(self):
+        assert align_down(130, 8) == 128
+        assert align_up(130, 8) == 136
+
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(100) == 64
+
+
+class TestAddressRange:
+    def test_end_and_contains(self):
+        rng = AddressRange(100, 10)
+        assert rng.end == 110
+        assert 100 in rng
+        assert 109 in rng
+        assert 110 not in rng
+        assert 99 not in rng
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressRange(0, -1)
+
+    def test_contains_range(self):
+        outer = AddressRange(0, 100)
+        assert outer.contains_range(AddressRange(10, 20))
+        assert outer.contains_range(AddressRange(0, 100))
+        assert not outer.contains_range(AddressRange(90, 20))
+
+    def test_overlaps(self):
+        a = AddressRange(0, 10)
+        assert a.overlaps(AddressRange(5, 10))
+        assert a.overlaps(AddressRange(0, 1))
+        assert not a.overlaps(AddressRange(10, 5))  # touching only
+
+    def test_intersection(self):
+        a = AddressRange(0, 10)
+        assert a.intersection(AddressRange(5, 10)) == AddressRange(5, 5)
+        assert a.intersection(AddressRange(20, 5)) is None
+
+    def test_lines_single(self):
+        rng = AddressRange(10, 20)
+        assert list(rng.lines()) == [0]
+
+    def test_lines_spanning(self):
+        rng = AddressRange(60, 10)  # crosses the 64-byte boundary
+        assert list(rng.lines()) == [0, 64]
+
+    def test_lines_empty_range(self):
+        assert list(AddressRange(100, 0).lines()) == []
+
+    def test_split_by_lines(self):
+        rng = AddressRange(60, 10)
+        pieces = list(rng.split_by_lines())
+        assert pieces == [AddressRange(60, 4), AddressRange(64, 6)]
+
+    def test_str(self):
+        assert str(AddressRange(0x100, 16)) == "[0x100, 0x110)"
+
+
+@given(st.integers(0, 1 << 40), st.integers(1, 4096))
+def test_split_by_lines_partitions_range(start, size):
+    rng = AddressRange(start, size)
+    pieces = list(rng.split_by_lines())
+    # Pieces are contiguous, cover exactly the range, and never cross
+    # a line boundary.
+    assert pieces[0].start == start
+    assert pieces[-1].end == rng.end
+    for i, piece in enumerate(pieces):
+        assert piece.size > 0
+        assert line_of(piece.start) == line_of(piece.end - 1)
+        if i:
+            assert piece.start == pieces[i - 1].end
+    assert sum(piece.size for piece in pieces) == size
+    assert len(pieces) == len(list(rng.lines()))
+
+
+@given(st.integers(0, 1 << 40))
+def test_line_of_is_idempotent_and_aligned(address):
+    line = line_of(address)
+    assert line % CACHE_LINE_SIZE == 0
+    assert line <= address < line + CACHE_LINE_SIZE
+    assert line_of(line) == line

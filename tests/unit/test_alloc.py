@@ -1,0 +1,121 @@
+"""Tests for the persistent allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfPMError
+from repro.pmdk.pmemobj.alloc import ALLOC_ALIGN, Allocator, BlockHeader
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.events import EventKind
+from repro.trace.recorder import TraceRecorder
+
+
+def make_allocator(heap_size=64 * 1024):
+    memory = PersistentMemory(TraceRecorder(), capture_ips=False)
+    pool = memory.map_pool(PMPool("heap", size=heap_size + 4096))
+    allocator = Allocator(memory, pool.base, heap_size)
+    allocator.format()
+    return memory, allocator
+
+
+class TestAllocation:
+    def test_alloc_returns_aligned_nonoverlapping_blocks(self):
+        _memory, allocator = make_allocator()
+        a = allocator.alloc(10)
+        b = allocator.alloc(100)
+        assert a % ALLOC_ALIGN == 0
+        assert b % ALLOC_ALIGN == 0
+        assert b >= a + 64  # no overlap
+
+    def test_zeroed_alloc_contents(self):
+        memory, allocator = make_allocator()
+        address = allocator.alloc(32, zero=True)
+        assert memory.load(address, 32) == bytes(32)
+
+    def test_alloc_emits_marker(self):
+        memory, allocator = make_allocator()
+        allocator.alloc(16, zero=False)
+        allocs = [
+            e for e in memory.recorder.events
+            if e.kind is EventKind.ALLOC
+        ]
+        assert len(allocs) == 1
+        assert allocs[0].info == "raw"
+        assert allocs[0].size == 16
+
+    def test_invalid_size_rejected(self):
+        _memory, allocator = make_allocator()
+        with pytest.raises(ValueError):
+            allocator.alloc(0)
+
+    def test_exhaustion(self):
+        _memory, allocator = make_allocator(heap_size=1024)
+        with pytest.raises(OutOfPMError):
+            for _ in range(100):
+                allocator.alloc(64)
+
+    def test_free_and_reuse(self):
+        _memory, allocator = make_allocator()
+        a = allocator.alloc(64)
+        allocator.free(a)
+        assert allocator.free_list() == [a - BlockHeader.SIZE]
+        b = allocator.alloc(64)
+        assert b == a  # first fit reuses the freed block
+        assert allocator.free_list() == []
+
+    def test_free_emits_marker_with_block_size(self):
+        memory, allocator = make_allocator()
+        a = allocator.alloc(100)
+        allocator.free(a)
+        frees = [
+            e for e in memory.recorder.events
+            if e.kind is EventKind.FREE
+        ]
+        assert len(frees) == 1
+        assert frees[0].addr == a
+        assert frees[0].size == 128  # rounded-up block size
+
+    def test_first_fit_skips_too_small_blocks(self):
+        _memory, allocator = make_allocator()
+        small = allocator.alloc(64)
+        big = allocator.alloc(256)
+        allocator.free(small)
+        allocator.free(big)
+        got = allocator.alloc(200)
+        assert got == big  # small block skipped, later entry used
+
+    def test_bytes_used_grows_monotonically_with_bump(self):
+        _memory, allocator = make_allocator()
+        used0 = allocator.bytes_used()
+        allocator.alloc(64)
+        assert allocator.bytes_used() > used0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 300)),
+            st.tuples(st.just("free"), st.integers(0, 10)),
+        ),
+        max_size=40,
+    )
+)
+def test_allocator_never_hands_out_overlapping_live_blocks(ops):
+    _memory, allocator = make_allocator(heap_size=256 * 1024)
+    live = []  # (address, rounded size)
+    for op, arg in ops:
+        if op == "alloc":
+            address = allocator.alloc(arg)
+            size = -(-arg // ALLOC_ALIGN) * ALLOC_ALIGN
+            for other_addr, other_size in live:
+                assert (
+                    address + size <= other_addr
+                    or other_addr + other_size <= address
+                ), "allocator returned overlapping live blocks"
+            live.append((address, size))
+        elif live:
+            address, _size = live.pop(arg % len(live))
+            allocator.free(address)

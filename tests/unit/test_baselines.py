@@ -1,0 +1,189 @@
+"""Unit tests for the baseline checkers."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineFinding,
+    CheckerUnavailable,
+    PmemcheckBaseline,
+    PMTestBaseline,
+    YatBaseline,
+)
+from repro.workloads import (
+    ArrayBackupWorkload,
+    HashmapAtomicWorkload,
+    HashmapTxWorkload,
+    LinkedListWorkload,
+    PMCacheWorkload,
+)
+
+
+class TestPmemcheck:
+    def test_clean_workload_has_no_findings(self):
+        report = PmemcheckBaseline().run(
+            ArrayBackupWorkload(test_size=2)
+        )
+        assert not report.has_findings
+        assert report.tool == "pmemcheck"
+
+    def test_unpersisted_store_reported(self):
+        # count bumped outside the transaction: nothing ever flushes
+        # it, so the store is still volatile at exit.
+        report = PmemcheckBaseline().run(
+            HashmapTxWorkload(
+                faults={"count_outside_tx"}, init_size=1, test_size=1,
+            )
+        )
+        kinds = {finding.kind for finding in report.findings}
+        assert "store-not-persisted" in kinds
+
+    def test_flushed_but_unfenced_reported(self):
+        """A flush with no later fence anywhere in the run: pmemcheck
+        reports the pending writeback at exit.  (A fault like
+        skip_fence_count is *not* reported because a later operation's
+        fence completes the writeback — the store genuinely persists,
+        just later than intended; only XFDetector's failure injection
+        exposes the window.)"""
+        from repro.pmdk import I64, ObjectPool, Struct, pmem
+        from repro.workloads.base import Workload
+
+        class Tail(Struct):
+            value = I64()
+
+        class FlushNoFence(Workload):
+            name = "flush-no-fence"
+
+            def setup(self, ctx):
+                ObjectPool.create(ctx.memory, "t", "t", root_cls=Tail)
+
+            def pre_failure(self, ctx):
+                pool = ObjectPool.open(ctx.memory, "t", "t", Tail)
+                pool.root.value = 42
+                pmem.flush(ctx.memory, pool.root.address, 8)
+                # ... and the program ends without any fence.
+
+            def post_failure(self, ctx):
+                pass
+
+        report = PmemcheckBaseline().run(FlushNoFence())
+        details = {finding.detail for finding in report.findings}
+        assert any("never fenced" in detail for detail in details)
+
+    def test_superfluous_flush_reported(self):
+        report = PmemcheckBaseline().run(
+            HashmapAtomicWorkload(
+                faults={"redundant_flush_count"},
+                init_size=1, test_size=1,
+            )
+        )
+        kinds = {finding.kind for finding in report.findings}
+        assert "superfluous-flush" in kinds
+
+    def test_summary_counts_unique_findings(self):
+        report = PmemcheckBaseline().run(
+            HashmapAtomicWorkload(
+                faults={"skip_persist_count"}, init_size=1, test_size=2,
+            )
+        )
+        assert str(len(report.unique_findings())) in report.summary()
+
+
+class TestPMTest:
+    def test_clean_tx_workload_has_no_findings(self):
+        report = PMTestBaseline().run(
+            HashmapTxWorkload(init_size=1, test_size=2)
+        )
+        assert not report.has_findings
+
+    def test_write_without_add_reported(self):
+        report = PMTestBaseline().run(
+            LinkedListWorkload(
+                recovery="naive", init_size=1, test_size=1,
+                faults={"unlogged_length"},
+            )
+        )
+        kinds = {finding.kind for finding in report.findings}
+        assert kinds == {"write-without-add"}
+
+    def test_duplicate_add_reported(self):
+        report = PMTestBaseline().run(
+            HashmapTxWorkload(
+                faults={"dup_add_count"}, init_size=1, test_size=1,
+            )
+        )
+        kinds = {finding.kind for finding in report.findings}
+        assert "duplicate-tx-add" in kinds
+
+    def test_library_writes_not_flagged(self):
+        # Undo-log internals write inside the transaction without
+        # TX_ADD; a baseline that flagged them would drown in noise.
+        report = PMTestBaseline().run(
+            HashmapTxWorkload(init_size=0, test_size=1)
+        )
+        assert not report.has_findings
+
+
+class TestYat:
+    def test_clean_workload_all_states_consistent(self):
+        report = YatBaseline().run(
+            LinkedListWorkload(recovery="alt", init_size=1, test_size=2)
+        )
+        assert report.checked_states > 0
+        assert report.inconsistent_states == 0
+
+    def test_torn_count_caught_by_checker(self):
+        # hashmap_tx with an unlogged count: the commit persists the
+        # new entry but not the count, so strict crash states leave the
+        # stored count out of sync with the traversal.
+        report = YatBaseline().run(
+            HashmapTxWorkload(
+                faults={"skip_add_count"}, init_size=1, test_size=2,
+            )
+        )
+        assert report.inconsistent_states > 0
+        assert report.has_findings
+
+    def test_yat_blind_spot_line_sharing(self):
+        """Yat misses Figure 1's bug here: `length` shares a cache line
+        with the logged `head`, so every strict crash state happens to
+        hold a consistent pair — the checker passes everywhere, while
+        XFDetector still reports the cross-failure race (the program
+        gives no *guarantee*, it just gets lucky on this layout)."""
+        workload_args = dict(
+            recovery="naive", init_size=1, test_size=2,
+            faults={"unlogged_length"},
+        )
+        yat = YatBaseline().run(LinkedListWorkload(**workload_args))
+        assert yat.inconsistent_states == 0
+
+        from repro.core import XFDetector
+
+        report = XFDetector().run(LinkedListWorkload(**workload_args))
+        assert report.races
+
+    def test_btree_checker_validates_invariants(self):
+        report = YatBaseline().run(
+            __import__(
+                "repro.workloads", fromlist=["BTreeWorkload"]
+            ).BTreeWorkload(init_size=1, test_size=3)
+        )
+        assert report.inconsistent_states == 0
+
+    def test_generic_program_unsupported(self):
+        """Yat's limitation (paper Section 8): no checker, no testing."""
+        with pytest.raises(CheckerUnavailable):
+            YatBaseline().run(PMCacheWorkload(test_size=1))
+
+    def test_custom_checker_accepted(self):
+        calls = []
+        report = YatBaseline(
+            checker=lambda memory: calls.append(memory)
+        ).run(LinkedListWorkload(recovery="alt", test_size=1))
+        assert len(calls) == report.checked_states > 0
+
+
+class TestFindingType:
+    def test_dedup_key(self):
+        a = BaselineFinding("k", "d", 0x10, 8)
+        b = BaselineFinding("k", "d", 0x20, 8)
+        assert a.dedup_key() == b.dedup_key()  # address not in key

@@ -1,0 +1,103 @@
+"""Unit tests for the bug-suite registry and new-bug scenario types."""
+
+import pytest
+
+from repro.bugsuite import (
+    NEW_BUGS,
+    SUITE_ADDITIONAL,
+    SUITE_PMTEST,
+    SyntheticBug,
+    bug_entries,
+    build_workload,
+    expected_counts,
+)
+from repro.core import BugKind
+from repro.workloads import MICROBENCHMARKS
+
+
+class TestRegistryShape:
+    def test_total_bug_count(self):
+        assert len(bug_entries()) == 59
+
+    def test_filters(self):
+        btree = bug_entries(workload="btree")
+        assert len(btree) == 14
+        assert all(bug.workload == "btree" for bug in btree)
+        races = bug_entries(bug_class="R")
+        assert all(bug.bug_class == "R" for bug in races)
+        pmtest = bug_entries(suite=SUITE_PMTEST)
+        additional = bug_entries(suite=SUITE_ADDITIONAL)
+        assert len(pmtest) + len(additional) == 59
+
+    def test_semantic_bugs_only_for_hashmap_atomic(self):
+        semantic = bug_entries(bug_class="S")
+        assert len(semantic) == 4
+        assert {bug.workload for bug in semantic} == {"hashmap_atomic"}
+        assert {bug.suite for bug in semantic} == {SUITE_ADDITIONAL}
+
+    def test_every_flag_exists_on_its_workload(self):
+        for bug in bug_entries():
+            cls = MICROBENCHMARKS[bug.workload]
+            assert bug.flag in cls.FAULTS, bug
+            declared_class, _description = cls.FAULTS[bug.flag]
+            assert declared_class == bug.bug_class, bug
+
+    def test_no_duplicate_entries(self):
+        keys = [(bug.workload, bug.flag) for bug in bug_entries()]
+        assert len(keys) == len(set(keys))
+
+    def test_expected_counts_sum(self):
+        counts = expected_counts()
+        total = sum(
+            count for row in counts.values() for count in row.values()
+        )
+        assert total == 59
+
+
+class TestSyntheticBugType:
+    def test_expected_kind_mapping(self):
+        assert SyntheticBug(
+            "btree", "f", "R", SUITE_PMTEST
+        ).expected_kind is BugKind.CROSS_FAILURE_RACE
+        assert SyntheticBug(
+            "btree", "f", "S", SUITE_PMTEST
+        ).expected_kind is BugKind.CROSS_FAILURE_SEMANTIC
+        assert SyntheticBug(
+            "btree", "f", "P", SUITE_PMTEST
+        ).expected_kind is BugKind.PERFORMANCE
+
+    def test_str(self):
+        bug = bug_entries(workload="ctree")[0]
+        assert "ctree:" in str(bug)
+
+    def test_build_workload_applies_params(self):
+        bug = next(
+            entry for entry in bug_entries(workload="hashmap_tx")
+            if entry.flag == "skip_add_prev_next"
+        )
+        workload = build_workload(bug)
+        assert workload.nbuckets == 2  # the chaining override
+        assert workload.faults == {"skip_add_prev_next"}
+
+
+class TestNewBugScenarios:
+    def test_four_scenarios_numbered(self):
+        assert [scenario.number for scenario in NEW_BUGS] == [1, 2, 3, 4]
+
+    def test_scenarios_name_paper_locations(self):
+        locations = " ".join(
+            scenario.location for scenario in NEW_BUGS
+        )
+        assert "hashmap_atomic.c" in locations
+        assert "server.c" in locations
+        assert "obj.c" in locations
+
+    def test_bug4_uses_strict_images(self):
+        from repro.pm.image import CrashImageMode
+
+        bug4 = NEW_BUGS[3]
+        assert (
+            bug4.config.crash_image_mode
+            is CrashImageMode.PERSISTED_ONLY
+        )
+        assert BugKind.POST_FAILURE_CRASH in bug4.expected_kinds

@@ -1,0 +1,202 @@
+"""Tests for the failure injector and the Table 2 annotation API."""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.injector import FailureInjector
+from repro.core.interface import DetectionComplete, XFInterface
+from repro.errors import AnnotationError
+from repro.pm.pool import PMPool
+from repro.pmdk import pmem
+from repro.trace.events import EventKind
+
+
+def wire(memory, config=None):
+    injector = FailureInjector(config or DetectorConfig())
+    memory.add_ordering_listener(injector)
+    memory.add_observer(injector)
+    memory.roi_active = True
+    return injector
+
+
+class TestInjection:
+    def test_failure_point_before_each_ordering_point(self, memory,
+                                                      pool):
+        injector = wire(memory)
+        pmem.memcpy_persist(memory, pool.base, b"a")
+        pmem.memcpy_persist(memory, pool.base + 64, b"b")
+        assert len(injector.failure_points) == 2
+        # Marker precedes the fence in the trace.
+        kinds = [e.kind for e in memory.recorder.events]
+        fp = kinds.index(EventKind.FAILURE_POINT)
+        assert kinds[fp + 1] is EventKind.FLUSH or (
+            kinds[fp + 1] is EventKind.FENCE
+        )
+
+    def test_snapshot_taken_before_fence(self, memory, pool):
+        injector = wire(memory)
+        # Previously persisted value.
+        pmem.memcpy_persist(memory, pool.base, b"OLD")
+        memory.store(pool.base, b"NEW")
+        memory.flush(pool.base, 3)
+        memory.fence()
+        from repro.pm.image import CrashImageMode
+
+        image = injector.failure_points[-1].images[0]
+        strict = image.bytes_for(CrashImageMode.PERSISTED_ONLY)
+        as_written = image.bytes_for(CrashImageMode.AS_WRITTEN)
+        assert as_written[:3] == b"NEW"
+        assert strict[:3] == b"OLD"
+
+    def test_no_failure_point_without_pm_ops(self, memory, pool):
+        """Optimization 2: back-to-back ordering points with no PM data
+        operation in between get one failure point, not two."""
+        injector = wire(memory)
+        memory.store(pool.base, b"x")
+        memory.flush(pool.base, 1)
+        memory.fence()  # failure point 0
+        # A redundant flush+fence with no new store: second fence is
+        # not even an ordering point (nothing pending).
+        memory.flush(pool.base, 1)
+        memory.fence()
+        assert len(injector.failure_points) == 1
+
+    def test_empty_failure_points_kept_when_disabled(self, memory,
+                                                     pool):
+        config = DetectorConfig(skip_empty_failure_points=False)
+        injector = wire(memory, config)
+        memory.store(pool.base, b"x")
+        memory.flush(pool.base, 1)
+        memory.fence()
+        memory.store(pool.base, b"y")  # store -> flush of OTHER line
+        memory.flush(pool.base + 64, 1)
+        memory.fence()  # not an ordering point (nothing pending)
+        memory.flush(pool.base, 1)
+        memory.fence()  # ordering point without data ops in between?
+        # With the optimization off, every ordering point fires.
+        assert len(injector.failure_points) >= 2
+
+    def test_max_failure_points_cap(self, memory, pool):
+        config = DetectorConfig(max_failure_points=2)
+        injector = wire(memory, config)
+        for i in range(5):
+            pmem.memcpy_persist(memory, pool.base + 64 * i, b"x")
+        assert len(injector.failure_points) == 2
+
+    def test_injection_disabled(self, memory, pool):
+        config = DetectorConfig(inject_failures=False)
+        injector = wire(memory, config)
+        pmem.memcpy_persist(memory, pool.base, b"x")
+        assert injector.failure_points == []
+
+    def test_no_injection_outside_roi(self, memory, pool):
+        injector = wire(memory)
+        memory.roi_active = False
+        pmem.memcpy_persist(memory, pool.base, b"x")
+        assert injector.failure_points == []
+
+    def test_no_injection_in_skip_failure_region(self, memory, pool):
+        injector = wire(memory)
+        interface = XFInterface(memory)
+        with interface.skip_failure():
+            pmem.memcpy_persist(memory, pool.base, b"x")
+        assert injector.failure_points == []
+
+    def test_no_injection_inside_library_region(self, memory, pool):
+        injector = wire(memory)
+        with memory.library_region("internals"):
+            pmem.memcpy_persist(memory, pool.base, b"x")
+        assert injector.failure_points == []
+
+    def test_no_injection_after_complete_detection(self, memory, pool):
+        injector = wire(memory)
+        XFInterface(memory).complete_detection()
+        pmem.memcpy_persist(memory, pool.base, b"x")
+        assert injector.failure_points == []
+
+    def test_forced_failure_point(self, memory, pool):
+        injector = wire(memory)
+        XFInterface(memory).add_failure_point()
+        assert len(injector.failure_points) == 1
+
+    def test_forced_point_bypasses_skip_empty_not_roi(self, memory,
+                                                      pool):
+        injector = wire(memory)
+        memory.roi_active = False
+        XFInterface(memory).add_failure_point()
+        assert injector.failure_points == []
+
+    def test_trace_indexes_are_increasing(self, memory, pool):
+        injector = wire(memory)
+        for i in range(3):
+            pmem.memcpy_persist(memory, pool.base + 64 * i, b"x")
+        indexes = [fp.trace_index for fp in injector.failure_points]
+        assert indexes == sorted(indexes)
+        assert len(set(indexes)) == 3
+
+
+class TestInterface:
+    def test_roi_toggles_flag_and_emits_markers(self, memory):
+        interface = XFInterface(memory)
+        memory.roi_active = False
+        interface.roi_begin()
+        assert memory.roi_active
+        interface.roi_end()
+        assert not memory.roi_active
+        kinds = [e.kind for e in memory.recorder.events]
+        assert kinds == [EventKind.ROI_BEGIN, EventKind.ROI_END]
+
+    def test_condition_false_is_noop(self, memory):
+        interface = XFInterface(memory)
+        interface.roi_begin(condition=False)
+        interface.skip_detection_begin(condition=False)
+        interface.add_commit_var(0, 8)  # condition-less variant works
+        assert memory.roi_active is False
+        assert memory.skip_detection_depth == 0
+
+    def test_unbalanced_ends_rejected(self, memory):
+        interface = XFInterface(memory)
+        with pytest.raises(AnnotationError):
+            interface.skip_failure_end()
+        with pytest.raises(AnnotationError):
+            interface.skip_detection_end()
+
+    def test_complete_detection_post_raises(self, memory):
+        interface = XFInterface(memory, stage="post")
+        with pytest.raises(DetectionComplete):
+            interface.complete_detection()
+
+    def test_complete_detection_pre_sets_flag(self, memory):
+        interface = XFInterface(memory, stage="pre")
+        interface.complete_detection()
+        assert memory.detection_complete
+
+    def test_commit_var_markers(self, memory):
+        interface = XFInterface(memory)
+        name = interface.add_commit_var(0x100, 8)
+        interface.add_commit_range(name, 0x200, 16)
+        var_ev, range_ev = memory.recorder.events
+        assert var_ev.kind is EventKind.COMMIT_VAR
+        assert var_ev.info == name == "commit@0x100"
+        assert range_ev.kind is EventKind.COMMIT_RANGE
+        assert (range_ev.addr, range_ev.size) == (0x200, 16)
+
+    def test_paper_style_aliases(self, memory):
+        interface = XFInterface(memory)
+        memory.roi_active = False
+        interface.RoIBegin()
+        assert memory.roi_active
+        interface.RoIEnd()
+        interface.skipFailureBegin()
+        interface.skipFailureEnd()
+        interface.skipDetectionBegin()
+        interface.skipDetectionEnd()
+        interface.addCommitVar(0, 8, "v")
+        interface.addCommitRange("v", 8, 8)
+
+    def test_context_managers_restore_on_exception(self, memory):
+        interface = XFInterface(memory)
+        with pytest.raises(RuntimeError):
+            with interface.skip_detection():
+                raise RuntimeError()
+        assert memory.skip_detection_depth == 0

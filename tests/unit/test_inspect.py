@@ -1,0 +1,116 @@
+"""Tests for the pool inspector and its CLI wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.pmdk import I64, ObjectPool, Struct
+from repro.pmdk.pmemobj.inspect import hexdump, inspect_pool
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.recorder import TraceRecorder
+
+
+class InspectRoot(Struct):
+    value = I64()
+
+
+def fresh_memory():
+    return PersistentMemory(TraceRecorder(), capture_ips=False)
+
+
+class TestInspectPool:
+    def test_healthy_pool_report(self):
+        memory = fresh_memory()
+        pool = ObjectPool.create(memory, "p", "demo-layout",
+                                 root_cls=InspectRoot)
+        pool.root.value = 5
+        text = inspect_pool(memory, "p")
+        assert "magic" in text and "(ok)" in text
+        assert "'demo-layout'" in text
+        assert "checksum" in text
+        assert "clean" in text  # no interrupted transaction
+        assert "heap:" in text
+
+    def test_interrupted_transaction_visible(self):
+        from repro.pmdk.pmemobj.tx import Transaction
+
+        memory = fresh_memory()
+        pool = ObjectPool.create(memory, "p", "demo",
+                                 root_cls=InspectRoot)
+        tx = Transaction(pool)
+        tx.__enter__()
+        tx.add_field(pool.root, "value")
+        pool.root.value = 99
+        # Abandon the transaction, as a crash would.
+        pool.active_tx = None
+        text = inspect_pool(memory, "p")
+        assert "interrupted transaction!" in text
+        assert "1 valid" in text
+
+    def test_half_created_pool_reported_bad(self):
+        memory = fresh_memory()
+        memory.map_pool(PMPool("raw", size=1 << 16))
+        text = inspect_pool(memory, "raw")
+        assert "BAD" in text
+
+    def test_checksum_mismatch_reported(self):
+        from repro.pmdk.pmemobj.pool import PoolHeader
+
+        memory = fresh_memory()
+        pool = ObjectPool.create(memory, "p", "demo",
+                                 root_cls=InspectRoot)
+        memory.store(
+            pool.base + PoolHeader.offset_of("uuid_lo"), b"\xff" * 8
+        )
+        text = inspect_pool(memory, "p")
+        assert "MISMATCH" in text
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(KeyError):
+            inspect_pool(fresh_memory(), "ghost")
+
+
+class TestHexdump:
+    def test_format(self):
+        memory = fresh_memory()
+        memory.map_pool(PMPool("p", size=4096))
+        base = memory.pools[0].base
+        memory.store(base, b"Hello, PM!\x00\x01")
+        text = hexdump(memory, base, 16)
+        assert "48 65 6c 6c 6f" in text  # "Hello"
+        assert "Hello, PM!" in text
+        assert text.startswith(f"{base:#014x}")
+
+    def test_multiple_rows(self):
+        memory = fresh_memory()
+        memory.map_pool(PMPool("p", size=4096))
+        base = memory.pools[0].base
+        text = hexdump(memory, base, 40)
+        assert len(text.splitlines()) == 3
+
+
+class TestInspectCli:
+    def test_inspect_subcommand(self, capsys):
+        code = main([
+            "inspect", "linkedlist", "--init", "1", "--test", "1",
+            "--fault", "unlogged_length",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crash image at failure point" in out
+        assert "undo log" in out
+
+    def test_inspect_strict_mode(self, capsys):
+        code = main([
+            "inspect", "queue", "--test", "1", "--strict-image",
+        ])
+        assert code == 0
+        assert "persisted-only" in capsys.readouterr().out
+
+    def test_inspect_bad_failure_point(self, capsys):
+        code = main([
+            "inspect", "linkedlist", "--test", "1",
+            "--failure-point", "999",
+        ])
+        assert code == 1
+        assert "out of range" in capsys.readouterr().out

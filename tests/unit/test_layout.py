@@ -1,0 +1,169 @@
+"""Tests for the persistent struct layout system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pmdk import (
+    Array,
+    Blob,
+    Embed,
+    F64,
+    I32,
+    I64,
+    Ptr,
+    Struct,
+    U8,
+    U16,
+    U32,
+    U64,
+)
+
+
+class Point(Struct):
+    x = I64()
+    y = I64()
+
+
+class Mixed(Struct):
+    flag = U8()
+    # natural alignment should pad flag to place count at offset 8
+    count = U64()
+    short = U16()
+    tag = Blob(5)
+
+
+class WithEmbed(Struct):
+    header = U32()
+    point = Embed(Point)
+
+
+class WithArray(Struct):
+    n = U64()
+    values = Array(I64, 4)
+
+
+class TestLayoutComputation:
+    def test_offsets_in_declaration_order(self):
+        assert Point.offset_of("x") == 0
+        assert Point.offset_of("y") == 8
+        assert Point.SIZE == 16
+
+    def test_natural_alignment_padding(self):
+        assert Mixed.offset_of("flag") == 0
+        assert Mixed.offset_of("count") == 8
+        assert Mixed.offset_of("short") == 16
+        assert Mixed.offset_of("tag") == 18
+        assert Mixed.ALIGN == 8
+        assert Mixed.SIZE == 24  # 23 rounded up to alignment
+
+    def test_inheritance_appends_fields(self):
+        class Point3(Point):
+            z = I64()
+
+        assert Point3.offset_of("x") == 0
+        assert Point3.offset_of("z") == 16
+        assert Point3.SIZE == 24
+        # The parent is untouched.
+        assert Point.SIZE == 16
+
+    def test_embed_layout(self):
+        assert WithEmbed.offset_of("point") == 8  # aligned to 8
+        assert WithEmbed.SIZE == 24
+
+    def test_array_layout(self):
+        assert WithArray.offset_of("values") == 8
+        assert WithArray.SIZE == 8 + 4 * 8
+
+
+class TestFieldAccess:
+    def test_scalar_roundtrip(self, memory, pool):
+        point = Point(memory, pool.base)
+        point.x = -5
+        point.y = 7
+        assert point.x == -5
+        assert point.y == 7
+
+    def test_unsigned_types(self, memory, pool):
+        class Unsigned(Struct):
+            a = U8()
+            b = U16()
+            c = U32()
+            d = U64()
+            e = F64()
+
+        s = Unsigned(memory, pool.base)
+        s.a, s.b, s.c, s.d, s.e = 255, 65535, 2**32 - 1, 2**64 - 1, 1.5
+        assert (s.a, s.b, s.c, s.d, s.e) == (
+            255, 65535, 2**32 - 1, 2**64 - 1, 1.5
+        )
+
+    def test_blob_pads_and_rejects_overflow(self, memory, pool):
+        s = Mixed(memory, pool.base)
+        s.tag = b"ab"
+        assert s.tag == b"ab\x00\x00\x00"
+        with pytest.raises(ValueError):
+            s.tag = b"toolong"
+
+    def test_ptr_null_view_rejected(self, memory):
+        with pytest.raises(ValueError):
+            Point(memory, 0)
+
+    def test_embed_returns_bound_view(self, memory, pool):
+        s = WithEmbed(memory, pool.base)
+        s.point.x = 9
+        assert s.point.x == 9
+        assert s.point.address == pool.base + 8
+        with pytest.raises(AttributeError):
+            s.point = None
+
+    def test_array_access(self, memory, pool):
+        s = WithArray(memory, pool.base)
+        for i in range(4):
+            s.values[i] = i * 11
+        assert [s.values[i] for i in range(4)] == [0, 11, 22, 33]
+        assert len(s.values) == 4
+        with pytest.raises(IndexError):
+            s.values[4]
+        with pytest.raises(AttributeError):
+            s.values = [1, 2, 3, 4]
+
+    def test_array_element_range(self, memory, pool):
+        s = WithArray(memory, pool.base)
+        rng = s.values.element_range(2)
+        assert rng.start == pool.base + 8 + 16
+        assert rng.size == 8
+
+    def test_field_range_helpers(self, memory, pool):
+        point = Point(memory, pool.base)
+        rng = point.field_range("y")
+        assert rng.start == point.field_addr("y") == pool.base + 8
+        assert rng.size == 8
+        whole = point.whole_range()
+        assert (whole.start, whole.size) == (pool.base, 16)
+
+    def test_equality_and_repr(self, memory, pool):
+        a = Point(memory, pool.base)
+        b = Point(memory, pool.base)
+        c = Point(memory, pool.base + 16)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert "Point@" in repr(a)
+
+    def test_access_emits_trace_events(self, memory, pool):
+        from repro.trace.events import EventKind
+
+        point = Point(memory, pool.base)
+        point.x = 1
+        _ = point.x
+        kinds = [e.kind for e in memory.recorder.events]
+        assert kinds == [EventKind.STORE, EventKind.LOAD]
+
+
+@given(st.integers(-(2**63), 2**63 - 1), st.integers(0, 2**64 - 1))
+def test_signed_unsigned_roundtrip_property(signed, unsigned):
+    import struct as _struct
+
+    assert _struct.unpack("<q", I64().encode(signed))[0] == signed
+    assert _struct.unpack("<Q", U64().encode(unsigned))[0] == unsigned

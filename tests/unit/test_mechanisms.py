@@ -1,0 +1,176 @@
+"""Functional unit tests for the Table 1 mechanism stores (correct
+builds, no failure injection): each mechanism must actually implement
+its recovery semantics, independent of the detector."""
+
+import pytest
+
+from repro.mechanisms import MECHANISMS
+from repro.mechanisms.checkpoint import CheckpointStore
+from repro.mechanisms.checksum import ChecksumStore, _checksum
+from repro.mechanisms.operational_log import OperationalLogStore
+from repro.mechanisms.redo_log import RedoLogStore
+from repro.mechanisms.shadow_paging import ShadowPagingStore
+from repro.mechanisms.undo_log import UndoLogStore
+from repro.pm.memory import PersistentMemory
+from repro.trace.recorder import TraceRecorder
+
+
+def fresh_memory():
+    return PersistentMemory(TraceRecorder(), capture_ips=False)
+
+
+class TestInventory:
+    def test_six_mechanisms_in_paper_order(self):
+        names = [cls.mechanism_name for cls in MECHANISMS]
+        assert names == [
+            "undo-logging",
+            "redo-logging",
+            "checkpointing",
+            "shadow-paging",
+            "operational-logging",
+            "checksum-recovery",
+        ]
+
+    def test_every_mechanism_documents_rule_and_faults(self):
+        for cls in MECHANISMS:
+            assert cls.consistency_rule
+            assert cls.FAULTS
+            for flag, (code, description) in cls.FAULTS.items():
+                assert code in ("R", "S")
+                assert description
+
+
+class TestUndoLog:
+    def test_updates_apply(self):
+        store = UndoLogStore.create(fresh_memory())
+        store.update(0)
+        assert store.read_all()[0] == 1000
+
+    def test_recover_rolls_back_valid_backup(self):
+        store = UndoLogStore.create(fresh_memory())
+        root = store.pool.root
+        root.backup_idx = 1
+        root.backup_val = 101
+        root.data[1] = 777  # torn update
+        root.valid = 1
+        store.recover()
+        assert store.read_all()[1] == 101
+        assert root.valid == 0
+
+    def test_recover_ignores_retired_backup(self):
+        store = UndoLogStore.create(fresh_memory())
+        store.update(1)
+        store.recover()  # valid == 0: nothing happens
+        assert store.read_all()[1] == 1001
+
+
+class TestRedoLog:
+    def test_recover_replays_committed_entry(self):
+        store = RedoLogStore.create(fresh_memory())
+        root = store.pool.root
+        root.redo_idx = 2
+        root.redo_val = 999
+        root.committed = 1
+        root.data[2] = -1  # torn in-place apply
+        store.recover()
+        assert store.read_all()[2] == 999
+        assert root.committed == 0
+
+    def test_recover_discards_uncommitted_entry(self):
+        store = RedoLogStore.create(fresh_memory())
+        root = store.pool.root
+        original = store.read_all()[2]
+        root.redo_idx = 2
+        root.redo_val = 999  # written but never committed
+        store.recover()
+        assert store.read_all()[2] == original
+
+
+class TestCheckpoint:
+    def test_update_flips_active_snapshot(self):
+        store = CheckpointStore.create(fresh_memory())
+        assert store.pool.root.active == 0
+        store.update(0)
+        assert store.pool.root.active == 1
+        values = store.read_all()
+        assert values[0] == 310  # 300 + 10
+
+    def test_inactive_snapshot_keeps_previous_state(self):
+        store = CheckpointStore.create(fresh_memory())
+        before = store.read_all()
+        store.update(0)
+        old = store._snapshot(1 - store.pool.root.active)
+        assert [old[i] for i in range(len(before))] == before
+
+
+class TestShadowPaging:
+    def test_update_replaces_record_atomically(self):
+        store = ShadowPagingStore.create(fresh_memory())
+        first = store.read_all()
+        store.update(0)
+        second = store.read_all()
+        assert second[0] == first[0] + 1  # version bumped
+        assert second[1] == first[1] + 10
+
+    def test_old_record_is_freed(self):
+        store = ShadowPagingStore.create(fresh_memory())
+        old_address = store.pool.root.record_ptr
+        store.update(0)
+        assert store.pool.root.record_ptr != old_address
+        assert store.pool.allocator.free_list()
+
+
+class TestOperationalLog:
+    def test_recover_reexecutes_logged_operation(self):
+        store = OperationalLogStore.create(fresh_memory())
+        root = store.pool.root
+        root.op_code = 1
+        root.op_slot = 3
+        root.op_operand = 12345
+        root.op_valid = 1
+        root.data[3] = -1  # torn apply
+        store.recover()
+        assert store.read_all()[3] == 12345
+        assert root.op_valid == 0
+
+    def test_update_then_recover_is_idempotent(self):
+        store = OperationalLogStore.create(fresh_memory())
+        store.update(0)
+        value = store.read_all()[0]
+        store.recover()  # nothing valid: no change
+        assert store.read_all()[0] == value
+
+
+class TestChecksum:
+    def test_valid_checksum_accepted(self):
+        store = ChecksumStore.create(fresh_memory())
+        store.recover()
+        assert store._value == store.read_all()
+
+    def test_corrupt_payload_falls_back_to_replica(self):
+        store = ChecksumStore.create(fresh_memory())
+        root = store.pool.root
+        good = [root.good_payload[i] for i in range(4)]
+        root.payload[0] = 0xBAD  # torn write, checksum now wrong
+        store.recover()
+        assert store._value == good
+        assert store.read_all() == good  # primary repaired
+
+    def test_checksum_function_sensitivity(self):
+        assert _checksum([1, 2, 3]) != _checksum([1, 2, 4])
+        assert _checksum([]) == _checksum([])
+
+
+class TestMechanismWorkloadWrapper:
+    def test_unknown_fault_rejected(self):
+        from repro.mechanisms import MechanismWorkload
+
+        with pytest.raises(ValueError):
+            MechanismWorkload(UndoLogStore, faults={"nope"})
+
+    def test_wrapper_name_and_faults(self):
+        from repro.mechanisms import MechanismWorkload
+
+        workload = MechanismWorkload(RedoLogStore)
+        assert workload.name == "mech-redo-logging"
+        assert workload.FAULTS is RedoLogStore.FAULTS

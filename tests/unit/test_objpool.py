@@ -1,0 +1,111 @@
+"""Tests for object pools: creation, validation, root objects."""
+
+import pytest
+
+from repro.errors import (
+    PoolCorruptionError,
+    PoolLayoutError,
+)
+from repro.pmdk import I64, ObjectPool, Struct, U64
+from repro.pmdk.pmemobj.pool import POOL_MAGIC, PoolHeader
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.trace.recorder import TraceRecorder
+
+
+class DemoRoot(Struct):
+    value = I64()
+    counter = U64()
+
+
+def fresh_memory():
+    return PersistentMemory(TraceRecorder(), capture_ips=False)
+
+
+class TestCreateOpen:
+    def test_create_then_open(self, memory):
+        pool = ObjectPool.create(memory, "p", "layout-x", root_cls=DemoRoot)
+        pool.root.value = 42
+        pool.persist(pool.root.address, DemoRoot.SIZE)
+        reopened = ObjectPool.open(memory, "p", "layout-x", DemoRoot)
+        assert reopened.root.value == 42
+
+    def test_header_fields(self, memory):
+        pool = ObjectPool.create(memory, "p", "layout-x", root_cls=DemoRoot)
+        header = pool.header
+        assert header.magic == POOL_MAGIC
+        assert header.layout_name.rstrip(b"\x00") == b"layout-x"
+        assert header.root_offset != 0
+        assert header.heap_size > 0
+
+    def test_layout_mismatch(self, memory):
+        ObjectPool.create(memory, "p", "layout-x", root_cls=DemoRoot)
+        with pytest.raises(PoolLayoutError):
+            ObjectPool.open(memory, "p", "other-layout", DemoRoot)
+
+    def test_layout_name_too_long(self, memory):
+        with pytest.raises(PoolLayoutError):
+            ObjectPool.create(memory, "p", "x" * 64, root_cls=DemoRoot)
+
+    def test_open_unmapped_pool(self, memory):
+        with pytest.raises(KeyError):
+            ObjectPool.open(memory, "nope", "layout-x", DemoRoot)
+
+    def test_corrupt_magic_rejected(self, memory):
+        pool = ObjectPool.create(memory, "p", "layout-x", root_cls=DemoRoot)
+        memory.store(pool.base, b"\x00" * 8)  # stomp the magic
+        with pytest.raises(PoolCorruptionError):
+            ObjectPool.open(memory, "p", "layout-x", DemoRoot)
+
+    def test_corrupt_checksum_rejected(self, memory):
+        pool = ObjectPool.create(memory, "p", "layout-x", root_cls=DemoRoot)
+        # Stomp a metadata field without refreshing the checksum.
+        memory.store(
+            pool.base + PoolHeader.offset_of("uuid_lo"), b"\xff" * 8
+        )
+        with pytest.raises(PoolCorruptionError):
+            ObjectPool.open(memory, "p", "layout-x", DemoRoot)
+
+    def test_incomplete_creation_fails_open(self):
+        """Bug 4's core: a half-created pool does not validate."""
+        memory = fresh_memory()
+        pmpool = memory.map_pool(PMPool("p", size=1 << 20))
+        header = PoolHeader(memory, pmpool.base)
+        header.magic = POOL_MAGIC  # ...and nothing else
+        with pytest.raises(PoolCorruptionError):
+            ObjectPool.open(memory, "p", "layout-x", DemoRoot)
+
+    def test_two_pools_get_disjoint_bases(self, memory):
+        a = ObjectPool.create(memory, "a", "layout-x", root_cls=DemoRoot)
+        b = ObjectPool.create(memory, "b", "layout-x", root_cls=DemoRoot)
+        assert a.base != b.base
+        assert not (
+            a.base < b.pmpool.end and b.base < a.pmpool.end
+        )
+
+    def test_root_without_root_cls(self, memory):
+        pool = ObjectPool.create(memory, "p", "layout-x")
+        with pytest.raises(PoolLayoutError):
+            _ = pool.root
+
+
+class TestAllocApi:
+    def test_alloc_struct_returns_view(self, memory):
+        pool = ObjectPool.create(memory, "p", "l", root_cls=DemoRoot)
+        obj = pool.alloc(DemoRoot)
+        assert isinstance(obj, DemoRoot)
+        obj.value = 5
+        assert obj.value == 5
+
+    def test_alloc_raw_returns_address(self, memory):
+        pool = ObjectPool.create(memory, "p", "l", root_cls=DemoRoot)
+        address = pool.alloc(128)
+        assert isinstance(address, int)
+        assert memory.load(address, 128) == bytes(128)
+
+    def test_free_accepts_struct_or_address(self, memory):
+        pool = ObjectPool.create(memory, "p", "l", root_cls=DemoRoot)
+        obj = pool.alloc(DemoRoot)
+        pool.free(obj)
+        address = pool.alloc(64)
+        pool.free(address)

@@ -1,0 +1,144 @@
+"""Tests for the low-level pmem API, source-location capture, and the
+error hierarchy."""
+
+import pytest
+
+from repro._location import (
+    UNKNOWN_LOCATION,
+    SourceLocation,
+    capture_library_location,
+    capture_location,
+)
+from repro.errors import (
+    AbortedTransactionError,
+    DetectorError,
+    FailureInjected,
+    PMAddressError,
+    PMError,
+    PoolCorruptionError,
+    PoolError,
+    PostFailureCrash,
+    ReproError,
+    TransactionError,
+)
+from repro.pm.cacheline import LineState
+from repro.pmdk import pmem
+
+
+class TestPmemApi:
+    def test_persist_is_flush_plus_fence(self, memory, pool):
+        memory.store(pool.base, b"x")
+        pmem.persist(memory, pool.base, 1)
+        assert memory.is_persisted(pool.base, 1)
+
+    def test_flush_alone_leaves_pending(self, memory, pool):
+        memory.store(pool.base, b"x")
+        pmem.flush(memory, pool.base, 1)
+        assert (
+            memory.cache.state_of(pool.base)
+            is LineState.WRITEBACK_PENDING
+        )
+        pmem.drain(memory)
+        assert memory.is_persisted(pool.base, 1)
+
+    def test_sfence_completes_pending(self, memory, pool):
+        memory.store(pool.base, b"x")
+        pmem.flush(memory, pool.base, 1)
+        pmem.sfence(memory)
+        assert memory.is_persisted(pool.base, 1)
+
+    def test_memcpy_persist(self, memory, pool):
+        pmem.memcpy_persist(memory, pool.base, b"hello")
+        assert memory.load(pool.base, 5) == b"hello"
+        assert memory.is_persisted(pool.base, 5)
+
+    def test_memcpy_nodrain_needs_drain(self, memory, pool):
+        pmem.memcpy_nodrain(memory, pool.base, b"nt-data")
+        assert memory.load(pool.base, 7) == b"nt-data"
+        assert not memory.is_persisted(pool.base, 7)
+        pmem.drain(memory)
+        assert memory.is_persisted(pool.base, 7)
+
+    def test_memset_persist(self, memory, pool):
+        pmem.memset_persist(memory, pool.base, 0xAB, 16)
+        assert memory.load(pool.base, 16) == b"\xab" * 16
+        assert memory.is_persisted(pool.base, 16)
+
+
+class TestLocationCapture:
+    def test_capture_skips_runtime_frames(self, memory, pool):
+        memory.store(pool.base, b"x")  # store through the runtime
+        event = memory.recorder.events[-1]
+        assert event.ip.basename == "test_pmem_api.py"
+        assert event.ip.function == "test_capture_skips_runtime_frames"
+
+    def test_capture_location_direct(self):
+        location = capture_location(skip=1)
+        assert location.basename == "test_pmem_api.py"
+
+    def test_capture_library_location(self):
+        location = capture_library_location(skip=1)
+        assert location.function == "test_capture_library_location"
+
+    def test_source_location_str(self):
+        location = SourceLocation("/a/b/c.py", 10, "fn")
+        assert str(location) == "c.py:10 (fn)"
+        assert location.basename == "c.py"
+
+    def test_unknown_location_singleton(self):
+        assert UNKNOWN_LOCATION.lineno == 0
+        assert "<unknown>" in str(UNKNOWN_LOCATION)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_cls in (
+            PMError, PMAddressError, PoolError, PoolCorruptionError,
+            TransactionError, AbortedTransactionError, DetectorError,
+            FailureInjected, PostFailureCrash,
+        ):
+            assert issubclass(exc_cls, ReproError)
+
+    def test_pm_address_error_message(self):
+        error = PMAddressError(0x1000, 8, "nope")
+        assert "0x1000" in str(error)
+        assert "nope" in str(error)
+        assert error.address == 0x1000
+
+    def test_failure_injected_carries_id(self):
+        error = FailureInjected(7)
+        assert error.failure_point_id == 7
+
+    def test_post_failure_crash_wraps_original(self):
+        original = ValueError("inner")
+        error = PostFailureCrash(3, original)
+        assert error.original is original
+        assert "inner" in str(error)
+        assert "#3" in str(error)
+
+    def test_catching_base_covers_library_errors(self, memory):
+        with pytest.raises(ReproError):
+            memory.load(0xDEAD0000, 8)
+
+
+class TestReportJson:
+    def test_to_json_roundtrips(self):
+        import json
+
+        from repro.core import DetectorConfig, XFDetector
+        from repro.workloads import LinkedListWorkload
+
+        report = XFDetector(DetectorConfig()).run(
+            LinkedListWorkload(
+                recovery="naive", init_size=1, test_size=1,
+                faults={"unlogged_length"},
+            )
+        )
+        payload = json.loads(report.to_json())
+        assert payload["workload"] == "linkedlist"
+        assert payload["stats"]["failure_points"] > 0
+        assert payload["bugs"]
+        bug = payload["bugs"][0]
+        assert bug["kind"] == "cross-failure race"
+        assert "pop" in bug["reader"]
+        assert "append" in bug["writer"]

@@ -1,0 +1,349 @@
+"""Tests for the shadow PM: persistence FSM, consistency FSM (Figure
+10), the commit-variable rule (Eq. 3 via epochs), and forking."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._location import SourceLocation
+from repro.core.shadow import (
+    CommitVariable,
+    ConsistencyState,
+    PersistenceState,
+    ShadowPM,
+)
+from repro.pm.constants import CACHE_LINE_SIZE
+
+IP = SourceLocation("w.py", 1, "writer")
+
+
+def persisted(shadow, addr, size=8):
+    """Drive addr through store->flush->fence."""
+    shadow.record_store(addr, size, IP, "pre")
+    shadow.record_flush(addr - addr % CACHE_LINE_SIZE)
+    shadow.record_fence()
+
+
+class TestPersistenceStates:
+    def test_store_flush_fence_cycle(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x100, 8, IP, "pre")
+        assert shadow.persistence_at(0x100) is PersistenceState.MODIFIED
+        assert shadow.record_flush(0x100) is True
+        assert (
+            shadow.persistence_at(0x100)
+            is PersistenceState.WRITEBACK_PENDING
+        )
+        assert shadow.record_fence() is True
+        assert shadow.persistence_at(0x100) is PersistenceState.PERSISTED
+
+    def test_flush_only_affects_its_line(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x100, 8, IP, "pre")
+        shadow.record_store(0x180, 8, IP, "pre")
+        shadow.record_flush(0x100)
+        assert (
+            shadow.persistence_at(0x180) is PersistenceState.MODIFIED
+        )
+
+    def test_redundant_flush_returns_false(self):
+        shadow = ShadowPM()
+        assert shadow.record_flush(0x100) is False
+        shadow.record_store(0x100, 8, IP, "pre")
+        shadow.record_flush(0x100)
+        assert shadow.record_flush(0x100) is False
+
+    def test_fence_without_pending_is_not_ordering_point(self):
+        shadow = ShadowPM()
+        assert shadow.record_fence() is False
+        assert shadow.epoch == 0
+
+    def test_epoch_increments_per_ordering_point(self):
+        shadow = ShadowPM()
+        persisted(shadow, 0x100)
+        assert shadow.epoch == 1
+        persisted(shadow, 0x200)
+        assert shadow.epoch == 2
+
+    def test_clflush_persists_and_bumps_epoch(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x100, 8, IP, "pre")
+        assert shadow.record_clflush(0x100) is True
+        assert shadow.persistence_at(0x100) is PersistenceState.PERSISTED
+        assert shadow.epoch == 1
+
+    def test_nt_store_pending_until_fence(self):
+        shadow = ShadowPM()
+        shadow.record_nt_store(0x100, 8, IP, "pre")
+        assert (
+            shadow.persistence_at(0x100)
+            is PersistenceState.WRITEBACK_PENDING
+        )
+        shadow.record_fence()
+        assert shadow.persistence_at(0x100) is PersistenceState.PERSISTED
+
+    def test_writer_ip_recorded(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x100, 8, IP, "pre")
+        assert shadow.writer.get(0x100) is IP
+
+
+class TestAllocFree:
+    def test_alloc_marks_uninitialized_by_default(self):
+        shadow = ShadowPM()
+        shadow.record_alloc(0x100, 64, zeroed=True, stage="pre",
+                            trust_allocator_zeroing=False)
+        assert shadow.uninitialized.get(0x100) is True
+        assert shadow.persistence_at(0x100) is PersistenceState.PERSISTED
+
+    def test_alloc_trusted_zeroing(self):
+        shadow = ShadowPM()
+        shadow.record_alloc(0x100, 64, zeroed=True, stage="pre",
+                            trust_allocator_zeroing=True)
+        assert shadow.uninitialized.get(0x100) is False
+
+    def test_raw_alloc_uninitialized_even_when_trusting(self):
+        shadow = ShadowPM()
+        shadow.record_alloc(0x100, 64, zeroed=False, stage="pre",
+                            trust_allocator_zeroing=True)
+        assert shadow.uninitialized.get(0x100) is True
+
+    def test_store_initializes(self):
+        shadow = ShadowPM()
+        shadow.record_alloc(0x100, 64, zeroed=True, stage="pre",
+                            trust_allocator_zeroing=False)
+        shadow.record_store(0x100, 8, IP, "pre")
+        assert shadow.uninitialized.get(0x100) is False
+        assert shadow.uninitialized.get(0x108) is True
+
+    def test_post_alloc_exempt(self):
+        shadow = ShadowPM()
+        shadow.record_alloc(0x100, 64, zeroed=True, stage="post",
+                            trust_allocator_zeroing=False)
+        assert shadow.uninitialized.get(0x100) is False
+        assert shadow.post_written.get(0x100) is True
+
+    def test_free_marks_uninitialized(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x100, 8, IP, "pre")
+        shadow.record_free(0x100, 64)
+        assert shadow.uninitialized.get(0x100) is True
+
+
+class TestConsistencyFSM:
+    """Figure 10: WRITE m -> uncommitted; commit write -> consistent or
+    stale depending on when m was last written (Eq. 3 via epochs)."""
+
+    def make_annotated(self):
+        shadow = ShadowPM()
+        shadow.register_commit_var("valid", 0x10, 8)
+        shadow.register_commit_range("valid", 0x100, 16)
+        return shadow
+
+    def test_member_store_goes_uncommitted(self):
+        shadow = self.make_annotated()
+        shadow.record_store(0x100, 8, IP, "pre")
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.UNCOMMITTED
+        )
+
+    def test_non_member_store_stays_consistent(self):
+        shadow = self.make_annotated()
+        shadow.record_store(0x500, 8, IP, "pre")
+        assert (
+            shadow.consistency_at(0x500) is ConsistencyState.CONSISTENT
+        )
+
+    def test_commit_in_same_epoch_leaves_state(self):
+        """Figure 11: 'no update before the commit timestamp' — a member
+        written in the same epoch as the commit write stays IC."""
+        shadow = self.make_annotated()
+        shadow.record_store(0x100, 8, IP, "pre")  # epoch 0
+        shadow.record_store(0x10, 8, IP, "pre")  # commit write, epoch 0
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.UNCOMMITTED
+        )
+
+    def test_commit_after_persist_makes_consistent(self):
+        shadow = self.make_annotated()
+        shadow.record_store(0x100, 8, IP, "pre")  # epoch 0
+        shadow.record_flush(0x100)
+        shadow.record_fence()  # epoch 1
+        shadow.record_store(0x10, 8, IP, "pre")  # commit @ epoch 1
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.CONSISTENT
+        )
+
+    def test_second_commit_without_rewrite_goes_stale(self):
+        shadow = self.make_annotated()
+        persisted(shadow, 0x100)  # member persisted, epoch 1
+        shadow.record_store(0x10, 8, IP, "pre")  # commit #1
+        persisted(shadow, 0x10)  # epoch 2
+        shadow.record_store(0x10, 8, IP, "pre")  # commit #2
+        assert shadow.consistency_at(0x100) is ConsistencyState.STALE
+
+    def test_rewrite_between_commits_stays_consistent(self):
+        shadow = self.make_annotated()
+        persisted(shadow, 0x100)
+        shadow.record_store(0x10, 8, IP, "pre")  # commit #1
+        persisted(shadow, 0x10)
+        persisted(shadow, 0x100)  # member rewritten + persisted
+        shadow.record_store(0x10, 8, IP, "pre")  # commit #2
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.CONSISTENT
+        )
+
+    def test_stale_then_rewritten_becomes_uncommitted(self):
+        shadow = self.make_annotated()
+        persisted(shadow, 0x100)
+        shadow.record_store(0x10, 8, IP, "pre")
+        persisted(shadow, 0x10)
+        shadow.record_store(0x10, 8, IP, "pre")  # member now stale
+        shadow.record_store(0x100, 8, IP, "pre")
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.UNCOMMITTED
+        )
+
+    def test_post_store_is_consistent_and_exempt(self):
+        shadow = self.make_annotated()
+        shadow.record_store(0x100, 8, IP, "post")
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.CONSISTENT
+        )
+        assert shadow.post_written.get(0x100) is True
+
+    def test_single_var_without_ranges_covers_all(self):
+        shadow = ShadowPM()
+        shadow.register_commit_var("only", 0x10, 8)
+        shadow.record_store(0x900, 8, IP, "pre")
+        assert (
+            shadow.consistency_at(0x900) is ConsistencyState.UNCOMMITTED
+        )
+
+    def test_multiple_vars_without_ranges_cover_nothing(self):
+        shadow = ShadowPM()
+        shadow.register_commit_var("a", 0x10, 8)
+        shadow.register_commit_var("b", 0x20, 8)
+        shadow.record_store(0x900, 8, IP, "pre")
+        assert (
+            shadow.consistency_at(0x900) is ConsistencyState.CONSISTENT
+        )
+
+    def test_commit_var_covering(self):
+        shadow = self.make_annotated()
+        assert shadow.commit_var_covering(0x10, 0x18).name == "valid"
+        assert shadow.commit_var_covering(0x100, 0x108) is None
+
+    def test_unknown_commit_range_rejected(self):
+        import pytest
+
+        shadow = ShadowPM()
+        with pytest.raises(KeyError):
+            shadow.register_commit_range("ghost", 0, 8)
+
+
+class TestTxSemantics:
+    def test_tx_add_marks_consistent_persisted(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x100, 8, IP, "pre")
+        shadow.record_tx_add(0x100, 8, IP)
+        assert shadow.persistence_at(0x100) is PersistenceState.PERSISTED
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.CONSISTENT
+        )
+
+    def test_in_tx_store_to_added_range_stays_consistent(self):
+        shadow = ShadowPM()
+        shadow.record_tx_add(0x100, 8, IP)
+        shadow.record_store(0x100, 8, IP, "pre",
+                            tx_added=[(0x100, 8)], in_tx=True)
+        assert (
+            shadow.consistency_at(0x100) is ConsistencyState.CONSISTENT
+        )
+        assert shadow.persistence_at(0x100) is PersistenceState.MODIFIED
+
+    def test_in_tx_store_outside_added_goes_uncommitted(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x200, 8, IP, "pre",
+                            tx_added=[(0x100, 8)], in_tx=True)
+        assert (
+            shadow.consistency_at(0x200) is ConsistencyState.UNCOMMITTED
+        )
+
+    def test_commit_tx_writes_clears_uncommitted_only(self):
+        shadow = ShadowPM()
+        shadow.record_store(0x200, 8, IP, "pre", tx_added=[],
+                            in_tx=True)
+        shadow.register_commit_var("v", 0x10, 8)
+        shadow.register_commit_range("v", 0x300, 8)
+        persisted(shadow, 0x300)
+        shadow.record_store(0x10, 8, IP, "pre")
+        persisted(shadow, 0x10)
+        shadow.record_store(0x10, 8, IP, "pre")  # 0x300 now stale
+        shadow.commit_tx_writes([(0x200, 8), (0x300, 8)])
+        assert (
+            shadow.consistency_at(0x200) is ConsistencyState.CONSISTENT
+        )
+        assert shadow.consistency_at(0x300) is ConsistencyState.STALE
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        shadow = ShadowPM()
+        shadow.register_commit_var("v", 0x10, 8)
+        shadow.record_store(0x100, 8, IP, "pre")
+        fork = shadow.copy()
+        fork.record_store(0x200, 8, IP, "pre")
+        fork.record_flush(0x100)
+        fork.record_fence()
+        fork.commit_vars["v"].last_commit_epoch = 99
+        assert shadow.persistence_at(0x200) is PersistenceState.UNMODIFIED
+        assert shadow.persistence_at(0x100) is PersistenceState.MODIFIED
+        assert shadow.commit_vars["v"].last_commit_epoch is None
+        assert fork.epoch == shadow.epoch + 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["store", "flush", "fence", "commit"]),
+        max_size=50,
+    )
+)
+def test_consistency_fsm_matches_reference_model(ops):
+    """Double-entry check of the commit rule: an independent reference
+    implementation of 'member consistent iff last written strictly
+    between the last two commit-write epochs' (Eq. 3, with same-epoch
+    writes left unchanged) must agree with the shadow PM."""
+    shadow = ShadowPM()
+    shadow.register_commit_var("v", 0x0, 8)
+    shadow.register_commit_range("v", 0x100, 8)
+
+    ref_state = ConsistencyState.CONSISTENT
+    ref_tlast = None
+    last_commit = None
+
+    for op in ops:
+        if op == "store":
+            shadow.record_store(0x100, 8, IP, "pre")
+            ref_state = ConsistencyState.UNCOMMITTED
+            ref_tlast = shadow.epoch
+        elif op == "flush":
+            shadow.record_flush(0x100)
+            shadow.record_flush(0x0)
+        elif op == "fence":
+            shadow.record_fence()
+        else:
+            now = shadow.epoch
+            lower = last_commit if last_commit is not None else -1
+            shadow.record_store(0x0, 8, IP, "pre")
+            if ref_tlast is not None and ref_tlast != now:
+                if lower < ref_tlast < now:
+                    ref_state = ConsistencyState.CONSISTENT
+                elif (
+                    ref_tlast <= lower
+                    and ref_state is ConsistencyState.CONSISTENT
+                ):
+                    ref_state = ConsistencyState.STALE
+            last_commit = now
+        assert shadow.consistency_at(0x100) is ref_state
+        assert shadow.tlast.get(0x100) == ref_tlast

@@ -1,0 +1,133 @@
+"""Hypothesis stateful tests: the allocator and the transaction system
+driven by arbitrary operation interleavings against reference models."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.pmdk import I64, ObjectPool, Struct
+from repro.pmdk.pmemobj.alloc import ALLOC_ALIGN, Allocator
+from repro.trace.recorder import TraceRecorder
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Arbitrary alloc/free sequences: live blocks never overlap, freed
+    blocks are reusable, contents of zeroed allocations are zero."""
+
+    @initialize()
+    def setup(self):
+        memory = PersistentMemory(TraceRecorder(), capture_ips=False)
+        pool = memory.map_pool(PMPool("heap", size=1 << 20))
+        self.memory = memory
+        self.allocator = Allocator(memory, pool.base, (1 << 20) - 4096)
+        self.allocator.format()
+        self.live = {}  # address -> rounded size
+
+    @rule(size=st.integers(1, 500))
+    def alloc(self, size):
+        address = self.allocator.alloc(size, zero=True)
+        rounded = -(-size // ALLOC_ALIGN) * ALLOC_ALIGN
+        assert self.memory.load(address, size) == bytes(size)
+        for other, other_size in self.live.items():
+            assert (
+                address + rounded <= other
+                or other + other_size <= address
+            )
+        self.live[address] = rounded
+
+    @precondition(lambda self: self.live)
+    @rule(index=st.integers(0, 10**6))
+    def free(self, index):
+        address = sorted(self.live)[index % len(self.live)]
+        del self.live[address]
+        self.allocator.free(address)
+
+    @invariant()
+    def free_list_disjoint_from_live(self):
+        if not hasattr(self, "allocator"):
+            return
+        from repro.pmdk.pmemobj.alloc import BlockHeader
+
+        for header_addr in self.allocator.free_list():
+            user = header_addr + BlockHeader.SIZE
+            assert user not in self.live
+
+
+class TxRecord(Struct):
+    a = I64()
+    b = I64()
+
+
+class TransactionMachine(RuleBasedStateMachine):
+    """Arbitrary begin/write/commit/abort sequences against a plain
+    dict model: committed state must always match the model."""
+
+    @initialize()
+    def setup(self):
+        memory = PersistentMemory(TraceRecorder(), capture_ips=False)
+        self.pool = ObjectPool.create(
+            memory, "sm", "sm", root_cls=TxRecord
+        )
+        root = self.pool.root
+        root.a = 0
+        root.b = 0
+        self.pool.persist(root.address, TxRecord.SIZE)
+        self.committed = {"a": 0, "b": 0}
+        self.pending = None
+        self.tx = None
+
+    @precondition(lambda self: self.tx is None)
+    @rule()
+    def begin(self):
+        self.tx = self.pool.transaction()
+        self.tx.__enter__()
+        self.tx.add_struct(self.pool.root)
+        self.pending = dict(self.committed)
+
+    @precondition(lambda self: self.tx is not None)
+    @rule(field=st.sampled_from(["a", "b"]), value=st.integers(-99, 99))
+    def write(self, field, value):
+        setattr(self.pool.root, field, value)
+        self.pending[field] = value
+
+    @precondition(lambda self: self.tx is not None)
+    @rule()
+    def commit(self):
+        self.tx.__exit__(None, None, None)
+        self.committed = self.pending
+        self.tx = None
+        self.pending = None
+
+    @precondition(lambda self: self.tx is not None)
+    @rule()
+    def abort(self):
+        self.tx.__exit__(RuntimeError, RuntimeError("abort"), None)
+        self.tx = None
+        self.pending = None
+
+    @invariant()
+    def visible_state_matches_model(self):
+        if not hasattr(self, "pool"):
+            return
+        root = self.pool.root
+        expected = self.pending if self.tx is not None else self.committed
+        assert root.a == expected["a"]
+        assert root.b == expected["b"]
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+TestAllocatorMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+)
+TestTransactionMachine = TransactionMachine.TestCase
+TestTransactionMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+)

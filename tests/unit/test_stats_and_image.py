@@ -1,0 +1,95 @@
+"""Tests for trace statistics and PM image helpers."""
+
+from repro._location import UNKNOWN_LOCATION
+from repro.pm.image import CrashImageMode, PMImage
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.stats import analyze_trace
+
+
+def make_event(seq, kind, addr=0, size=0, info="", tid=0):
+    return TraceEvent(seq, kind, addr, size, info, UNKNOWN_LOCATION, tid)
+
+
+class TestTraceStats:
+    def test_counts_and_footprint(self):
+        events = [
+            make_event(0, EventKind.STORE, 0x100, 8),
+            make_event(1, EventKind.STORE, 0x104, 8),  # overlaps
+            make_event(2, EventKind.LOAD, 0x100, 16),
+            make_event(3, EventKind.FLUSH, 0x100, 64, "CLWB"),
+            make_event(4, EventKind.FENCE, info="SFENCE"),
+            make_event(5, EventKind.TX_BEGIN, info="1"),
+            make_event(6, EventKind.TX_ADD, 0x200, 32, "1"),
+            make_event(7, EventKind.TX_COMMIT, info="1"),
+            make_event(8, EventKind.FAILURE_POINT, info="0"),
+            make_event(9, EventKind.HINT_FAILURE_POINT, info="x"),
+        ]
+        stats = analyze_trace(events)
+        assert stats.events == 10
+        assert stats.stored_bytes == 16
+        assert stats.footprint_bytes == 12  # 0x100..0x10c distinct
+        assert stats.loaded_bytes == 16
+        assert stats.flushes == 1
+        assert stats.fences == 1
+        assert stats.transactions == 1
+        assert stats.tx_added_bytes == 32
+        assert stats.failure_points == 1
+        assert stats.ordering_hints == 1
+        assert stats.by_kind["STORE"] == 2
+
+    def test_thread_count(self):
+        events = [
+            make_event(0, EventKind.STORE, 0x100, 8, tid=0),
+            make_event(1, EventKind.STORE, 0x200, 8, tid=2),
+        ]
+        assert analyze_trace(events).threads == 2
+
+    def test_format_mentions_everything(self):
+        stats = analyze_trace(
+            [make_event(0, EventKind.STORE, 0x100, 8)]
+        )
+        text = stats.format()
+        assert "events:" in text
+        assert "STORE" in text
+
+    def test_empty_trace(self):
+        stats = analyze_trace([])
+        assert stats.events == 0
+        assert stats.footprint_bytes == 0
+
+
+class TestPMImage:
+    def make(self):
+        return PMImage(
+            "p", 0x1000, b"N" * 192, b"O" * 192,
+            volatile_lines=(0, 64, 128),
+        )
+
+    def test_bytes_for_modes(self):
+        image = self.make()
+        assert image.bytes_for(CrashImageMode.AS_WRITTEN) == b"N" * 192
+        assert (
+            image.bytes_for(CrashImageMode.PERSISTED_ONLY) == b"O" * 192
+        )
+
+    def test_bad_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self.make().bytes_for("nope")
+
+    def test_crash_state_count(self):
+        assert self.make().crash_state_count == 8
+        assert PMImage("p", 0, b"", b"").crash_state_count == 1
+
+    def test_variant_extremes_match_modes(self):
+        image = self.make()
+        assert image.variant_bytes(0b111) == image.data
+        assert image.variant_bytes(0b000) == image.persisted_data
+
+    def test_variant_mixes_per_line(self):
+        image = self.make()
+        mixed = image.variant_bytes(0b010)
+        assert mixed[0:64] == b"O" * 64
+        assert mixed[64:128] == b"N" * 64
+        assert mixed[128:192] == b"O" * 64

@@ -1,0 +1,127 @@
+"""Tests for trace events, the recorder, and text serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._location import UNKNOWN_LOCATION, SourceLocation
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.recorder import TraceRecorder
+from repro.trace.serialize import (
+    format_event,
+    format_trace,
+    parse_event,
+    parse_trace,
+)
+
+
+class TestEvents:
+    def test_touches_pm_data(self):
+        assert TraceEvent(0, EventKind.STORE, 0, 8).touches_pm_data()
+        assert TraceEvent(0, EventKind.TX_ADD, 0, 8).touches_pm_data()
+        assert TraceEvent(0, EventKind.ALLOC, 0, 8).touches_pm_data()
+        assert not TraceEvent(0, EventKind.LOAD, 0, 8).touches_pm_data()
+        assert not TraceEvent(0, EventKind.FENCE).touches_pm_data()
+
+    def test_end(self):
+        assert TraceEvent(0, EventKind.STORE, 100, 8).end == 108
+
+    def test_str_renders_fields(self):
+        ip = SourceLocation("/a/b.py", 12, "fn")
+        text = str(TraceEvent(3, EventKind.STORE, 0x10, 8, "", ip))
+        assert "STORE" in text
+        assert "b.py:12" in text
+
+
+class TestRecorder:
+    def test_sequencing(self):
+        rec = TraceRecorder()
+        e0 = rec.append(EventKind.STORE, 0, 8)
+        e1 = rec.append(EventKind.FENCE)
+        assert (e0.seq, e1.seq) == (0, 1)
+        assert len(rec) == 2
+
+    def test_prefix(self):
+        rec = TraceRecorder()
+        for _ in range(5):
+            rec.append(EventKind.FENCE)
+        assert len(rec.prefix(3)) == 3
+
+    def test_count_and_failure_points(self):
+        rec = TraceRecorder()
+        rec.append(EventKind.STORE, 0, 8)
+        rec.append(EventKind.FAILURE_POINT, info="0")
+        rec.append(EventKind.FAILURE_POINT, info="1")
+        assert rec.count(EventKind.FAILURE_POINT) == 2
+        assert [e.info for e in rec.failure_points()] == ["0", "1"]
+
+    def test_default_ip_is_unknown(self):
+        rec = TraceRecorder()
+        event = rec.append(EventKind.FENCE)
+        assert event.ip is UNKNOWN_LOCATION
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        event = TraceEvent(
+            7, EventKind.STORE, 0x10000000010, 8, "",
+            SourceLocation("/src/x.py", 42, "update"),
+        )
+        parsed = parse_event(format_event(event))
+        assert parsed == event
+
+    def test_roundtrip_with_info(self):
+        event = TraceEvent(0, EventKind.FLUSH, 0x40, 64, "CLWB")
+        parsed = parse_event(format_event(event))
+        assert parsed.info == "CLWB"
+        assert parsed.ip == UNKNOWN_LOCATION
+
+    def test_trace_roundtrip_and_comments(self):
+        rec = TraceRecorder()
+        rec.append(EventKind.STORE, 0x100, 16)
+        rec.append(EventKind.FENCE, info="SFENCE")
+        text = "# a comment\n\n" + format_trace(rec.events)
+        parsed = parse_trace(text)
+        assert parsed == rec.events
+
+    def test_malformed_lines_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parse_event("1 STORE 0x10")
+        with pytest.raises(ValueError):
+            parse_event("1 STORE 0x10 8 - no-location-separator")
+
+
+_locations = st.builds(
+    SourceLocation,
+    filename=st.text(
+        alphabet=st.characters(
+            whitelist_categories=("L", "N"), whitelist_characters="/._-"
+        ),
+        min_size=1, max_size=20,
+    ),
+    lineno=st.integers(0, 10**6),
+    function=st.text(
+        alphabet=st.characters(whitelist_categories=("L", "N")),
+        min_size=1, max_size=15,
+    ),
+)
+
+_events = st.builds(
+    TraceEvent,
+    seq=st.integers(0, 10**9),
+    kind=st.sampled_from(list(EventKind)),
+    addr=st.integers(0, 1 << 48),
+    size=st.integers(0, 1 << 20),
+    info=st.text(
+        alphabet=st.characters(whitelist_categories=("L", "N")),
+        max_size=12,
+    ),
+    ip=_locations,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_events)
+def test_serialization_roundtrip_property(event):
+    assert parse_event(format_event(event)) == event

@@ -1,0 +1,219 @@
+"""Tests for undo-log transactions and recovery."""
+
+import pytest
+
+from repro.errors import AbortedTransactionError, TransactionError
+from repro.pmdk import I64, ObjectPool, Struct, U64
+from repro.pmdk.pmemobj.tx import LOG_DATA_CAPACITY, LogEntry, Transaction
+from repro.trace.events import EventKind
+
+
+class TxRoot(Struct):
+    a = I64()
+    b = I64()
+    counter = U64()
+
+
+@pytest.fixture
+def tx_pool(memory):
+    pool = ObjectPool.create(memory, "txp", "tx-layout", root_cls=TxRoot)
+    root = pool.root
+    root.a = 1
+    root.b = 2
+    root.counter = 0
+    pool.persist(root.address, TxRoot.SIZE)
+    return pool
+
+
+class TestCommit:
+    def test_committed_updates_visible_and_persisted(self, memory,
+                                                     tx_pool):
+        root = tx_pool.root
+        with tx_pool.transaction() as tx:
+            tx.add_field(root, "a")
+            root.a = 100
+        assert root.a == 100
+        assert memory.is_persisted(root.field_addr("a"), 8)
+
+    def test_trace_has_tx_markers(self, memory, tx_pool):
+        root = tx_pool.root
+        with tx_pool.transaction() as tx:
+            tx.add_field(root, "a")
+            root.a = 5
+        kinds = [e.kind for e in memory.recorder.events]
+        assert EventKind.TX_BEGIN in kinds
+        assert EventKind.TX_ADD in kinds
+        assert EventKind.TX_COMMIT in kinds
+        assert EventKind.TX_ABORT not in kinds
+
+    def test_log_retired_after_commit(self, memory, tx_pool):
+        root = tx_pool.root
+        with tx_pool.transaction() as tx:
+            tx.add_field(root, "a")
+            root.a = 100
+        entry = LogEntry(memory, tx_pool.log_base)
+        assert entry.valid == 0
+
+    def test_nested_transactions_flatten(self, memory, tx_pool):
+        root = tx_pool.root
+        with tx_pool.transaction() as outer:
+            outer.add_field(root, "a")
+            root.a = 10
+            with tx_pool.transaction() as inner:
+                assert inner is outer
+                inner.add_field(root, "b")
+                root.b = 20
+            # Still uncommitted here: one flat transaction.
+            assert root.a == 10
+        assert (root.a, root.b) == (10, 20)
+
+    def test_large_range_spans_multiple_slots(self, memory, tx_pool):
+        size = LOG_DATA_CAPACITY * 2 + 10
+        address = tx_pool.alloc(size)
+        memory.store(address, b"z" * size)
+        with tx_pool.transaction() as tx:
+            tx.add(address, size)
+            memory.store(address, b"q" * size)
+        assert memory.load(address, size) == b"q" * size
+
+
+class TestAbortAndRecovery:
+    def test_exception_rolls_back(self, memory, tx_pool):
+        root = tx_pool.root
+        with pytest.raises(RuntimeError):
+            with tx_pool.transaction() as tx:
+                tx.add_field(root, "a")
+                root.a = 999
+                raise RuntimeError("boom")
+        assert root.a == 1  # restored
+
+    def test_explicit_abort(self, memory, tx_pool):
+        root = tx_pool.root
+        with pytest.raises(AbortedTransactionError):
+            with tx_pool.transaction() as tx:
+                tx.add_field(root, "a")
+                root.a = 999
+                tx.abort()
+        assert root.a == 1
+
+    def test_abort_emits_marker(self, memory, tx_pool):
+        root = tx_pool.root
+        with pytest.raises(AbortedTransactionError):
+            with tx_pool.transaction() as tx:
+                tx.add_field(root, "a")
+                root.a = 999
+                tx.abort()
+        kinds = [e.kind for e in memory.recorder.events]
+        assert EventKind.TX_ABORT in kinds
+        assert EventKind.TX_COMMIT not in kinds
+
+    def test_unadded_writes_survive_rollback(self, memory, tx_pool):
+        root = tx_pool.root
+        with pytest.raises(RuntimeError):
+            with tx_pool.transaction() as tx:
+                tx.add_field(root, "a")
+                root.a = 999
+                root.b = 888  # not added: rollback cannot restore it
+                raise RuntimeError("boom")
+        assert root.a == 1
+        assert root.b == 888
+
+    def test_open_recovers_interrupted_transaction(self, memory,
+                                                   tx_pool):
+        root = tx_pool.root
+        # Simulate a failure mid-transaction: log written, in-place
+        # update applied, but commit never runs.
+        tx = Transaction(tx_pool)
+        tx.__enter__()
+        tx.add_field(root, "a")
+        root.a = 777
+        # "Crash": abandon the transaction object without exiting, then
+        # reopen the pool, which must roll back from the undo log.
+        tx_pool.active_tx = None
+        reopened = ObjectPool.open(memory, "txp", "tx-layout", TxRoot)
+        assert reopened.root.a == 1
+
+    def test_add_outside_transaction_rejected(self, tx_pool):
+        tx = Transaction(tx_pool)
+        with pytest.raises(TransactionError):
+            tx.add(tx_pool.root.address, 8)
+
+    def test_log_exhaustion_detected(self, memory):
+        pool = ObjectPool.create(
+            memory, "tiny", "t", root_cls=TxRoot, log_size=512
+        )
+        root = pool.root
+        with pytest.raises(TransactionError):
+            with pool.transaction() as tx:
+                for _ in range(10):
+                    tx.add(root.address, TxRoot.SIZE)
+
+
+class TestTxAllocFree:
+    def test_tx_alloc_survives_commit(self, memory, tx_pool):
+        with tx_pool.transaction() as tx:
+            obj = tx.alloc(TxRoot)
+            tx.add_struct(obj)
+            obj.a = 7
+        assert obj.a == 7
+
+    def test_tx_alloc_released_on_abort(self, memory, tx_pool):
+        with pytest.raises(RuntimeError):
+            with tx_pool.transaction() as tx:
+                obj = tx.alloc(TxRoot)
+                raise RuntimeError("boom")
+        # The block is back on the free list: the next allocation of
+        # the same size reuses it.
+        again = tx_pool.alloc(TxRoot)
+        assert again.address == obj.address
+
+    def test_tx_free_deferred_to_commit(self, memory, tx_pool):
+        victim = tx_pool.alloc(TxRoot)
+        with tx_pool.transaction() as tx:
+            tx.free(victim)
+            # Not yet freed: an allocation inside the tx cannot reuse
+            # the block.
+            other = tx.alloc(TxRoot)
+            assert other.address != victim.address
+        reused = tx_pool.alloc(TxRoot)
+        assert reused.address == victim.address
+
+    def test_tx_free_skipped_on_abort(self, memory, tx_pool):
+        victim = tx_pool.alloc(TxRoot)
+        with pytest.raises(RuntimeError):
+            with tx_pool.transaction() as tx:
+                tx.free(victim)
+                raise RuntimeError("boom")
+        # The abort kept the object alive: fresh allocations do not
+        # reuse its block.
+        fresh = tx_pool.alloc(TxRoot)
+        assert fresh.address != victim.address
+
+    def test_tx_alloc_free_outside_tx_rejected(self, tx_pool):
+        tx = Transaction(tx_pool)
+        with pytest.raises(TransactionError):
+            tx.alloc(64)
+        with pytest.raises(TransactionError):
+            tx.free(0x1000)
+
+
+class TestAddHelpers:
+    def test_add_struct_and_field(self, memory, tx_pool):
+        root = tx_pool.root
+        with tx_pool.transaction() as tx:
+            tx.add_struct(root)
+            root.a = 7
+            root.b = 8
+        assert (root.a, root.b) == (7, 8)
+        adds = [
+            e for e in memory.recorder.events
+            if e.kind is EventKind.TX_ADD
+        ]
+        assert adds[-1].size == TxRoot.SIZE
+
+    def test_added_ranges_property(self, tx_pool):
+        root = tx_pool.root
+        with tx_pool.transaction() as tx:
+            tx.add_field(root, "a")
+            assert tx.added_ranges == ((root.field_addr("a"), 8),)
+            root.a = 3

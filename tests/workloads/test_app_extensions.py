@@ -1,0 +1,147 @@
+"""Tests for the extended application commands (Redis INCR/APPEND,
+Memcached CAS/TOUCH/eviction) and their crash consistency."""
+
+import pytest
+
+from repro.core import DetectorConfig, XFDetector
+from repro.pm.memory import PersistentMemory
+from repro.pmdk import ObjectPool
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.base import Workload
+from repro.workloads.pmcache import CacheRoot, PMCache
+from repro.workloads.pmcache import LAYOUT as MC_LAYOUT
+from repro.workloads.pmkv import KVRoot, PMKVServer
+from repro.workloads.pmkv import LAYOUT as KV_LAYOUT
+
+
+def fresh_memory():
+    return PersistentMemory(TraceRecorder(), capture_ips=False)
+
+
+def make_server():
+    memory = fresh_memory()
+    pool = ObjectPool.create(memory, "pmkv", KV_LAYOUT, root_cls=KVRoot)
+    root = pool.root
+    root.initialized = 0
+    root.num_dict_entries = 0
+    pool.persist(root.address, KVRoot.SIZE)
+    server = PMKVServer(pool)
+    server.init_persistent_memory(nbuckets=8)
+    return server
+
+
+def make_cache():
+    memory = fresh_memory()
+    pool = ObjectPool.create(memory, "pmcache", MC_LAYOUT,
+                             root_cls=CacheRoot)
+    return PMCache(pool).create(nbuckets=8)
+
+
+class TestRedisIncrAppend:
+    def test_incr_creates_and_counts(self):
+        server = make_server()
+        assert server.incr("hits") == 1
+        assert server.incr("hits") == 2
+        assert server.incr("hits", delta=5) == 7
+        assert server.get("hits") == b"7"
+
+    def test_incr_negative_delta(self):
+        server = make_server()
+        server.set("n", "10")
+        assert server.incr("n", delta=-3) == 7
+
+    def test_incr_non_integer_rejected(self):
+        server = make_server()
+        server.set("s", "hello")
+        with pytest.raises(ValueError):
+            server.incr("s")
+
+    def test_append(self):
+        server = make_server()
+        assert server.append("log", "a") == 1
+        assert server.append("log", "bc") == 3
+        assert server.get("log") == b"abc"
+
+    def test_append_overflow_rejected(self):
+        server = make_server()
+        server.set("big", "x" * 60)
+        with pytest.raises(ValueError):
+            server.append("big", "y" * 10)
+
+
+class TestMemcachedCas:
+    def test_gets_returns_stamp(self):
+        cache = make_cache()
+        cache.set("k", "v1")
+        value, stamp = cache.gets("k")
+        assert value == b"v1"
+        assert stamp > 0
+
+    def test_cas_success_and_conflict(self):
+        cache = make_cache()
+        cache.set("k", "v1")
+        _value, stamp = cache.gets("k")
+        assert cache.cas("k", "v2", stamp) == "STORED"
+        # The old stamp is now stale.
+        assert cache.cas("k", "v3", stamp) == "EXISTS"
+        assert cache.get("k") == b"v2"
+
+    def test_cas_missing_key(self):
+        cache = make_cache()
+        assert cache.cas("ghost", "v", 1) == "NOT_FOUND"
+
+    def test_cas_stamps_are_unique(self):
+        cache = make_cache()
+        stamps = set()
+        for i in range(5):
+            cache.set(f"k{i}", "v")
+            stamps.add(cache.gets(f"k{i}")[1])
+        assert len(stamps) == 5
+
+    def test_touch_and_eviction_order(self):
+        cache = make_cache()
+        for i in range(4):
+            cache.set(f"k{i}", "v")
+        assert cache.touch("k0") is True
+        assert cache.touch("ghost") is False
+        evicted = cache.evict_lru(keep=2)
+        # k0 was touched last; k1/k2 are the LRU victims.
+        assert evicted == [b"k1", b"k2"]
+        assert cache.get("k0") == b"v"
+        assert cache.stats()["item_count"] == 2
+
+
+class _IncrWorkload(Workload):
+    """INCR under failure injection: a correct read-modify-write."""
+
+    name = "pmkv-incr"
+
+    def setup(self, ctx):
+        pool = ObjectPool.create(ctx.memory, "pmkv", KV_LAYOUT,
+                                 root_cls=KVRoot)
+        root = pool.root
+        root.initialized = 0
+        root.num_dict_entries = 0
+        pool.persist(root.address, KVRoot.SIZE)
+        server = PMKVServer(pool)
+        server.init_persistent_memory(nbuckets=4)
+        server.set("counter", "0")
+
+    def pre_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "pmkv", KV_LAYOUT, KVRoot)
+        server = PMKVServer(pool)
+        for _ in range(3):
+            server.incr("counter")
+
+    def post_failure(self, ctx):
+        pool = ObjectPool.open(ctx.memory, "pmkv", KV_LAYOUT, KVRoot)
+        server = PMKVServer(pool)
+        value = int(server.get("counter"))
+        assert 0 <= value <= 3
+
+
+class TestCrashConsistencyOfExtensions:
+    def test_incr_is_failure_atomic(self):
+        report = XFDetector(DetectorConfig()).run(_IncrWorkload())
+        assert report.bugs == [], report.format()
+        assert report.stats.failure_points > 0

@@ -1,0 +1,327 @@
+"""Functional tests for the hashmaps, the KV server, the cache, and the
+Section 2 example structures (no failure injection)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pm.memory import PersistentMemory
+from repro.pmdk import ObjectPool, pmem
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.array_backup import (
+    ARRAY_LEN,
+    BackupArray,
+    BackupRoot,
+    LAYOUT as AB_LAYOUT,
+)
+from repro.workloads.hashmap_atomic import (
+    AtomicRoot,
+    HashmapAtomic,
+    LAYOUT as HA_LAYOUT,
+)
+from repro.workloads.hashmap_tx import (
+    HashmapTX,
+    LAYOUT as HT_LAYOUT,
+    TxRoot,
+)
+from repro.workloads.linkedlist import (
+    LAYOUT as LL_LAYOUT,
+    ListRoot,
+    PersistentList,
+)
+from repro.workloads.pmcache import (
+    CacheRoot,
+    LAYOUT as MC_LAYOUT,
+    PMCache,
+)
+from repro.workloads.pmkv import KVRoot, LAYOUT as KV_LAYOUT, PMKVServer
+
+
+def fresh_memory():
+    return PersistentMemory(TraceRecorder(), capture_ips=False)
+
+
+def make_hashmap_tx(nbuckets=8):
+    memory = fresh_memory()
+    pool = ObjectPool.create(memory, "ht", HT_LAYOUT, root_cls=TxRoot)
+    return HashmapTX.create(pool, nbuckets)
+
+
+def make_hashmap_atomic(nbuckets=8):
+    memory = fresh_memory()
+    pool = ObjectPool.create(memory, "ha", HA_LAYOUT, root_cls=AtomicRoot)
+    return HashmapAtomic(pool).create(nbuckets)
+
+
+@pytest.mark.parametrize(
+    "factory", [make_hashmap_tx, make_hashmap_atomic],
+    ids=["hashmap_tx", "hashmap_atomic"],
+)
+class TestHashmaps:
+    def test_insert_get(self, factory):
+        hm = factory()
+        hm.insert(1, 10)
+        hm.insert(2, 20)
+        assert hm.get(1) == 10
+        assert hm.get(2) == 20
+        assert hm.get(3) is None
+        assert hm.count() == 2
+
+    def test_chaining_with_few_buckets(self, factory):
+        hm = factory(nbuckets=2)
+        for key in range(20):
+            hm.insert(key, key * 3)
+        for key in range(20):
+            assert hm.get(key) == key * 3
+        assert hm.count() == 20
+
+    def test_remove(self, factory):
+        hm = factory(nbuckets=2)
+        for key in range(6):
+            hm.insert(key, key)
+        assert hm.remove(3) is True
+        assert hm.get(3) is None
+        assert hm.count() == 5
+        assert hm.remove(3) is False
+        assert sorted(k for k, _v in hm.items()) == [0, 1, 2, 4, 5]
+
+
+class TestHashmapTxSpecific:
+    def test_update_goes_through_value_path(self):
+        hm = make_hashmap_tx()
+        hm.insert(7, 70)
+        hm.insert(7, 77)
+        assert hm.get(7) == 77
+        assert hm.count() == 1
+
+    def test_verify_counts_entries(self):
+        hm = make_hashmap_tx()
+        for key in range(5):
+            hm.insert(key, key)
+        seen, stored = hm.verify()
+        assert seen == stored == 5
+
+
+class TestHashmapAtomicSpecific:
+    def test_update_in_place(self):
+        hm = make_hashmap_atomic()
+        hm.insert(7, 70)
+        assert hm.update(7, 77) is True
+        assert hm.get(7) == 77
+        assert hm.update(99, 1) is False
+
+    def test_recover_recounts_when_dirty(self):
+        hm = make_hashmap_atomic()
+        hm.insert(1, 1)
+        hm.insert(2, 2)
+        header = hm.header
+        # Corrupt the count and mark it dirty, as a failure would.
+        header.count = 99
+        header.count_dirty = 1
+        hm.recover()
+        assert hm.count() == 2
+        assert header.count_dirty == 0
+
+    def test_recover_trusts_clean_count(self):
+        hm = make_hashmap_atomic()
+        hm.insert(1, 1)
+        hm.recover()
+        assert hm.count() == 1
+
+
+class TestPMKVServer:
+    def make_server(self):
+        memory = fresh_memory()
+        pool = ObjectPool.create(memory, "kv", KV_LAYOUT, root_cls=KVRoot)
+        root = pool.root
+        root.initialized = 0
+        root.num_dict_entries = 0
+        pool.persist(root.address, KVRoot.SIZE)
+        server = PMKVServer(pool)
+        server.init_persistent_memory(nbuckets=8)
+        return server
+
+    def test_set_get_delete(self):
+        server = self.make_server()
+        server.set("alpha", "one")
+        server.set("beta", "two")
+        assert server.get("alpha") == b"one"
+        assert server.get("missing") is None
+        assert server.delete("alpha") is True
+        assert server.get("alpha") is None
+        assert server.delete("alpha") is False
+        assert server.info()["num_dict_entries"] == 1
+
+    def test_set_overwrites(self):
+        server = self.make_server()
+        server.set("k", "v1")
+        server.set("k", "v2")
+        assert server.get("k") == b"v2"
+        assert server.info()["num_dict_entries"] == 1
+
+    def test_keys_sorted(self):
+        server = self.make_server()
+        for name in ["zz", "aa", "mm"]:
+            server.set(name, "x")
+        assert server.keys() == [b"aa", b"mm", b"zz"]
+
+    def test_reinit_is_idempotent(self):
+        server = self.make_server()
+        server.set("k", "v")
+        server.init_persistent_memory(nbuckets=8)  # no-op when live
+        assert server.get("k") == b"v"
+
+    def test_oversized_values_rejected(self):
+        server = self.make_server()
+        with pytest.raises(ValueError):
+            server.set("k" * 100, "v")
+        with pytest.raises(ValueError):
+            server.set("k", "")
+
+
+class TestPMCache:
+    def make_cache(self):
+        memory = fresh_memory()
+        pool = ObjectPool.create(
+            memory, "mc", MC_LAYOUT, root_cls=CacheRoot
+        )
+        return PMCache(pool).create(nbuckets=8)
+
+    def test_set_get_delete(self):
+        cache = self.make_cache()
+        cache.set("a", "1")
+        cache.set("b", "2")
+        assert cache.get("a") == b"1"
+        assert cache.delete("a") is True
+        assert cache.get("a") is None
+        assert cache.stats()["item_count"] == 1
+
+    def test_set_replaces_out_of_place(self):
+        cache = self.make_cache()
+        cache.set("a", "old")
+        cache.set("a", "new")
+        assert cache.get("a") == b"new"
+        assert cache.stats()["item_count"] == 1
+
+    def test_lru_order_tracks_access(self):
+        cache = self.make_cache()
+        cache.set("a", "1")
+        cache.set("b", "2")
+        cache.get("a")
+        assert cache.lru == [b"b", b"a"]
+
+    def test_warm_restart_rebuilds_lru_and_count(self):
+        cache = self.make_cache()
+        cache.set("a", "1")
+        cache.set("b", "2")
+        header = cache.header
+        header.item_count = 77
+        header.count_dirty = 1
+        restarted = PMCache(cache.pool)
+        restarted.warm_restart()
+        assert restarted.stats()["item_count"] == 2
+        assert sorted(restarted.lru) == [b"a", b"b"]
+
+
+class TestLinkedList:
+    def make_list(self):
+        memory = fresh_memory()
+        pool = ObjectPool.create(memory, "ll", LL_LAYOUT, root_cls=ListRoot)
+        root = pool.root
+        root.head = 0
+        root.length = 0
+        pmem.persist(memory, root.address, ListRoot.SIZE)
+        return PersistentList(pool)
+
+    def test_append_pop(self):
+        plist = self.make_list()
+        plist.append(1)
+        plist.append(2)
+        assert plist.items() == [2, 1]  # head insertion
+        assert plist.length() == 2
+        plist.pop()
+        assert plist.items() == [1]
+        assert plist.length() == 1
+
+    def test_pop_empty_is_noop(self):
+        plist = self.make_list()
+        plist.pop()
+        assert plist.length() == 0
+
+    def test_recover_alt_fixes_length(self):
+        plist = self.make_list()
+        plist.append(1)
+        plist.append(2)
+        plist.root.length = 99  # simulate torn length
+        plist.recover_alt()
+        assert plist.length() == 2
+
+
+class TestBackupArray:
+    def make_array(self):
+        memory = fresh_memory()
+        pool = ObjectPool.create(
+            memory, "ab", AB_LAYOUT, root_cls=BackupRoot
+        )
+        root = pool.root
+        for i in range(ARRAY_LEN):
+            root.arr[i] = i
+        root.valid = 0
+        pmem.persist(memory, root.address, BackupRoot.SIZE)
+        return BackupArray(pool)
+
+    def test_update_and_read(self):
+        backup = self.make_array()
+        backup.update(3, 999)
+        values = backup.read_all()
+        assert values[3] == 999
+        assert backup.root.valid == 0
+
+    def test_recover_rolls_back_valid_backup(self):
+        backup = self.make_array()
+        root = backup.root
+        root.backup_idx = 2
+        root.backup_val = 2
+        root.arr[2] = 777  # torn in-place update
+        root.valid = 1
+        backup.recover()
+        assert backup.read_all()[2] == 2
+        assert root.valid == 0
+
+    def test_recover_skips_invalid_backup(self):
+        backup = self.make_array()
+        backup.root.arr[2] = 777
+        backup.recover()
+        assert backup.read_all()[2] == 777
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["set", "delete"]),
+        st.integers(0, 15),
+        st.integers(0, 10**4),
+    ),
+    max_size=50,
+))
+def test_pmkv_matches_dict_model(ops):
+    memory = fresh_memory()
+    pool = ObjectPool.create(memory, "kv", KV_LAYOUT, root_cls=KVRoot)
+    root = pool.root
+    root.initialized = 0
+    root.num_dict_entries = 0
+    pool.persist(root.address, KVRoot.SIZE)
+    server = PMKVServer(pool)
+    server.init_persistent_memory(nbuckets=4)
+    model = {}
+    for op, key_num, value_num in ops:
+        key, value = f"k{key_num}", f"v{value_num}"
+        if op == "set":
+            server.set(key, value)
+            model[key] = value
+        else:
+            assert server.delete(key) == (key in model)
+            model.pop(key, None)
+    assert server.info()["num_dict_entries"] == len(model)
+    for key, value in model.items():
+        assert server.get(key) == value.encode()

@@ -1,0 +1,127 @@
+"""Tests for the persistent ring-buffer queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BugKind, DetectorConfig, XFDetector
+from repro.core.frontend import Frontend
+from repro.pm.image import CrashImageMode
+from repro.pm.memory import PersistentMemory
+from repro.pm.pool import PMPool
+from repro.pmdk import ObjectPool
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.queue import (
+    LAYOUT,
+    PersistentQueue,
+    QueueFullError,
+    QueueRoot,
+    QueueWorkload,
+)
+
+
+def make_queue(capacity=8):
+    memory = PersistentMemory(TraceRecorder(), capture_ips=False)
+    pool = ObjectPool.create(memory, "queue", LAYOUT, root_cls=QueueRoot)
+    return PersistentQueue(pool).create(capacity)
+
+
+class TestQueueFunctional:
+    def test_fifo_order(self):
+        queue = make_queue()
+        for value in [3, 1, 4]:
+            queue.enqueue(value)
+        assert queue.peek_all() == [3, 1, 4]
+        assert queue.dequeue() == 3
+        assert queue.dequeue() == 1
+        assert queue.size() == 1
+
+    def test_empty_dequeue(self):
+        queue = make_queue()
+        assert queue.dequeue() is None
+
+    def test_wraparound(self):
+        queue = make_queue(capacity=4)
+        for value in range(4):
+            queue.enqueue(value)
+        for _ in range(3):
+            queue.dequeue()
+        for value in [10, 11, 12]:  # wraps the ring
+            queue.enqueue(value)
+        assert queue.peek_all() == [3, 10, 11, 12]
+
+    def test_full_queue_rejected(self):
+        queue = make_queue(capacity=2)
+        queue.enqueue(1)
+        queue.enqueue(2)
+        with pytest.raises(QueueFullError):
+            queue.enqueue(3)
+
+    def test_negative_values(self):
+        queue = make_queue()
+        queue.enqueue(-12345)
+        assert queue.dequeue() == -12345
+
+
+class TestQueueDetection:
+    def test_correct_queue_clean(self):
+        report = XFDetector(DetectorConfig()).run(
+            QueueWorkload(init_size=2, test_size=3)
+        )
+        assert report.bugs == [], report.format()
+
+    @pytest.mark.parametrize("flag,kind", [
+        ("tail_before_slot", BugKind.CROSS_FAILURE_RACE),
+        ("skip_persist_slot", BugKind.CROSS_FAILURE_RACE),
+        ("double_flush_slot", BugKind.PERFORMANCE),
+    ])
+    def test_faults_detected(self, flag, kind):
+        report = XFDetector(DetectorConfig()).run(
+            QueueWorkload(faults={flag}, init_size=1, test_size=3)
+        )
+        assert any(bug.kind is kind for bug in report.bugs)
+
+
+class TestQueueCrashAtomicity:
+    def test_every_failure_point_recovers_a_prefix(self):
+        enqueues = 4
+        workload = QueueWorkload(init_size=0, test_size=enqueues)
+        result = Frontend(DetectorConfig()).run(workload)
+        valid = [
+            [100 + i for i in range(k)] for k in range(enqueues + 1)
+        ]
+        for failure_point in result.failure_points:
+            image = failure_point.images[0]
+            memory = PersistentMemory(
+                TraceRecorder("post"), capture_ips=False
+            )
+            memory.map_pool(PMPool(
+                image.pool_name, image.size, image.base,
+                data=image.bytes_for(CrashImageMode.PERSISTED_ONLY),
+            ))
+            pool = ObjectPool.open(memory, "queue", LAYOUT, QueueRoot)
+            queue = PersistentQueue(pool)
+            assert queue.peek_all() in valid
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(-100, 100)),
+        st.tuples(st.just("deq"), st.none()),
+    ),
+    max_size=40,
+))
+def test_queue_matches_list_model(ops):
+    queue = make_queue(capacity=64)
+    model = []
+    for op, value in ops:
+        if op == "enq":
+            if len(model) < 64:
+                queue.enqueue(value)
+                model.append(value)
+        else:
+            expected = model.pop(0) if model else None
+            assert queue.dequeue() == expected
+    assert queue.peek_all() == model
+    assert queue.size() == len(model)
