@@ -2,9 +2,11 @@
 
 Every benchmark regenerates one of the paper's tables or figures and
 writes its rows/series to ``benchmarks/results/<name>.txt`` so the
-output survives pytest's capture.  Absolute numbers are pure-Python
-timings on this machine; the *shapes* (who dominates, linearity,
-ordering of overheads) are what reproduce the paper.
+output survives pytest's capture, plus a machine-readable
+``<name>.ndjson`` sidecar (see docs/observability.md).  Absolute
+numbers are pure-Python timings on this machine; the *shapes* (who
+dominates, linearity, ordering of overheads) are what reproduce the
+paper.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import time
 from repro.core import DetectorConfig, XFDetector
 from repro.core.frontend import ExecutionContext, Frontend
 from repro.core.interface import XFInterface
+from repro.obs import write_ndjson
 from repro.pm.memory import PersistentMemory
 from repro.trace.recorder import NullRecorder, TraceRecorder
 from repro.workloads import MICROBENCHMARKS, REAL_WORKLOADS
@@ -25,14 +28,33 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 FIG12_WORKLOADS = {**MICROBENCHMARKS, **REAL_WORKLOADS}
 
 
-def write_result(name, text):
-    """Persist one regenerated table/figure and echo it."""
+def write_result(name, text, records=None):
+    """Persist one regenerated table/figure and echo it.
+
+    Always leaves a ``<name>.ndjson`` sidecar next to the text: the
+    benchmark's structured rows when given, or a minimal marker record
+    so downstream tooling can rely on the sidecar existing.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text)
+    if records is None:
+        records = [{"type": "bench_result", "bench": name}]
+    write_ndjson(
+        os.path.join(RESULTS_DIR, f"{name}.ndjson"), records
+    )
     print(f"\n{text}")
     return path
+
+
+def table_records(bench, headers, rows):
+    """One ``bench_row`` record per table row, keyed by the headers."""
+    return [
+        {"type": "bench_row", "bench": bench,
+         **dict(zip(headers, row))}
+        for row in rows
+    ]
 
 
 def make_workload(cls, init_size=0, test_size=1):

@@ -13,7 +13,12 @@ import time
 
 import pytest
 
-from benchmarks._common import format_table, run_detection, write_result
+from benchmarks._common import (
+    format_table,
+    run_detection,
+    table_records,
+    write_result,
+)
 from repro.core import DetectorConfig
 from repro.pm.image import CrashImageMode
 from repro.workloads import HashmapAtomicWorkload, HashmapTxWorkload
@@ -188,9 +193,13 @@ def test_ablation_emit_table(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     if not _rows:
         pytest.skip("ablation benches did not run")
+    headers = ["design choice", "paper setting", "ablated setting"]
     text = format_table(
-        ["design choice", "paper setting", "ablated setting"],
+        headers,
         _rows,
         title="Ablations of XFDetector design choices",
     )
-    write_result("ablation", text)
+    write_result(
+        "ablation", text,
+        records=table_records("ablation", headers, _rows),
+    )

@@ -20,6 +20,7 @@ from benchmarks._common import (
     run_detection,
     run_original,
     run_pure_tracing,
+    table_records,
     write_result,
 )
 
@@ -64,8 +65,9 @@ def test_fig12b_emit_table(benchmark):
     ]
     gm_tracing = geomean([t for t, _o in _rows.values()])
     gm_original = geomean([o for _t, o in _rows.values()])
+    headers = ["workload", "over pure tracing", "over original"]
     text = format_table(
-        ["workload", "over pure tracing", "over original"],
+        headers,
         rows,
         title="Figure 12b — slowdown of XFDetector",
     )
@@ -75,4 +77,7 @@ def test_fig12b_emit_table(benchmark):
         f"(paper: 400.8x)\n"
         "shape to check: over-original >> over-tracing > 1\n"
     )
-    write_result("fig12b_slowdown", text)
+    write_result(
+        "fig12b_slowdown", text,
+        records=table_records("fig12b_slowdown", headers, rows),
+    )

@@ -18,6 +18,7 @@ import pytest
 from benchmarks._common import (
     format_table,
     run_detection,
+    table_records,
     write_result,
 )
 from repro.workloads import MICROBENCHMARKS
@@ -67,9 +68,10 @@ def test_fig13_emit_table(benchmark):
                 name, tx_count, f"{elapsed:.3f}", failure_points,
                 f"{1000 * elapsed / failure_points:.1f}",
             ])
+    headers = ["workload", "transactions", "time_s",
+               "failure_points", "ms_per_failure_point"]
     text = format_table(
-        ["workload", "transactions", "time_s", "failure_points",
-         "ms_per_failure_point"],
+        headers,
         rows,
         title=(
             "Figure 13 — execution time and #failure points vs. "
@@ -81,4 +83,7 @@ def test_fig13_emit_table(benchmark):
         "transactions; ms/failure-point roughly constant (O(F*P), "
         "Section 5.4)\n"
     )
-    write_result("fig13_scalability", text)
+    write_result(
+        "fig13_scalability", text,
+        records=table_records("fig13_scalability", headers, rows),
+    )

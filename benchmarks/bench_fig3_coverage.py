@@ -13,7 +13,7 @@ Three scenario families:
 
 import pytest
 
-from benchmarks._common import format_table, write_result
+from benchmarks._common import format_table, table_records, write_result
 from repro.baselines import PmemcheckBaseline, PMTestBaseline
 from repro.core import XFDetector
 from repro.workloads import (
@@ -99,9 +99,10 @@ def test_fig3_coverage_matrix(benchmark):
         if "semantic" in label:
             # Semantic bugs are invisible to pre-failure-only tools.
             assert not pmtest and not pmemcheck, label
+    headers = ["scenario", "XFDetector", "PMTest-like",
+               "pmemcheck-like", "Yat-like"]
     text = format_table(
-        ["scenario", "XFDetector", "PMTest-like", "pmemcheck-like",
-         "Yat-like"],
+        headers,
         table_rows,
         title="Figure 3 — coverage of prior tools vs. XFDetector",
     )
@@ -110,4 +111,7 @@ def test_fig3_coverage_matrix(benchmark):
         "per program (Section 8) and judges only the states the "
         "checker encodes.\n"
     )
-    write_result("fig3_coverage", text)
+    write_result(
+        "fig3_coverage", text,
+        records=table_records("fig3_coverage", headers, table_rows),
+    )

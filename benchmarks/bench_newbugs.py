@@ -8,7 +8,7 @@ what was detected.
 
 import pytest
 
-from benchmarks._common import format_table, write_result
+from benchmarks._common import format_table, table_records, write_result
 from repro.bugsuite import NEW_BUGS
 
 _outcomes = {}
@@ -39,9 +39,13 @@ def test_newbugs_emit_table(benchmark):
             "DETECTED" if detected else "MISSED",
             ", ".join(kinds),
         ])
+    headers = ["bug", "software", "status", "reported kinds"]
     text = format_table(
-        ["bug", "software", "status", "reported kinds"],
+        headers,
         rows,
         title="Section 6.3.2 — the four new bugs",
     )
-    write_result("newbugs", text)
+    write_result(
+        "newbugs", text,
+        records=table_records("newbugs", headers, rows),
+    )

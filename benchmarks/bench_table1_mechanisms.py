@@ -9,7 +9,12 @@ bug class).
 
 import pytest
 
-from benchmarks._common import format_table, run_detection, write_result
+from benchmarks._common import (
+    format_table,
+    run_detection,
+    table_records,
+    write_result,
+)
 from repro.core import BugKind
 from repro.mechanisms import MECHANISMS, MechanismWorkload
 
@@ -61,9 +66,10 @@ def test_table1_emit_table(benchmark):
                 f"{flag} [{code}]",
                 ", ".join(kinds),
             ])
+    headers = ["mechanism", "correct build", "injected violation",
+               "detected kinds"]
     text = format_table(
-        ["mechanism", "correct build", "injected violation",
-         "detected kinds"],
+        headers,
         rows,
         title="Table 1 — data-consistency requirements per mechanism",
     )
@@ -71,4 +77,7 @@ def test_table1_emit_table(benchmark):
         "\nshape to check: every correct build clean; every violation "
         "detected with its class\n"
     )
-    write_result("table1_mechanisms", text)
+    write_result(
+        "table1_mechanisms", text,
+        records=table_records("table1_mechanisms", headers, rows),
+    )

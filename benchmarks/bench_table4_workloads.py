@@ -11,7 +11,7 @@ import inspect
 
 import pytest
 
-from benchmarks._common import format_table, write_result
+from benchmarks._common import format_table, table_records, write_result
 from repro.workloads import ALL_WORKLOADS
 
 ANNOTATION_CALLS = (
@@ -72,9 +72,11 @@ def test_table4_workload_inventory(benchmark):
         return rows
 
     rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = ["workload", "type", "our LoC",
+               "our annotation sites", "paper LoC",
+               "paper annotation LoC"]
     text = format_table(
-        ["workload", "type", "our LoC", "our annotation sites",
-         "paper LoC", "paper annotation LoC"],
+        headers,
         rows,
         title="Table 4 — evaluated PM programs",
     )
@@ -83,6 +85,9 @@ def test_table4_workload_inventory(benchmark):
         "per workload; transaction-based programs need none or almost "
         "none beyond RoI selection\n"
     )
-    write_result("table4_workloads", text)
+    write_result(
+        "table4_workloads", text,
+        records=table_records("table4_workloads", headers, rows),
+    )
     for row in rows:
         assert row[3] <= 10, f"annotation burden too high: {row}"

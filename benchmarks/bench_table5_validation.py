@@ -8,7 +8,7 @@ bench verifies every one is detected with its expected bug class.
 
 import pytest
 
-from benchmarks._common import format_table, write_result
+from benchmarks._common import format_table, table_records, write_result
 from repro.bugsuite import (
     SUITE_ADDITIONAL,
     SUITE_PMTEST,
@@ -63,9 +63,10 @@ def test_table5_emit_table(benchmark):
             f"{count(SUITE_ADDITIONAL, 'R')}/{a_r}",
             f"{count(SUITE_ADDITIONAL, 'S')}/{a_s}",
         ])
+    headers = ["workload", "PMTest R (det/paper)", "PMTest P",
+               "additional R", "additional S"]
     text = format_table(
-        ["workload", "PMTest R (det/paper)", "PMTest P",
-         "additional R", "additional S"],
+        headers,
         rows,
         title="Table 5 — synthetic bug validation "
               "(detected / paper count)",
@@ -75,5 +76,8 @@ def test_table5_emit_table(benchmark):
         1 for v in _results.values() for _b, ok in v if ok
     )
     text += f"\ndetected {detected}/{total} synthetic bugs\n"
-    write_result("table5_validation", text)
+    write_result(
+        "table5_validation", text,
+        records=table_records("table5_validation", headers, rows),
+    )
     assert detected == total

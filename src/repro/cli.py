@@ -3,7 +3,10 @@
 Examples::
 
     xfdetector run btree --init 5 --test 5 --fault skip_add_leaf
-    xfdetector run redis --test 3
+    xfdetector run --workload redis --test 3
+    xfdetector run hashmap_atomic --fault bug1_unpersisted_create \\
+        --audit --profile
+    xfdetector profile hashmap_tx --test 2 --ndjson /tmp/run.ndjson
     xfdetector list-workloads
     xfdetector list-faults hashmap_atomic
     xfdetector new-bugs
@@ -16,11 +19,65 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core import DetectorConfig, XFDetector
 from repro.pm.image import CrashImageMode
 from repro.workloads import ALL_WORKLOADS
+
+
+def _add_workload_args(parser):
+    """Workload selection + sizing flags shared by run/profile."""
+    parser.add_argument("workload", nargs="?", default=None,
+                        choices=sorted(ALL_WORKLOADS))
+    parser.add_argument("--workload", dest="workload_flag",
+                        default=None, choices=sorted(ALL_WORKLOADS),
+                        help="workload name (alternative to the "
+                             "positional argument)")
+    parser.add_argument("--init", type=int, default=0,
+                        help="insertions when initializing the PM "
+                             "image (INITSIZE)")
+    parser.add_argument("--test", type=int, default=1,
+                        help="operations under test (TESTSIZE)")
+    parser.add_argument("--fault", action="append", default=[],
+                        help="synthetic fault flag (repeatable); see "
+                             "list-faults")
+
+
+def _add_telemetry_args(parser):
+    parser.add_argument("--profile", action="store_true",
+                        help="print the span-tree profile and metrics "
+                             "after the report")
+    parser.add_argument("--audit", action="store_true",
+                        help="record every shadow-PM state transition "
+                             "(opt-in; slows the backend)")
+    parser.add_argument("--ndjson", default=None, metavar="PATH",
+                        help="write the run's records (bugs, stats, "
+                             "spans, metrics, audit) as NDJSON to "
+                             "PATH")
+
+
+def _resolve_workload_name(args):
+    if args.workload and args.workload_flag:
+        if args.workload != args.workload_flag:
+            print(
+                f"xfdetector: error: conflicting workloads: "
+                f"positional {args.workload!r} vs --workload "
+                f"{args.workload_flag!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return args.workload
+    name = args.workload or args.workload_flag
+    if name is None:
+        print(
+            "xfdetector: error: a workload is required "
+            "(positional or --workload)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return name
 
 
 def _build_parser():
@@ -32,15 +89,7 @@ def _build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run detection on one workload")
-    run.add_argument("workload", choices=sorted(ALL_WORKLOADS))
-    run.add_argument("--init", type=int, default=0,
-                     help="insertions when initializing the PM image "
-                          "(INITSIZE)")
-    run.add_argument("--test", type=int, default=1,
-                     help="operations under test (TESTSIZE)")
-    run.add_argument("--fault", action="append", default=[],
-                     help="synthetic fault flag (repeatable); see "
-                          "list-faults")
+    _add_workload_args(run)
     run.add_argument("--strict-image", action="store_true",
                      help="run post-failure stages on persisted-only "
                           "crash images")
@@ -56,6 +105,14 @@ def _build_parser():
                           "point (pmreorder-style fuzzing)")
     run.add_argument("--json", action="store_true",
                      help="print the report as JSON")
+    _add_telemetry_args(run)
+
+    profile = sub.add_parser(
+        "profile", help="run detection and print the telemetry "
+                        "profile (span tree + metrics)"
+    )
+    _add_workload_args(profile)
+    _add_telemetry_args(profile)
 
     faults = sub.add_parser(
         "list-faults", help="show a workload's fault flags"
@@ -100,13 +157,33 @@ def _build_parser():
     return parser
 
 
-def _cmd_run(args):
-    cls = ALL_WORKLOADS[args.workload]
-    workload = cls(
+def _make_workload(name, args):
+    cls = ALL_WORKLOADS[name]
+    return cls(
         faults=set(args.fault),
         init_size=args.init,
         test_size=args.test,
     )
+
+
+def _write_run_ndjson(path, report):
+    from repro.obs import run_records, write_ndjson
+
+    try:
+        count = write_ndjson(path, run_records(report))
+    except OSError as exc:
+        print(
+            f"xfdetector: error: cannot write NDJSON to "
+            f"{path}: {exc}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    print(f"-- {count} NDJSON records written to {path}")
+
+
+def _cmd_run(args):
+    name = _resolve_workload_name(args)
+    workload = _make_workload(name, args)
     config = DetectorConfig(
         crash_image_mode=(
             CrashImageMode.PERSISTED_ONLY if args.strict_image
@@ -115,10 +192,19 @@ def _cmd_run(args):
         max_failure_points=args.max_failure_points,
         report_perf_bugs=not args.no_perf_bugs,
         crash_state_variants=args.crash_states,
+        audit=args.audit,
     )
     report = XFDetector(config).run(workload)
+    telemetry = report.telemetry
     if args.json:
-        print(report.to_json(unique=not args.all_occurrences))
+        payload = json.loads(
+            report.to_json(unique=not args.all_occurrences)
+        )
+        if args.profile or args.audit:
+            payload["telemetry"] = telemetry.to_dict()
+        print(json.dumps(payload, indent=2))
+        if args.ndjson:
+            _write_run_ndjson(args.ndjson, report)
         return 1 if report.has_cross_failure_bugs else 0
     print(report.format(unique=not args.all_occurrences))
     stats = report.stats
@@ -131,7 +217,30 @@ def _cmd_run(args):
         f"post {stats.post_failure_seconds:.2f}s / "
         f"backend {stats.backend_seconds:.2f}s)"
     )
+    if args.profile:
+        print()
+        print(telemetry.format())
+    if args.ndjson:
+        _write_run_ndjson(args.ndjson, report)
+    elif args.audit and telemetry.audit is not None:
+        from repro.obs import to_ndjson
+
+        print("\n-- audit ndjson --")
+        print(to_ndjson(telemetry.audit.to_records()))
     return 1 if report.has_cross_failure_bugs else 0
+
+
+def _cmd_profile(args):
+    name = _resolve_workload_name(args)
+    workload = _make_workload(name, args)
+    config = DetectorConfig(audit=args.audit)
+    report = XFDetector(config).run(workload)
+    print(report.summary())
+    print()
+    print(report.telemetry.format())
+    if args.ndjson:
+        _write_run_ndjson(args.ndjson, report)
+    return 0
 
 
 def _cmd_list_workloads(_args):
@@ -253,6 +362,7 @@ def main(argv=None):
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "profile": _cmd_profile,
         "list-workloads": _cmd_list_workloads,
         "list-faults": _cmd_list_faults,
         "new-bugs": _cmd_new_bugs,

@@ -65,5 +65,16 @@ class DetectorConfig:
     #: Stop after the first cross-failure bug (useful interactively).
     fail_fast: bool = False
 
+    #: Record every shadow-PM persistence/consistency FSM transition in
+    #: an audit log (``repro.obs.AuditLog``) with address range,
+    #: old->new state, epoch, and source location.  Strictly opt-in:
+    #: the log costs extra range iteration on every shadow update.
+    audit: bool = False
+
+    #: Inject a ``repro.obs.Telemetry`` instance to share one metrics
+    #: registry / span recorder across runs (None = the detector
+    #: creates a fresh per-run instance honoring ``audit``).
+    telemetry: object | None = None
+
     #: Extra keyword arguments forwarded to workload stages.
     workload_options: dict = field(default_factory=dict)

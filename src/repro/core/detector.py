@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import time
-
 from repro._location import UNKNOWN_LOCATION
 from repro.core.config import DetectorConfig
 from repro.core.frontend import Frontend
 from repro.core.replay import StopAnalysis, TraceReplayer
 from repro.core.report import Bug, BugKind, DetectionReport
 from repro.core.shadow import ShadowPM
+from repro.obs import resolve_telemetry
 from repro.trace.events import EventKind
 
 
@@ -20,14 +19,27 @@ class XFDetector:
     pre-failure stage with failure injection, run the post-failure stage
     per failure point, replay both traces against the shadow PM, and
     report cross-failure races, semantic bugs, and performance bugs.
+
+    Every run is instrumented through ``repro.obs``: a span tree
+    profiles the stages, the metrics registry counts the pipeline's
+    decisions, and (when ``config.audit`` is set) the shadow PM logs
+    every FSM transition.  The run's telemetry is attached to the
+    returned report as ``report.telemetry``.
     """
 
     def __init__(self, config=None):
         self.config = config if config is not None else DetectorConfig()
+        self.telemetry = resolve_telemetry(self.config)
 
     def run(self, workload):
-        frontend_result = Frontend(self.config).run(workload)
-        return self.analyze(frontend_result)
+        with self.telemetry.span(
+            "run",
+            workload=getattr(workload, "name", type(workload).__name__),
+        ):
+            frontend_result = Frontend(
+                self.config, telemetry=self.telemetry
+            ).run(workload)
+            return self.analyze(frontend_result)
 
     # ------------------------------------------------------------------
     # Backend
@@ -35,8 +47,10 @@ class XFDetector:
 
     def analyze(self, frontend_result):
         """Replay traces from a frontend run and produce the report."""
-        started = time.perf_counter()
-        report = DetectionReport(frontend_result.workload_name)
+        tel = self.telemetry
+        report = DetectionReport(
+            frontend_result.workload_name, telemetry=tel
+        )
         stats = report.stats
         stats.failure_points = len(frontend_result.failure_points)
         stats.pre_trace_events = len(frontend_result.pre_recorder)
@@ -50,51 +64,102 @@ class XFDetector:
         for run in frontend_result.post_runs:
             post_by_fid.setdefault(run.failure_point.fid, []).append(run)
 
-        shadow = ShadowPM(platform=self.config.platform)
-        pre_has_roi = _has_roi(frontend_result.pre_recorder)
-        pre_replayer = TraceReplayer(
-            shadow, self.config, "pre", report, has_roi=pre_has_roi
-        )
-        try:
-            for event in frontend_result.pre_recorder:
-                if event.kind is EventKind.FAILURE_POINT:
-                    for run in post_by_fid.get(int(event.info), []):
-                        self._analyze_failure_point(shadow, report, run)
-                pre_replayer.process(event)
-        except StopAnalysis:
-            pass
+        with tel.span("backend") as backend_span:
+            audit = (
+                tel.audit.scoped(stage="pre")
+                if tel.audit is not None else None
+            )
+            shadow = ShadowPM(
+                platform=self.config.platform,
+                audit=audit,
+                transition_counter=tel.metrics.counter(
+                    "shadow_transitions_total"
+                ),
+            )
+            pre_has_roi = _has_roi(frontend_result.pre_recorder)
+            tel.metrics.inc(
+                "replays_roi_scoped" if pre_has_roi
+                else "replays_whole_trace"
+            )
+            pre_replayer = TraceReplayer(
+                shadow, self.config, "pre", report,
+                has_roi=pre_has_roi, metrics=tel.metrics,
+            )
+            try:
+                for event in frontend_result.pre_recorder:
+                    if event.kind is EventKind.FAILURE_POINT:
+                        for run in post_by_fid.get(int(event.info), []):
+                            self._analyze_failure_point(
+                                shadow, report, run
+                            )
+                    pre_replayer.process(event)
+            except StopAnalysis:
+                pass
 
-        stats.backend_seconds = time.perf_counter() - started
+        stats.backend_seconds = backend_span.duration
+        tel.metrics.gauge("post_trace_events").set(
+            stats.post_trace_events
+        )
+        tel.metrics.gauge("benign_race_reads").set(stats.benign_races)
         return report
 
     def _analyze_failure_point(self, shadow, report, post_run):
         if post_run is None:
             return
+        tel = self.telemetry
         fid = post_run.failure_point.fid
-        fork = shadow.copy()
-        replayer = TraceReplayer(
-            fork,
-            self.config,
-            "post",
-            report,
-            failure_point=fid,
-            has_roi=_has_roi(post_run.recorder),
-        )
-        for event in post_run.recorder:
-            replayer.process(event)
-        if post_run.crash is not None:
-            report.bugs.append(
-                Bug(
-                    kind=BugKind.POST_FAILURE_CRASH,
-                    detail=str(post_run.crash),
-                    failure_point=fid,
-                    reader_ip=UNKNOWN_LOCATION,
-                    writer_ip=UNKNOWN_LOCATION,
+        attrs = {"fid": fid}
+        if post_run.variant is not None:
+            attrs["variant"] = post_run.variant
+        with tel.span("post_replay", **attrs):
+            fork = shadow.copy()
+            if tel.audit is not None:
+                tel.audit.mark_fork(fid)
+                fork.audit = tel.audit.scoped(
+                    stage="post", failure_point=fid
                 )
+            post_has_roi = _has_roi(post_run.recorder)
+            tel.metrics.inc(
+                "replays_roi_scoped" if post_has_roi
+                else "replays_whole_trace"
             )
+            replayer = TraceReplayer(
+                fork,
+                self.config,
+                "post",
+                report,
+                failure_point=fid,
+                has_roi=post_has_roi,
+                metrics=tel.metrics,
+            )
+            for event in post_run.recorder:
+                replayer.process(event)
+            if post_run.crash is not None:
+                tel.metrics.inc("bugs_reported_total")
+                tel.metrics.inc(
+                    "bugs_reported.post_failure_crash"
+                )
+                report.bugs.append(
+                    Bug(
+                        kind=BugKind.POST_FAILURE_CRASH,
+                        detail=str(post_run.crash),
+                        failure_point=fid,
+                        reader_ip=UNKNOWN_LOCATION,
+                        writer_ip=UNKNOWN_LOCATION,
+                    )
+                )
 
 
 def _has_roi(recorder):
+    """Whether the trace confines detection to RoI-marked regions.
+
+    Recorders note ``ROI_BEGIN`` markers at append time (``has_roi``),
+    so the common case is a flag read; the O(n) scan remains only as a
+    fallback for plain event iterables.
+    """
+    flag = getattr(recorder, "has_roi", None)
+    if flag is not None:
+        return flag
     return any(
         event.kind is EventKind.ROI_BEGIN for event in recorder
     )

@@ -11,12 +11,12 @@ the same complexity O(F · P) (Section 5.4).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.injector import FailureInjector
 from repro.core.interface import DetectionComplete, XFInterface
 from repro.errors import PostFailureCrash
+from repro.obs import resolve_telemetry
 from repro.pm.memory import PersistentMemory
 from repro.pm.pool import PMPool
 from repro.trace.recorder import TraceRecorder
@@ -66,16 +66,21 @@ class FrontendResult:
 class Frontend:
     """Drives the pre- and post-failure stages of one workload."""
 
-    def __init__(self, config):
+    def __init__(self, config, telemetry=None):
         self.config = config
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else resolve_telemetry(config)
+        )
 
     def run(self, workload):
+        tel = self.telemetry
         pre_recorder = TraceRecorder("pre")
         memory = PersistentMemory(
             pre_recorder, self.config.capture_ips,
             platform=self.config.platform,
         )
-        injector = FailureInjector(self.config)
+        injector = FailureInjector(self.config, telemetry=tel)
         memory.add_ordering_listener(injector)
         memory.add_observer(injector)
         uses_roi = getattr(workload, "uses_roi", False)
@@ -88,25 +93,27 @@ class Frontend:
             options=dict(self.config.workload_options),
         )
 
-        started = time.perf_counter()
         # Setup (pool creation, initial inserts) is not under test:
         # failure injection and detection are suppressed, mirroring the
         # paper's scripts that populate the PM image before testing
         # starts.  Shadow-PM state is still built from the setup trace.
-        memory.skip_failure_depth += 1
-        context.interface.skip_detection_begin()
-        workload.setup(context)
-        context.interface.skip_detection_end()
-        memory.skip_failure_depth -= 1
+        with tel.span("setup") as setup_span:
+            memory.skip_failure_depth += 1
+            context.interface.skip_detection_begin()
+            workload.setup(context)
+            context.interface.skip_detection_end()
+            memory.skip_failure_depth -= 1
 
-        try:
-            workload.pre_failure(context)
-        except DetectionComplete:
-            pass
+        with tel.span("pre_failure") as pre_span:
+            try:
+                workload.pre_failure(context)
+            except DetectionComplete:
+                pass
         # Image copying belongs to spawning the post-failure runs
         # (Figure 8a step 3), not to the pre-failure execution.
         pre_seconds = (
-            time.perf_counter() - started - injector.snapshot_seconds
+            setup_span.duration + pre_span.duration
+            - injector.snapshot_seconds
         )
 
         post_runs = []
@@ -122,6 +129,7 @@ class Frontend:
                 )
                 post_seconds += extra.seconds
                 post_runs.append(extra)
+        tel.metrics.gauge("pre_trace_events").set(len(pre_recorder))
 
         return FrontendResult(
             workload_name=getattr(workload, "name", type(workload).__name__),
@@ -175,39 +183,55 @@ class Frontend:
 
     def _run_post_failure(self, workload, failure_point, images=None,
                           variant=None):
-        """Spawn one post-failure execution on a crash-image copy."""
-        recorder = TraceRecorder("post")
-        memory = PersistentMemory(
-            recorder, self.config.capture_ips,
-            platform=self.config.platform,
-        )
-        if images is None:
-            images = [
-                (
-                    image.pool_name, image.size, image.base,
-                    image.bytes_for(self.config.crash_image_mode),
-                )
-                for image in failure_point.images
-            ]
-        for name, size, base, data in images:
-            memory.map_pool(PMPool(name, size, base, data=data))
-        uses_roi = getattr(workload, "uses_roi", False)
-        memory.roi_active = not uses_roi
-        context = ExecutionContext(
-            memory=memory,
-            interface=XFInterface(memory, stage="post"),
-            stage="post",
-            options=dict(self.config.workload_options),
-        )
+        """Spawn one post-failure execution on a crash-image copy.
+
+        The ``post_run`` span covers the whole spawn — runtime
+        construction, crash-image mapping, and the execution itself —
+        matching the paper's attribution of image copying to the
+        post-failure stage (Figure 8a step 3).
+        """
+        tel = self.telemetry
+        attrs = {"fid": failure_point.fid}
+        if variant is not None:
+            attrs["variant"] = variant
         crash = None
-        started = time.perf_counter()
-        try:
-            workload.post_failure(context)
-        except DetectionComplete:
-            pass
-        except Exception as exc:  # recovery crashed: itself a finding
-            crash = PostFailureCrash(failure_point.fid, exc)
-        seconds = time.perf_counter() - started
+        with tel.span("post_run", **attrs) as span:
+            recorder = TraceRecorder("post")
+            memory = PersistentMemory(
+                recorder, self.config.capture_ips,
+                platform=self.config.platform,
+            )
+            if images is None:
+                images = [
+                    (
+                        image.pool_name, image.size, image.base,
+                        image.bytes_for(self.config.crash_image_mode),
+                    )
+                    for image in failure_point.images
+                ]
+            for name, size, base, data in images:
+                memory.map_pool(PMPool(name, size, base, data=data))
+            uses_roi = getattr(workload, "uses_roi", False)
+            memory.roi_active = not uses_roi
+            context = ExecutionContext(
+                memory=memory,
+                interface=XFInterface(memory, stage="post"),
+                stage="post",
+                options=dict(self.config.workload_options),
+            )
+            try:
+                workload.post_failure(context)
+            except DetectionComplete:
+                pass
+            except Exception as exc:  # recovery crashed: a finding
+                crash = PostFailureCrash(failure_point.fid, exc)
+        seconds = span.duration
+        tel.metrics.inc("post_runs")
+        if crash is not None:
+            tel.metrics.inc("post_run_crashes")
+        tel.metrics.histogram("post_run_trace_events").observe(
+            len(recorder)
+        )
         return PostRun(
             failure_point=failure_point,
             recorder=recorder,

@@ -36,8 +36,11 @@ class FailurePoint:
 class FailureInjector:
     """Ordering-point listener + trace observer for the pre-failure run."""
 
-    def __init__(self, config):
+    def __init__(self, config, telemetry=None):
         self.config = config
+        #: Optional ``repro.obs.Telemetry``: counts injected failure
+        #: points and times pool snapshots.
+        self.telemetry = telemetry
         self.failure_points = []
         #: Seconds spent copying PM images.  Copying the image is part
         #: of spawning the post-failure execution (Figure 8a step 3),
@@ -76,7 +79,13 @@ class FailureInjector:
         memory.emit_marker(EventKind.FAILURE_POINT, info=str(fid))
         started = time.perf_counter()
         images = memory.snapshot_images()
-        self.snapshot_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.snapshot_seconds += elapsed
+        if self.telemetry is not None:
+            self.telemetry.metrics.inc("failure_points_injected")
+            self.telemetry.metrics.timer("snapshot_seconds").observe(
+                elapsed
+            )
         self.failure_points.append(
             FailurePoint(
                 fid=fid,

@@ -57,12 +57,15 @@ class TraceReplayer:
     """Replays one trace stream against a shadow PM."""
 
     def __init__(self, shadow, config, stage, report,
-                 failure_point=None, has_roi=False):
+                 failure_point=None, has_roi=False, metrics=None):
         self.shadow = shadow
         self.config = config
         self.stage = stage  # "pre" or "post"
         self.report = report
         self.failure_point = failure_point
+        #: Optional ``repro.obs.MetricsRegistry``: counts replayed
+        #: events, checked reads, and reported bugs per kind.
+        self.metrics = metrics
         # When the trace contains RoI markers, detection is confined to
         # the marked regions; otherwise the whole trace is of interest.
         self.roi_active = not has_roi
@@ -112,6 +115,9 @@ class TraceReplayer:
             writer_ip=writer_ip or UNKNOWN_LOCATION,
         )
         self.report.bugs.append(bug)
+        if self.metrics is not None:
+            self.metrics.inc("bugs_reported_total")
+            self.metrics.inc(f"bugs_reported.{kind.name.lower()}")
         if self.config.fail_fast and kind in (
             BugKind.CROSS_FAILURE_RACE,
             BugKind.CROSS_FAILURE_SEMANTIC,
@@ -153,7 +159,7 @@ class TraceReplayer:
         elif kind is EventKind.FENCE:
             if self.stage != "pre":
                 return
-            completed = self.shadow.record_fence()
+            completed = self.shadow.record_fence(ip=event.ip)
             if (
                 not completed
                 and not self._suppressed(event.tid)
@@ -214,9 +220,9 @@ class TraceReplayer:
 
     def _process_flush(self, event):
         if event.info == FlushKind.CLFLUSH.value:
-            useful = self.shadow.record_clflush(event.addr)
+            useful = self.shadow.record_clflush(event.addr, ip=event.ip)
         else:
-            useful = self.shadow.record_flush(event.addr)
+            useful = self.shadow.record_flush(event.addr, ip=event.ip)
         if (
             not useful
             and self.stage == "pre"
@@ -256,6 +262,8 @@ class TraceReplayer:
     def _check_read(self, event):
         if self._suppressed(event.tid):
             return
+        if self.metrics is not None:
+            self.metrics.inc("post_reads_checked")
         start, end = event.addr, event.addr + event.size
         shadow = self.shadow
 

@@ -92,6 +92,9 @@ class DetectionReport:
     workload_name: str = ""
     bugs: list = field(default_factory=list)
     stats: DetectionStats = field(default_factory=DetectionStats)
+    #: The run's ``repro.obs.Telemetry`` (spans, metrics, audit log);
+    #: attached by the detector, excluded from ``to_dict``.
+    telemetry: object | None = None
 
     # ------------------------------------------------------------------
     # Accessors

@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro._rangemap import RangeMap
+from repro.obs.metrics import Counter
 from repro.pm.address import AddressRange
 from repro.pm.cacheline import FlushKind, LineState, PlatformMode
 from repro.pm.constants import CACHE_LINE_SIZE
@@ -89,8 +90,20 @@ class CommitVariable:
 class ShadowPM:
     """Per-byte shadow state over the whole PM address space."""
 
-    def __init__(self, platform=PlatformMode.ADR):
+    def __init__(self, platform=PlatformMode.ADR, audit=None,
+                 transition_counter=None):
         self.platform = platform
+        #: Optional ``repro.obs.AuditLog`` (or a scoped view of one):
+        #: records every persistence/consistency transition.  None (the
+        #: default) keeps the fast path free of any extra work.
+        self.audit = audit
+        #: Applied-transition counter, shared across forks (``copy()``
+        #: keeps the reference) so ``shadow_transitions_total`` spans
+        #: the pre-failure replay and every post-failure fork.
+        self.transitions = (
+            transition_counter if transition_counter is not None
+            else Counter("shadow_transitions_total")
+        )
         self.persistence = RangeMap(PersistenceState.UNMODIFIED)
         self.consistency = RangeMap(ConsistencyState.CONSISTENT)
         self.tlast = RangeMap(None)  # epoch of last store
@@ -113,6 +126,8 @@ class ShadowPM:
     def copy(self):
         dup = ShadowPM.__new__(ShadowPM)
         dup.platform = self.platform
+        dup.audit = self.audit
+        dup.transitions = self.transitions
         dup.persistence = self.persistence.copy()
         dup.consistency = self.consistency.copy()
         dup.tlast = self.tlast.copy()
@@ -133,6 +148,21 @@ class ShadowPM:
         dup._pending_lines = set(self._pending_lines)
         dup._stores_since_fence = self._stores_since_fence
         return dup
+
+    # ------------------------------------------------------------------
+    # Audit hook (only ever invoked with ``self.audit`` set)
+    # ------------------------------------------------------------------
+
+    def _audit_transition(self, rangemap, layer, op, start, end, new,
+                          ip=None):
+        """Record the old->new transitions one ``rangemap.set(start,
+        end, new)`` call is about to apply (no-transition segments are
+        skipped)."""
+        for s, e, old in rangemap.iter_with_gaps(start, end):
+            if old is not new:
+                self.audit.record(
+                    op, layer, s, e - s, old, new, self.epoch, ip=ip,
+                )
 
     # ------------------------------------------------------------------
     # Commit variables
@@ -163,18 +193,30 @@ class ShadowPM:
     # ------------------------------------------------------------------
 
     def record_store(self, addr, size, ip, stage, tx_added=None,
-                     in_tx=False):
+                     in_tx=False, _op="STORE"):
         """Apply one STORE (or NT_STORE's data effect) to the shadow.
 
         ``tx_added`` is the list of (addr, size) ranges added to the
         active transaction, when one is active.
         """
         end = addr + size
+        self.transitions.inc()
+        audit = self.audit
         if self.platform is PlatformMode.EADR:
             # Persistent caches: durable on retire.
+            if audit is not None:
+                self._audit_transition(
+                    self.persistence, "persistence", _op, addr, end,
+                    PersistenceState.PERSISTED, ip,
+                )
             self.persistence.set(addr, end, PersistenceState.PERSISTED)
             self._stores_since_fence = True
         else:
+            if audit is not None:
+                self._audit_transition(
+                    self.persistence, "persistence", _op, addr, end,
+                    PersistenceState.MODIFIED, ip,
+                )
             self.persistence.set(addr, end, PersistenceState.MODIFIED)
         self.tlast.set(addr, end, self.epoch)
         self.writer.set(addr, end, ip)
@@ -184,42 +226,65 @@ class ShadowPM:
             # Post-failure writes overwrite the old data; their own
             # consistency is tested when this region later runs as the
             # pre-failure stage (Section 5.4).
-            self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+            self._set_consistency(
+                addr, end, ConsistencyState.CONSISTENT, _op, ip
+            )
             self.post_written.set(addr, end, True)
             return
 
         committing = self.commit_var_covering(addr, end)
         if committing is not None:
-            self._apply_commit_write(committing)
-            self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+            self._apply_commit_write(committing, ip=ip)
+            self._set_consistency(
+                addr, end, ConsistencyState.CONSISTENT, _op, ip
+            )
             return
 
         if in_tx and tx_added and _covered_by(addr, end, tx_added):
             # Writes to ranges added to the transaction stay consistent:
             # the undo log makes the old value recoverable.
-            self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+            self._set_consistency(
+                addr, end, ConsistencyState.CONSISTENT, _op, ip
+            )
             return
 
         if in_tx or self._member_of_any_commit_var(addr, end):
-            self.consistency.set(addr, end, ConsistencyState.UNCOMMITTED)
+            self._set_consistency(
+                addr, end, ConsistencyState.UNCOMMITTED, _op, ip
+            )
         # Otherwise the location is not governed by any declared crash
         # consistency mechanism: only race detection applies.
+
+    def _set_consistency(self, start, end, state, op, ip=None):
+        if self.audit is not None:
+            self._audit_transition(
+                self.consistency, "consistency", op, start, end,
+                state, ip,
+            )
+        self.consistency.set(start, end, state)
 
     def record_nt_store(self, addr, size, ip, stage, tx_added=None,
                         in_tx=False):
         """Non-temporal store: like a store, but immediately
         writeback-pending (persists at the next fence).  On eADR a
         non-temporal store is simply durable, like any other store."""
-        self.record_store(addr, size, ip, stage, tx_added, in_tx)
+        self.record_store(
+            addr, size, ip, stage, tx_added, in_tx, _op="NT_STORE"
+        )
         if self.platform is PlatformMode.EADR:
             return
+        if self.audit is not None:
+            self._audit_transition(
+                self.persistence, "persistence", "NT_STORE", addr,
+                addr + size, PersistenceState.WRITEBACK_PENDING, ip,
+            )
         self.persistence.set(
             addr, addr + size, PersistenceState.WRITEBACK_PENDING
         )
         for line in AddressRange(addr, size).lines():
             self._pending_lines.add(line)
 
-    def record_flush(self, line_addr):
+    def record_flush(self, line_addr, ip=None):
         """A CLWB/CLFLUSHOPT on one cache line.
 
         Returns True if the flush was useful (moved modified bytes to
@@ -231,36 +296,51 @@ class ShadowPM:
         start = line_addr
         end = line_addr + CACHE_LINE_SIZE
         useful = False
+        audit = self.audit
         for s, e, state in list(self.persistence.iter_ranges(start, end)):
             if state is PersistenceState.MODIFIED:
+                if audit is not None:
+                    audit.record(
+                        "FLUSH", "persistence", s, e - s, state,
+                        PersistenceState.WRITEBACK_PENDING,
+                        self.epoch, ip=ip,
+                    )
                 self.persistence.set(
                     s, e, PersistenceState.WRITEBACK_PENDING
                 )
                 useful = True
         if useful:
+            self.transitions.inc()
             self._pending_lines.add(line_addr)
         return useful
 
-    def record_clflush(self, line_addr):
+    def record_clflush(self, line_addr, ip=None):
         """A synchronous CLFLUSH: modified/pending bytes persist now."""
         if self.platform is PlatformMode.EADR:
             return False
         start = line_addr
         end = line_addr + CACHE_LINE_SIZE
         useful = False
+        audit = self.audit
         for s, e, state in list(self.persistence.iter_ranges(start, end)):
             if state in (
                 PersistenceState.MODIFIED,
                 PersistenceState.WRITEBACK_PENDING,
             ):
+                if audit is not None:
+                    audit.record(
+                        "CLFLUSH", "persistence", s, e - s, state,
+                        PersistenceState.PERSISTED, self.epoch, ip=ip,
+                    )
                 self.persistence.set(s, e, PersistenceState.PERSISTED)
                 useful = True
         self._pending_lines.discard(line_addr)
         if useful:
+            self.transitions.inc()
             self.epoch += 1
         return useful
 
-    def record_fence(self):
+    def record_fence(self, ip=None):
         """An SFENCE/drain: complete pending writebacks.
 
         Returns True when the fence was an ordering point (completed at
@@ -271,21 +351,30 @@ class ShadowPM:
             ordered = self._stores_since_fence
             self._stores_since_fence = False
             if ordered:
+                self.transitions.inc()
                 self.epoch += 1
             return ordered
         completed = False
+        audit = self.audit
         for line in sorted(self._pending_lines):
             start, end = line, line + CACHE_LINE_SIZE
             for s, e, state in list(
                 self.persistence.iter_ranges(start, end)
             ):
                 if state is PersistenceState.WRITEBACK_PENDING:
+                    if audit is not None:
+                        audit.record(
+                            "SFENCE", "persistence", s, e - s, state,
+                            PersistenceState.PERSISTED,
+                            self.epoch, ip=ip,
+                        )
                     self.persistence.set(
                         s, e, PersistenceState.PERSISTED
                     )
                     completed = True
         self._pending_lines.clear()
         if completed:
+            self.transitions.inc()
             self.epoch += 1
         return completed
 
@@ -293,8 +382,16 @@ class ShadowPM:
         """A range was added to the undo log: regarded as consistent and
         recoverable (PMTest-like handling, Section 5.4)."""
         end = addr + size
+        self.transitions.inc()
+        if self.audit is not None:
+            self._audit_transition(
+                self.persistence, "persistence", "TX_ADD", addr, end,
+                PersistenceState.PERSISTED, ip,
+            )
         self.persistence.set(addr, end, PersistenceState.PERSISTED)
-        self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+        self._set_consistency(
+            addr, end, ConsistencyState.CONSISTENT, "TX_ADD", ip
+        )
         self.tlast.set(addr, end, self.epoch)
         self.writer.set(addr, end, ip)
         self.uninitialized.set(addr, end, False)
@@ -308,8 +405,16 @@ class ShadowPM:
         configured to trust implicit zero-fill (Bug 2, Section 6.3.2).
         """
         end = addr + size
+        self.transitions.inc()
+        if self.audit is not None:
+            self._audit_transition(
+                self.persistence, "persistence", "ALLOC", addr, end,
+                PersistenceState.PERSISTED,
+            )
         self.persistence.set(addr, end, PersistenceState.PERSISTED)
-        self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+        self._set_consistency(
+            addr, end, ConsistencyState.CONSISTENT, "ALLOC"
+        )
         self.tlast.set(addr, end, self.epoch)
         if stage == "post":
             self.post_written.set(addr, end, True)
@@ -324,26 +429,42 @@ class ShadowPM:
         so uncommitted ones become consistent.  Persistence is left
         untouched — an unflushed in-transaction write to a non-added
         range remains a cross-failure race."""
+        audit = self.audit
         for addr, size in ranges:
             for s, e, state in list(
                 self.consistency.iter_ranges(addr, addr + size)
             ):
                 if state is ConsistencyState.UNCOMMITTED:
+                    self.transitions.inc()
+                    if audit is not None:
+                        audit.record(
+                            "TX_COMMIT", "consistency", s, e - s,
+                            state, ConsistencyState.CONSISTENT,
+                            self.epoch,
+                        )
                     self.consistency.set(
                         s, e, ConsistencyState.CONSISTENT
                     )
 
     def record_free(self, addr, size):
         end = addr + size
+        self.transitions.inc()
+        if self.audit is not None:
+            self._audit_transition(
+                self.persistence, "persistence", "FREE", addr, end,
+                PersistenceState.PERSISTED,
+            )
         self.persistence.set(addr, end, PersistenceState.PERSISTED)
-        self.consistency.set(addr, end, ConsistencyState.CONSISTENT)
+        self._set_consistency(
+            addr, end, ConsistencyState.CONSISTENT, "FREE"
+        )
         self.uninitialized.set(addr, end, True)
 
     # ------------------------------------------------------------------
     # Commit-write rule (Eq. 3 via epochs; see Figure 11 walkthrough)
     # ------------------------------------------------------------------
 
-    def _apply_commit_write(self, var):
+    def _apply_commit_write(self, var, ip=None):
         """A store hit commit variable ``var``'s own range.
 
         Member locations modified strictly between the previous commit
@@ -361,24 +482,28 @@ class ShadowPM:
         ):
             # Never reclassify the variable's own bytes.
             for s, e in _subtract(win_start, win_end, var.var_range):
-                self._commit_window(s, e, lower, now)
+                self._commit_window(s, e, lower, now, ip)
         var.prev_commit_epoch = var.last_commit_epoch
         var.last_commit_epoch = now
 
-    def _commit_window(self, start, end, lower, now):
+    def _commit_window(self, start, end, lower, now, ip=None):
         for s, e, t in list(self.tlast.iter_ranges(start, end)):
             if t is None:
                 continue
             if lower < t < now:
-                self.consistency.set(s, e, ConsistencyState.CONSISTENT)
+                self._set_consistency(
+                    s, e, ConsistencyState.CONSISTENT,
+                    "COMMIT_WRITE", ip,
+                )
             elif t <= lower:
                 # Old-generation data: consistent versions become stale.
                 for cs, ce, state in list(
                     self.consistency.iter_ranges(s, e)
                 ):
                     if state is ConsistencyState.CONSISTENT:
-                        self.consistency.set(
-                            cs, ce, ConsistencyState.STALE
+                        self._set_consistency(
+                            cs, ce, ConsistencyState.STALE,
+                            "COMMIT_WRITE", ip,
                         )
             # t == now: same epoch as the commit write — unordered with
             # it, so the state is left unchanged.

@@ -1,0 +1,57 @@
+"""``repro.obs`` — observability for the detection pipeline.
+
+A lightweight, zero-dependency telemetry subsystem (see
+``docs/observability.md``):
+
+* **metrics** — counters, gauges, timers, fixed-bucket histograms in a
+  :class:`MetricsRegistry` (process-global default + per-run scoping);
+* **spans** — a hierarchical wall-clock profile of the frontend,
+  every post-failure run, and the backend replay;
+* **audit** — the opt-in shadow-PM audit log recording every
+  persistence/consistency FSM transition with provenance;
+* **export** — NDJSON serialization shared by the CLI and the
+  benchmark sidecars.
+"""
+
+from repro.obs.audit import AuditLog, AuditRecord
+from repro.obs.export import (
+    read_ndjson,
+    report_records,
+    run_records,
+    to_ndjson,
+    write_ndjson,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.spans import Span, SpanRecorder
+from repro.obs.telemetry import Telemetry, resolve_telemetry
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "Timer",
+    "default_registry",
+    "read_ndjson",
+    "report_records",
+    "resolve_telemetry",
+    "run_records",
+    "set_default_registry",
+    "to_ndjson",
+    "write_ndjson",
+]

@@ -1,0 +1,63 @@
+"""NDJSON export of telemetry and detection reports.
+
+NDJSON (one JSON object per line) is the interchange format of the
+whole toolchain: ``xfdetector run --ndjson``, the ``profile``
+subcommand, and every benchmark's ``<name>.ndjson`` sidecar all emit
+it, so downstream no-regression comparisons can consume any of them
+with the same three lines of code.
+
+Record ``type`` values: ``span``, ``metric``, ``audit`` (from
+telemetry), ``bug`` and ``stats`` (from reports, with field names
+identical to :meth:`DetectionReport.to_dict`), and ``bench_row`` /
+``bench_result`` (from the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def to_ndjson(records):
+    """Serialize an iterable of dicts, one JSON object per line."""
+    return "".join(
+        json.dumps(record, default=str) + "\n" for record in records
+    )
+
+
+def write_ndjson(path, records):
+    """Write records to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+            count += 1
+    return count
+
+
+def read_ndjson(path):
+    """Parse an NDJSON file back into a list of dicts."""
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def report_records(report, unique=True):
+    """NDJSON records for one :class:`DetectionReport`.
+
+    Field names match ``DetectionReport.to_dict()`` exactly (asserted
+    by ``tests/unit/test_report_roundtrip.py``), so a consumer can
+    treat ``--json`` output and NDJSON sidecars interchangeably.
+    """
+    data = report.to_dict(unique=unique)
+    for bug in data["bugs"]:
+        yield {"type": "bug", "workload": data["workload"], **bug}
+    yield {
+        "type": "stats", "workload": data["workload"], **data["stats"]
+    }
+
+
+def run_records(report, unique=True):
+    """Everything one detection run produced: report + telemetry."""
+    yield from report_records(report, unique=unique)
+    telemetry = getattr(report, "telemetry", None)
+    if telemetry is not None:
+        yield from telemetry.to_records()

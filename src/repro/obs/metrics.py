@@ -1,0 +1,280 @@
+"""Metric primitives and the registry.
+
+Four metric types cover everything the pipeline needs to explain a run:
+
+* :class:`Counter` — monotonically increasing event counts
+  (``failure_points_injected``, ``shadow_transitions_total``);
+* :class:`Gauge` — last-value measurements (``pre_trace_events``);
+* :class:`Timer` — duration accumulators with count/total/min/max
+  (``snapshot_seconds``);
+* :class:`Histogram` — value distributions over fixed buckets
+  (``post_run_trace_events``).
+
+A :class:`MetricsRegistry` owns one instance per name (get-or-create,
+with the type checked so two call sites cannot silently disagree).  A
+process-global default registry exists for ad-hoc instrumentation;
+pipeline runs get per-run scoping by giving each
+:class:`~repro.obs.telemetry.Telemetry` its own registry.
+
+Everything here is zero-dependency and cheap: the hot-path operations
+(``Counter.inc``, ``Timer.observe``) are a single attribute update.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A last-value measurement."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, n=1):
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Timer:
+    """Accumulated durations: count, total, min, max seconds."""
+
+    kind = "timer"
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds):
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self, clock=None):
+        """Time a block: ``with registry.timer("x").time(): ...``."""
+        import time as _time
+
+        clock = clock or _time.perf_counter
+        started = clock()
+        try:
+            yield self
+        finally:
+            self.observe(clock() - started)
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+#: Default histogram buckets: decades from 10 to 1e6 (event counts,
+#: trace lengths); callers measuring seconds should pass their own.
+DEFAULT_BUCKETS = (10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+class Histogram:
+    """A distribution over fixed, inclusive upper-bound buckets.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot
+    counts overflows.  Buckets are fixed at creation so merging and
+    export stay trivial.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "buckets": {
+                f"le_{bound}": count
+                for bound, count in zip(self.buckets, self.counts)
+            },
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, one instance per name.
+
+    Accessors are get-or-create; requesting an existing name with a
+    different metric type raises, so independent call sites cannot
+    accumulate into mismatched shapes.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def _get(self, cls, name, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{cls.kind}"
+            )
+        return metric
+
+    def counter(self, name):
+        return self._get(Counter, name)
+
+    def gauge(self, name):
+        return self._get(Gauge, name)
+
+    def timer(self, name):
+        return self._get(Timer, name)
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        return self._get(Histogram, name, buckets)
+
+    # -- convenience ----------------------------------------------------
+
+    def inc(self, name, n=1):
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    def observe(self, name, seconds):
+        self.timer(name).observe(seconds)
+
+    def get(self, name, default=None):
+        """The metric registered under ``name``, or ``default``."""
+        return self._metrics.get(name, default)
+
+    def value(self, name, default=0):
+        """Shorthand for a counter/gauge value (0 when absent)."""
+        metric = self._metrics.get(name)
+        return metric.value if metric is not None else default
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self):
+        """``{name: snapshot}`` for every registered metric."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def to_records(self):
+        """One dict per metric, ready for NDJSON export."""
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            record = {"type": "metric", "metric": metric.kind,
+                      "name": name}
+            value = metric.snapshot()
+            if isinstance(value, dict):
+                record.update(value)
+            else:
+                record["value"] = value
+            yield record
+
+    def format(self):
+        """Human-readable dump, one metric per line."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name:40s} {metric.value}")
+            elif isinstance(metric, Timer):
+                mn = metric.min if metric.count else 0.0
+                lines.append(
+                    f"{name:40s} n={metric.count} "
+                    f"total={metric.total:.6f}s "
+                    f"min={mn:.6f}s max={metric.max:.6f}s"
+                )
+            else:
+                buckets = " ".join(
+                    f"<={bound}:{count}"
+                    for bound, count in zip(metric.buckets,
+                                            metric.counts)
+                )
+                lines.append(
+                    f"{name:40s} n={metric.count} {buckets} "
+                    f">:{metric.counts[-1]}"
+                )
+        return "\n".join(lines)
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry():
+    """The process-global registry (ad-hoc instrumentation)."""
+    return _default_registry
+
+
+def set_default_registry(registry):
+    """Swap the process-global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,87 @@
+"""The per-run telemetry bundle: metrics + spans + optional audit.
+
+One :class:`Telemetry` instance accompanies one detection run (the
+detector creates it from ``DetectorConfig`` unless the config injects
+a shared instance for cross-run aggregation).  It owns:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` (per-run scoping; pass
+  ``repro.obs.metrics.default_registry()`` to accumulate globally);
+* a :class:`~repro.obs.spans.SpanRecorder` for the wall-clock profile;
+* optionally an :class:`~repro.obs.audit.AuditLog` of shadow-PM FSM
+  transitions (strictly opt-in — it is the one costly piece).
+"""
+
+from __future__ import annotations
+
+from repro.obs.audit import AuditLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+class Telemetry:
+    """Metrics, spans, and (optionally) the shadow-PM audit log."""
+
+    def __init__(self, metrics=None, audit=False):
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.spans = SpanRecorder()
+        if isinstance(audit, AuditLog):
+            self.audit = audit
+        else:
+            self.audit = AuditLog() if audit else None
+
+    @property
+    def audit_enabled(self):
+        return self.audit is not None
+
+    def span(self, name, **attrs):
+        """Open a span: ``with telemetry.span("backend"): ...``."""
+        return self.spans.span(name, **attrs)
+
+    # -- export ----------------------------------------------------------
+
+    def to_records(self):
+        """All telemetry as NDJSON-ready dicts (spans, metrics,
+        audit)."""
+        yield from self.spans.to_records()
+        yield from self.metrics.to_records()
+        if self.audit is not None:
+            yield from self.audit.to_records()
+
+    def to_dict(self):
+        """Nested form for embedding in ``--json`` output."""
+        data = {
+            "spans": list(self.spans.to_records()),
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.audit is not None:
+            data["audit"] = list(self.audit.to_records())
+        return data
+
+    def format(self):
+        """Human-readable profile: span tree, then metrics, then the
+        audit volume (records themselves export via NDJSON)."""
+        sections = []
+        if self.spans.roots:
+            coverage = 100.0 * self.spans.coverage()
+            sections.append(
+                "spans (leaf coverage "
+                f"{coverage:.1f}% of wall-clock):\n"
+                + self.spans.format()
+            )
+        if len(self.metrics):
+            sections.append("metrics:\n" + self.metrics.format())
+        if self.audit is not None:
+            sections.append(f"audit: {len(self.audit)} transition(s)")
+        return "\n\n".join(sections) if sections else "(no telemetry)"
+
+
+def resolve_telemetry(config):
+    """The telemetry a pipeline component should use for one run:
+    the config-injected instance, or a fresh one honoring
+    ``config.audit``."""
+    injected = getattr(config, "telemetry", None)
+    if injected is not None:
+        return injected
+    return Telemetry(audit=getattr(config, "audit", False))

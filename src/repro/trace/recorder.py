@@ -17,6 +17,9 @@ class TraceRecorder:
         #: "pre" or "post" — which execution stage this trace belongs to.
         self.stage = stage
         self.events = []
+        #: True once a ROI_BEGIN marker was recorded; the backend reads
+        #: this instead of rescanning the whole trace per replayer.
+        self.has_roi = False
 
     def __len__(self):
         return len(self.events)
@@ -37,6 +40,8 @@ class TraceRecorder:
             ip=ip if ip is not None else UNKNOWN_LOCATION,
             tid=tid,
         )
+        if kind is EventKind.ROI_BEGIN:
+            self.has_roi = True
         self.events.append(event)
         return event
 
@@ -69,6 +74,8 @@ class NullRecorder(TraceRecorder):
     def append(self, kind, addr=0, size=0, info="", ip=None, tid=0):
         from repro._location import UNKNOWN_LOCATION
 
+        if kind is EventKind.ROI_BEGIN:
+            self.has_roi = True
         self._count += 1
         return TraceEvent(
             seq=self._count - 1, kind=kind, addr=addr, size=size,

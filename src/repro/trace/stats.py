@@ -4,6 +4,12 @@ Summarizes a recorded trace: operation counts per kind, the PM
 footprint actually touched, writeback/fence discipline, and transaction
 shape.  Used by the ``xfdetector trace`` subcommand and available as a
 library for custom trace analyses (the paper's Section 5.5 decoupling).
+
+The aggregation is built on :class:`repro.obs.metrics.MetricsRegistry`:
+``analyze_trace`` fills one registry per trace (counters are hoisted
+out of the event loop, so the per-event cost is a couple of attribute
+updates) and derives the :class:`TraceStats` view from it.  The
+registry rides along as ``stats.registry`` for NDJSON export.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._rangemap import RangeMap
+from repro.obs.metrics import MetricsRegistry
 from repro.trace.events import EventKind
 
 
@@ -30,6 +37,9 @@ class TraceStats:
     tx_added_bytes: int = 0
     failure_points: int = 0
     threads: int = 0
+    #: The backing MetricsRegistry (``trace.*`` metrics), exportable
+    #: via ``registry.to_records()``.
+    registry: object | None = field(default=None, repr=False)
 
     def format(self):
         lines = [
@@ -52,35 +62,77 @@ class TraceStats:
         return "\n".join(lines)
 
 
-def analyze_trace(events):
-    """Compute :class:`TraceStats` for an event iterable."""
-    stats = TraceStats()
+def analyze_trace(events, registry=None):
+    """Compute :class:`TraceStats` for an event iterable.
+
+    Aggregates into ``registry`` (fresh :class:`MetricsRegistry` when
+    None) under ``trace.*`` names; per-kind counts land in
+    ``trace.kind.<kind>`` counters.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    # Hoist the hot counters: one dict lookup each, up front, instead
+    # of a registry lookup per event.
+    total = registry.counter("trace.events_total")
+    stored = registry.counter("trace.stored_bytes")
+    loaded = registry.counter("trace.loaded_bytes")
+    flushes = registry.counter("trace.flushes")
+    fences = registry.counter("trace.fences")
+    transactions = registry.counter("trace.transactions")
+    tx_added = registry.counter("trace.tx_added_bytes")
+    failure_points = registry.counter("trace.failure_points")
+    hints = registry.counter("trace.ordering_hints")
+    kind_counters = {
+        kind: registry.counter(f"trace.kind.{kind.value}")
+        for kind in EventKind
+    }
+
     written = RangeMap(False)
     tids = set()
     for event in events:
-        stats.events += 1
+        total.inc()
         tids.add(event.tid)
-        name = event.kind.value
-        stats.by_kind[name] = stats.by_kind.get(name, 0) + 1
+        kind_counters[event.kind].inc()
         if event.kind in (EventKind.STORE, EventKind.NT_STORE):
-            stats.stored_bytes += event.size
+            stored.inc(event.size)
             written.set(event.addr, event.end, True)
         elif event.kind is EventKind.LOAD:
-            stats.loaded_bytes += event.size
+            loaded.inc(event.size)
         elif event.kind is EventKind.FLUSH:
-            stats.flushes += 1
+            flushes.inc()
         elif event.kind is EventKind.FENCE:
-            stats.fences += 1
+            fences.inc()
         elif event.kind is EventKind.TX_BEGIN:
-            stats.transactions += 1
+            transactions.inc()
         elif event.kind is EventKind.TX_ADD:
-            stats.tx_added_bytes += event.size
+            tx_added.inc(event.size)
         elif event.kind is EventKind.FAILURE_POINT:
-            stats.failure_points += 1
+            failure_points.inc()
         elif event.kind is EventKind.HINT_FAILURE_POINT:
-            stats.ordering_hints += 1
-    stats.footprint_bytes = sum(
+            hints.inc()
+
+    footprint = sum(
         end - start for start, end, _v in written.iter_ranges()
     )
-    stats.threads = len(tids)
-    return stats
+    registry.gauge("trace.footprint_bytes").set(footprint)
+    registry.gauge("trace.threads").set(len(tids))
+
+    return TraceStats(
+        events=total.value,
+        by_kind={
+            kind.value: counter.value
+            for kind, counter in kind_counters.items()
+            if counter.value
+        },
+        stored_bytes=stored.value,
+        loaded_bytes=loaded.value,
+        footprint_bytes=footprint,
+        flushes=flushes.value,
+        fences=fences.value,
+        transactions=transactions.value,
+        tx_added_bytes=tx_added.value,
+        failure_points=failure_points.value,
+        ordering_hints=hints.value,
+        threads=len(tids),
+        registry=registry,
+    )

@@ -1,0 +1,100 @@
+"""Report JSON and NDJSON exporters must agree on field names.
+
+``xfdetector run --json`` emits ``DetectionReport.to_dict()``; the
+NDJSON sidecars emit ``repro.obs.export.report_records``.  A consumer
+must be able to treat the two interchangeably, so every bug/stats
+field name in one appears in the other.
+"""
+
+import json
+
+from repro._location import SourceLocation
+from repro.core.report import Bug, BugKind, DetectionReport
+from repro.obs import read_ndjson, report_records, write_ndjson
+
+
+def make_report():
+    report = DetectionReport("unit_workload")
+    report.bugs.append(Bug(
+        kind=BugKind.CROSS_FAILURE_RACE,
+        detail="read of data not guaranteed persisted",
+        address=0x1000,
+        size=8,
+        failure_point=2,
+        reader_ip=SourceLocation("reader.py", 10, "read"),
+        writer_ip=SourceLocation("writer.py", 20, "write"),
+    ))
+    report.bugs.append(Bug(
+        kind=BugKind.PERFORMANCE,
+        detail="redundant writeback",
+        address=0x2000,
+        size=64,
+    ))
+    report.stats.failure_points = 3
+    report.stats.pre_trace_events = 100
+    report.stats.post_trace_events = 250
+    report.stats.pre_failure_seconds = 0.5
+    report.stats.post_failure_seconds = 1.5
+    report.stats.backend_seconds = 0.25
+    return report
+
+
+class TestFieldAgreement:
+    def test_bug_field_names_match(self):
+        report = make_report()
+        json_bugs = report.to_dict()["bugs"]
+        ndjson_bugs = [
+            record for record in report_records(report)
+            if record["type"] == "bug"
+        ]
+        assert len(json_bugs) == len(ndjson_bugs)
+        for json_bug, ndjson_bug in zip(json_bugs, ndjson_bugs):
+            # NDJSON adds only the envelope (type + workload).
+            assert set(ndjson_bug) - set(json_bug) == \
+                {"type", "workload"}
+            for key, value in json_bug.items():
+                assert ndjson_bug[key] == value, key
+
+    def test_stats_field_names_match(self):
+        report = make_report()
+        json_stats = report.to_dict()["stats"]
+        (ndjson_stats,) = [
+            record for record in report_records(report)
+            if record["type"] == "stats"
+        ]
+        assert set(ndjson_stats) - set(json_stats) == \
+            {"type", "workload"}
+        for key, value in json_stats.items():
+            assert ndjson_stats[key] == value, key
+
+    def test_unique_flag_respected(self):
+        report = make_report()
+        report.bugs.append(report.bugs[0])  # duplicate occurrence
+        unique = [r for r in report_records(report, unique=True)
+                  if r["type"] == "bug"]
+        every = [r for r in report_records(report, unique=False)
+                 if r["type"] == "bug"]
+        assert len(unique) == 2
+        assert len(every) == 3
+        assert len(report.to_dict(unique=True)["bugs"]) == 2
+
+
+class TestRoundTrip:
+    def test_to_json_parses_back(self):
+        report = make_report()
+        payload = json.loads(report.to_json())
+        assert payload["workload"] == "unit_workload"
+        assert payload["stats"]["failure_points"] == 3
+
+    def test_ndjson_file_round_trip(self, tmp_path):
+        report = make_report()
+        path = tmp_path / "report.ndjson"
+        write_ndjson(path, report_records(report))
+        records = read_ndjson(path)
+        bugs = [r for r in records if r["type"] == "bug"]
+        stats = [r for r in records if r["type"] == "stats"]
+        assert len(bugs) == 2 and len(stats) == 1
+        assert bugs[0]["kind"] == BugKind.CROSS_FAILURE_RACE.value
+        assert bugs[0]["writer"] == \
+            str(SourceLocation("writer.py", 20, "write"))
+        assert stats[0]["post_trace_events"] == 250

@@ -1,0 +1,103 @@
+"""Trace statistics on a real recorded trace (hashmap_tx).
+
+Complements the synthetic-event tests in test_stats_and_image.py:
+here the trace comes from an actual frontend run, and the
+metrics-registry backing of ``analyze_trace`` is exercised.
+"""
+
+import pytest
+
+from repro.core import DetectorConfig
+from repro.core.frontend import Frontend
+from repro.obs.metrics import MetricsRegistry
+from repro.trace.events import EventKind
+from repro.trace.stats import analyze_trace
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def hashmap_tx_trace():
+    workload = ALL_WORKLOADS["hashmap_tx"](init_size=2, test_size=2)
+    config = DetectorConfig(inject_failures=False)
+    result = Frontend(config).run(workload)
+    return result.pre_recorder
+
+
+@pytest.fixture(scope="module")
+def stats(hashmap_tx_trace):
+    return analyze_trace(hashmap_tx_trace)
+
+
+class TestRecordedTrace:
+    def test_event_total_matches_recorder(self, hashmap_tx_trace,
+                                          stats):
+        assert stats.events == len(hashmap_tx_trace)
+        assert stats.events > 0
+
+    def test_per_kind_counts_match_recorder(self, hashmap_tx_trace,
+                                            stats):
+        for kind in (EventKind.STORE, EventKind.LOAD,
+                     EventKind.FLUSH, EventKind.FENCE,
+                     EventKind.TX_BEGIN, EventKind.TX_ADD,
+                     EventKind.TX_COMMIT):
+            assert stats.by_kind.get(kind.value, 0) == \
+                hashmap_tx_trace.count(kind), kind
+        # by_kind only lists kinds that occurred
+        assert all(count > 0 for count in stats.by_kind.values())
+        assert sum(stats.by_kind.values()) == stats.events
+
+    def test_transactional_workload_shape(self, stats):
+        # hashmap_tx inserts via pmemobj transactions: it must log
+        # ranges, flush, and fence.
+        assert stats.transactions > 0
+        assert stats.tx_added_bytes > 0
+        assert stats.flushes > 0
+        assert stats.fences > 0
+        assert stats.stored_bytes >= stats.footprint_bytes > 0
+        assert stats.threads == 1
+        # No failure injection: no FAILURE_POINT markers, but the
+        # library still emits ordering hints.
+        assert stats.failure_points == 0
+        assert stats.ordering_hints > 0
+
+    def test_format_lists_every_kind(self, stats):
+        text = stats.format()
+        assert f"events:           {stats.events}" in text
+        assert "per kind:" in text
+        for kind_name, count in stats.by_kind.items():
+            assert kind_name in text
+            assert str(count) in text
+        assert f"flushes/fences:   {stats.flushes}/{stats.fences}" \
+            in text
+
+
+class TestRegistryBacking:
+    def test_registry_attached(self, stats):
+        registry = stats.registry
+        assert registry is not None
+        assert registry.value("trace.events_total") == stats.events
+        assert registry.value("trace.stored_bytes") == \
+            stats.stored_bytes
+        assert registry.value("trace.footprint_bytes") == \
+            stats.footprint_bytes
+        assert registry.value("trace.kind.STORE") == \
+            stats.by_kind["STORE"]
+
+    def test_caller_supplied_registry_accumulates(
+            self, hashmap_tx_trace):
+        registry = MetricsRegistry()
+        first = analyze_trace(hashmap_tx_trace, registry=registry)
+        second = analyze_trace(hashmap_tx_trace, registry=registry)
+        assert second.registry is registry
+        # Counters accumulate across traces; the TraceStats view
+        # reflects the running totals.
+        assert registry.value("trace.events_total") == \
+            2 * first.events
+        assert second.events == 2 * first.events
+
+    def test_registry_exports_ndjson_records(self, stats):
+        records = list(stats.registry.to_records())
+        assert all(record["type"] == "metric" for record in records)
+        names = {record["name"] for record in records}
+        assert "trace.events_total" in names
+        assert "trace.threads" in names
