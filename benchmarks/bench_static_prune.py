@@ -1,0 +1,93 @@
+"""Silhouette-style static pruning: failure points and wall-clock.
+
+Runs full detection on B-Tree and Hashmap-TX with and without
+``DetectorConfig.static_prune`` and reports, per workload: failure
+points executed, ordering points statically pruned, analysis seconds
+(the up-front static cost), total detection seconds, and the resulting
+speedup.  Both configurations must report the same bugs.
+
+The interesting shape: the pruned failure-point count collapses (the
+tx-protected structures certify almost everything), while the *net*
+speedup depends on whether the one-off analysis cost amortizes —
+hashmap_tx analyzes quickly and wins outright; btree's larger path
+enumeration can cost more than the skipped post-failure runs at this
+small sizing, which is exactly the trade a user should see.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import (
+    format_table,
+    table_records,
+    write_result,
+)
+from repro.core import DetectorConfig, XFDetector
+from repro.workloads import MICROBENCHMARKS
+
+WORKLOADS = ["btree", "hashmap_tx"]
+PARAMS = dict(init_size=2, test_size=3)
+
+_rows = {}
+
+
+def _run(workload, static_prune):
+    instance = MICROBENCHMARKS[workload](**PARAMS)
+    config = DetectorConfig(static_prune=static_prune)
+    started = time.perf_counter()
+    report = XFDetector(config).run(instance)
+    elapsed = time.perf_counter() - started
+    metrics = report.telemetry.metrics
+    spans = report.telemetry.spans.find("static_analysis")
+    return {
+        "seconds": elapsed,
+        "failure_points": report.stats.failure_points,
+        "pruned": metrics.value("injector.pruned_static"),
+        "analysis_seconds": sum(span.duration for span in spans),
+        "bugs": sorted(str(bug) for bug in report.unique_bugs()),
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_static_prune_workload(benchmark, workload):
+    def run_both():
+        return (_run(workload, False), _run(workload, True))
+
+    base, pruned = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert pruned["bugs"] == base["bugs"]
+    assert pruned["failure_points"] < base["failure_points"]
+    _rows[workload] = (base, pruned)
+
+
+def test_static_prune_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < len(WORKLOADS):
+        pytest.skip("per-workload runs did not complete")
+    headers = [
+        "workload", "fp_base", "fp_pruned", "pruned_points",
+        "analysis_s", "base_s", "pruned_s", "speedup",
+    ]
+    rows = []
+    for workload in WORKLOADS:
+        base, pruned = _rows[workload]
+        rows.append([
+            workload,
+            base["failure_points"],
+            pruned["failure_points"],
+            pruned["pruned"],
+            f"{pruned['analysis_seconds']:.3f}",
+            f"{base['seconds']:.3f}",
+            f"{pruned['seconds']:.3f}",
+            f"{base['seconds'] / pruned['seconds']:.2f}x",
+        ])
+    text = format_table(
+        headers, rows,
+        title="Static failure-point pruning "
+              f"(init={PARAMS['init_size']}, "
+              f"test={PARAMS['test_size']}; identical bug reports)",
+    )
+    write_result(
+        "static_prune", text,
+        table_records("static_prune", headers, rows),
+    )

@@ -1,0 +1,81 @@
+"""Static PM-misuse analysis (``repro.analysis``).
+
+A path-enumerating abstract interpreter over the Python AST of workload
+and mechanism modules (everything written against ``repro.pmdk`` /
+``repro.pm``), reporting misuse findings with ``file:line`` provenance
+in the dynamic detector's severity taxonomy, plus:
+
+* :func:`analyze_trace` — the same rules over a recorded trace
+  (offline mode, ``repro.trace.serialize`` format);
+* :func:`check_module` — lexical RoI/annotation hygiene checks;
+* :func:`build_prune_plan` — Silhouette-style failure-point pruning
+  facts for ``core.injector`` (``DetectorConfig.static_prune``).
+
+:func:`lint_workload` is the front door the CLI uses: interpreter
+findings plus hygiene findings over every interpreted source file.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.analysis.findings import AnalysisReport, AnalysisStats, Finding
+from repro.analysis.groundtruth import STATIC_EXPECTATIONS, expected_rules
+from repro.analysis.hygiene import check_module
+from repro.analysis.interp import AnalysisError, analyze_workload
+from repro.analysis.pruning import (
+    PrunePlan,
+    build_prune_plan,
+    certified_lines,
+)
+from repro.analysis.rules import RULES, severity_of
+from repro.analysis.tracecheck import analyze_trace
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "AnalysisStats",
+    "Finding",
+    "PrunePlan",
+    "RULES",
+    "STATIC_EXPECTATIONS",
+    "analyze_trace",
+    "analyze_workload",
+    "build_prune_plan",
+    "certified_lines",
+    "check_module",
+    "expected_rules",
+    "lint_workload",
+    "severity_of",
+]
+
+
+def lint_workload(workload, **budgets):
+    """Interpreter + hygiene findings for one workload instance.
+
+    Hygiene checks run over every source file the interpreter covered
+    (the workload module and any inlined helper modules), so annotation
+    mistakes are reported even in files only reached transitively.
+    """
+    report = analyze_workload(workload, **budgets)
+    files = set()
+    try:
+        files.add(inspect.getsourcefile(type(workload)))
+    except TypeError:
+        pass
+    for file, _line in getattr(report, "coverage", ()):
+        files.add(file)
+    hygiene = []
+    for file in sorted(f for f in files if f):
+        try:
+            hygiene.extend(check_module(file))
+        except (OSError, SyntaxError):
+            continue
+    if not report.stats.incomplete:
+        report.stats.lines_certified = len(certified_lines(report))
+    merged = AnalysisReport(
+        report.target, list(report.findings) + hygiene, report.stats
+    )
+    for attr in ("coverage", "uncertified", "unsafe_spans", "errors"):
+        setattr(merged, attr, getattr(report, attr))
+    return merged

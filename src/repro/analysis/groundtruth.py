@@ -1,0 +1,147 @@
+"""Static-detectability ground truth for the synthetic bug suite.
+
+Maps every ``(workload, fault flag)`` to the set of rule ids the static
+analyzer is expected to report for it under the *canonical* lint
+parameterization (``init_size=2, test_size=3`` — the bug registry's
+default sizes; trigger-size overrides like ``test_size=12`` only matter
+to the dynamic detector, since the interpreter reaches faulty branches
+by path enumeration, not by data shape).
+
+An empty set means the fault is *dynamic-only*: its misuse window
+closes before the end of the pre-failure stage — a later operation's
+transaction commit persists the unlogged range, a later persist covers
+the skipped one, or the dirty object is freed — or the bug is a
+recovery-semantics bug (stale-but-persisted state) that exit-state
+reasoning cannot see.  Only failure injection catches those.  The split
+is recorded by ``benchmarks/bench_static_coverage.py`` and asserted by
+``tests/integration/test_static_groundtruth.py``.
+"""
+
+from __future__ import annotations
+
+#: Canonical workload sizes for static linting (see module docstring).
+CANONICAL_PARAMS = {"init_size": 2, "test_size": 3}
+
+#: (workload, flag) -> frozenset of expected rule ids.
+STATIC_EXPECTATIONS = {
+    # -- btree: every seeded fault is statically detectable ------------
+    ("btree", "count_outside_tx"): frozenset({"XF-P001"}),
+    ("btree", "unpersisted_value_write"): frozenset({"XF-P001"}),
+    ("btree", "dup_add_count"): frozenset({"XF-T002"}),
+    ("btree", "dup_add_leaf"): frozenset({"XF-T002"}),
+    ("btree", "skip_add_count"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_count_remove"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_leaf"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_new_root"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_new_sibling"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_parent_split"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_remove_leaf"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_root_ptr"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_split_child"): frozenset({"XF-T001"}),
+    ("btree", "skip_add_update_value"): frozenset({"XF-T001"}),
+    # -- ctree: every seeded fault is statically detectable ------------
+    ("ctree", "dup_add_parent"): frozenset({"XF-T002"}),
+    ("ctree", "skip_add_count"): frozenset({"XF-T001"}),
+    ("ctree", "skip_add_new_internal"): frozenset({"XF-T001"}),
+    ("ctree", "skip_add_new_leaf"): frozenset({"XF-T001"}),
+    ("ctree", "skip_add_parent_ptr"): frozenset({"XF-T001"}),
+    ("ctree", "skip_add_remove_ptr"): frozenset({"XF-T001"}),
+    ("ctree", "skip_add_update_value"): frozenset({"XF-T001"}),
+    # -- rbtree: every seeded fault is statically detectable -----------
+    ("rbtree", "dup_add_node"): frozenset({"XF-T002"}),
+    ("rbtree", "value_outside_tx"): frozenset({"XF-P001"}),
+    ("rbtree", "skip_add_count"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_link_parent"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_new_node"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_recolor_grand"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_recolor_parent"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_recolor_uncle"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_root_update"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_add_update_value"): frozenset({"XF-T001"}),
+    ("rbtree", "skip_fixup_adds"): frozenset({"XF-T001"}),
+    # -- hashmap_tx -----------------------------------------------------
+    ("hashmap_tx", "dup_add_count"): frozenset({"XF-T002"}),
+    ("hashmap_tx", "skip_add_bucket"): frozenset({"XF-T001"}),
+    ("hashmap_tx", "skip_add_count"): frozenset({"XF-T001"}),
+    ("hashmap_tx", "skip_add_entry"): frozenset({"XF-T001"}),
+    ("hashmap_tx", "skip_add_value"): frozenset({"XF-T001"}),
+    ("hashmap_tx", "unpersisted_create_seed"): frozenset({"XF-P001"}),
+    # Dynamic-only: a later remove's tx.add(count) + commit persists
+    # the unlogged count before the pre-failure stage ends.
+    ("hashmap_tx", "count_outside_tx"): frozenset(),
+    # Dynamic-only: the unlogged bucket/count stores of the remove path
+    # land in ranges a later operation logs and commits.
+    ("hashmap_tx", "skip_add_bucket_remove"): frozenset(),
+    ("hashmap_tx", "skip_add_count_remove"): frozenset(),
+    # Dynamic-only: the stale prev->next link is rewritten under a
+    # logged transaction by a later operation on the same bucket.
+    ("hashmap_tx", "skip_add_prev_next"): frozenset(),
+    # -- hashmap_atomic -------------------------------------------------
+    ("hashmap_atomic", "redundant_flush_count"): frozenset({"XF-F001"}),
+    ("hashmap_atomic", "redundant_flush_entry"): frozenset({"XF-F001"}),
+    ("hashmap_atomic", "skip_persist_buckets_init"): frozenset({"XF-P001"}),
+    ("hashmap_atomic", "skip_persist_geometry"): frozenset({"XF-P001"}),
+    # Dynamic-only: the skipped persist is covered by a later
+    # operation's persist of the same cache line, or the dirty entry is
+    # freed, before the pre-failure stage ends.
+    ("hashmap_atomic", "nt_value_no_drain"): frozenset(),
+    ("hashmap_atomic", "skip_fence_count"): frozenset(),
+    ("hashmap_atomic", "skip_persist_bucket_link"): frozenset(),
+    ("hashmap_atomic", "skip_persist_count"): frozenset(),
+    ("hashmap_atomic", "skip_persist_count_remove"): frozenset(),
+    ("hashmap_atomic", "skip_persist_entry"): frozenset(),
+    ("hashmap_atomic", "skip_persist_unlink"): frozenset(),
+    ("hashmap_atomic", "skip_persist_value"): frozenset(),
+    # Dynamic-only: recovery-semantics bugs — the crash image is fully
+    # persisted but *stale*; only a post-failure run can tell.
+    ("hashmap_atomic", "bug1_unpersisted_create"): frozenset(),
+    ("hashmap_atomic", "bug2_uninit_count"): frozenset(),
+    ("hashmap_atomic", "early_dirty_clear"): frozenset(),
+    ("hashmap_atomic", "recovery_reads_dirty_count"): frozenset(),
+    ("hashmap_atomic", "skip_dirty_set"): frozenset(),
+    ("hashmap_atomic", "swapped_dirty"): frozenset(),
+    ("hashmap_atomic", "unordered_link_before_entry"): frozenset(),
+    # -- redis (PM-KV) --------------------------------------------------
+    ("redis", "skip_add_dict_count"): frozenset({"XF-T001"}),
+    ("redis", "skip_add_value_set"): frozenset({"XF-T001"}),
+    # Dynamic-only: the unprotected init store is persisted by the
+    # enclosing setup transaction's commit.
+    ("redis", "bug3_unprotected_init"): frozenset(),
+    # -- memcached (PM-cache) ------------------------------------------
+    # Dynamic-only: later update/delete operations free or re-persist
+    # the dirty item before the pre-failure stage ends.
+    ("memcached", "skip_dirty_set"): frozenset(),
+    ("memcached", "skip_persist_item"): frozenset(),
+    ("memcached", "skip_persist_link"): frozenset(),
+    ("memcached", "skip_persist_value"): frozenset(),
+    # -- micro workloads ------------------------------------------------
+    ("linkedlist", "unlogged_length"): frozenset({"XF-T001"}),
+    ("queue", "double_flush_slot"): frozenset({"XF-F001"}),
+    ("queue", "skip_persist_slot"): frozenset({"XF-P001"}),
+    # Dynamic-only: tail and slot are both persisted by the end of the
+    # enqueue; only the *order* across the intermediate fence is wrong.
+    ("queue", "tail_before_slot"): frozenset(),
+    # Dynamic-only: valid-flag swap leaves a stale-but-persisted image.
+    ("array_backup", "swapped_valid"): frozenset(),
+}
+
+
+def expected_rules(workload, flag):
+    """Expected static rule ids for one seeded fault (empty set when
+    the fault is dynamic-only).  Raises KeyError for unknown faults so
+    new bugsuite entries must take a position here."""
+    return STATIC_EXPECTATIONS[(workload, flag)]
+
+
+def statically_detectable():
+    """All (workload, flag) pairs with a non-empty expectation."""
+    return sorted(
+        k for k, rules in STATIC_EXPECTATIONS.items() if rules
+    )
+
+
+def dynamic_only():
+    """All (workload, flag) pairs only the dynamic detector catches."""
+    return sorted(
+        k for k, rules in STATIC_EXPECTATIONS.items() if not rules
+    )

@@ -1,0 +1,179 @@
+"""Syntactic RoI / annotation hygiene checks (XF-A001, XF-A002).
+
+These rules are lexical, not path-sensitive: they run over the raw AST
+of a workload module, independent of the abstract interpreter.  That is
+deliberate — annotation mistakes (an ``roi_begin`` with no ``roi_end``,
+a commit-variable write hidden inside a skip-detection region) corrupt
+the *detector's* view of the program, so they must be reportable even
+when the surrounding code cannot be executed or interpreted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+
+#: begin → end pairing for region annotations (snake_case and the
+#: camelCase aliases of the paper's C interface).
+_PAIRS = {
+    "roi_begin": "roi_end",
+    "RoIBegin": "RoIEnd",
+    "skip_failure_begin": "skip_failure_end",
+    "skipFailureBegin": "skipFailureEnd",
+    "skip_detection_begin": "skip_detection_end",
+    "skipDetectionBegin": "skipDetectionEnd",
+}
+_ENDS = {end: begin for begin, end in _PAIRS.items()}
+
+_SKIP_BEGIN = {"skip_detection_begin", "skipDetectionBegin"}
+_SKIP_END = {"skip_detection_end", "skipDetectionEnd"}
+_SKIP_CTX = {"skip_detection"}
+
+_COMMIT_REGISTRARS = {"add_commit_var", "addCommitVar",
+                      "add_commit_range", "addCommitRange"}
+
+
+def _call_attr(node):
+    """The attribute name of a method call, or None."""
+    if isinstance(node, ast.Call) and isinstance(node.func,
+                                                 ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _string_args(call):
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield arg.value
+
+
+def _commit_field_names(tree):
+    """Field names registered as commit variables anywhere in the
+    module: the string arguments of ``field_addr``/``field_range``
+    calls nested in an ``add_commit_var``/``add_commit_range`` call,
+    plus any plain string ``name=`` arguments."""
+    names = set()
+    for node in ast.walk(tree):
+        if _call_attr(node) not in _COMMIT_REGISTRARS:
+            continue
+        for sub in ast.walk(node):
+            if _call_attr(sub) in ("field_addr", "field_range"):
+                names.update(_string_args(sub))
+    return names
+
+
+class _FunctionHygiene(ast.NodeVisitor):
+    """Walks one function body tracking skip-region nesting."""
+
+    def __init__(self, path, qualname, commit_names, findings):
+        self.path = path
+        self.qualname = qualname
+        self.commit_names = commit_names
+        self.findings = findings
+        #: region-kind begin counters: name -> [count, first begin line]
+        self.open = {}
+        self.skip_depth = 0
+
+    # -- region balance ------------------------------------------------
+
+    def _record(self, rule, line, message):
+        self.findings.append(Finding(
+            rule=rule, file=self.path, line=line, message=message,
+            function=self.qualname,
+        ))
+
+    def visit_Call(self, node):
+        attr = _call_attr(node)
+        if attr in _PAIRS:
+            entry = self.open.setdefault(attr, [0, node.lineno])
+            entry[0] += 1
+            if attr in _SKIP_BEGIN:
+                self.skip_depth += 1
+        elif attr in _ENDS:
+            begin = _ENDS[attr]
+            entry = self.open.get(begin)
+            if entry is None or entry[0] == 0:
+                self._record(
+                    "XF-A001", node.lineno,
+                    f"{attr} without a matching {begin} in this "
+                    f"function",
+                )
+            else:
+                entry[0] -= 1
+            if attr in _SKIP_END and self.skip_depth > 0:
+                self.skip_depth -= 1
+        self.generic_visit(node)
+
+    # -- commit writes under skip regions ------------------------------
+
+    def _check_commit_write(self, name, line):
+        if self.skip_depth > 0 and name in self.commit_names:
+            self._record(
+                "XF-A002", line,
+                f"store to commit variable {name!r} inside a "
+                f"skip-detection region hides the commit protocol "
+                f"from the detector",
+            )
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            if isinstance(target, ast.Attribute):
+                self._check_commit_write(target.attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        if isinstance(node.target, ast.Attribute):
+            self._check_commit_write(node.target.attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_With(self, node):
+        entered_skip = sum(
+            1 for item in node.items
+            if _call_attr(item.context_expr) in _SKIP_CTX
+        )
+        self.skip_depth += entered_skip
+        self.generic_visit(node)
+        self.skip_depth -= entered_skip
+
+    # Nested defs get their own visitor pass; don't double-descend.
+    def visit_FunctionDef(self, node):
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def finish(self):
+        for begin, (count, line) in self.open.items():
+            if count > 0:
+                self._record(
+                    "XF-A001", line,
+                    f"{begin} without a matching {_PAIRS[begin]} on "
+                    f"some path through this function",
+                )
+
+
+def _functions(tree, prefix=""):
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{node.name}"
+            yield qual, node
+            yield from _functions(node, prefix=f"{qual}.<locals>.")
+        elif isinstance(node, ast.ClassDef):
+            yield from _functions(node, prefix=f"{prefix}{node.name}.")
+
+
+def check_module(path, source=None):
+    """Hygiene findings for one source file."""
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path)
+    commit_names = _commit_field_names(tree)
+    findings = []
+    for qualname, node in _functions(tree):
+        visitor = _FunctionHygiene(path, qualname, commit_names,
+                                   findings)
+        for stmt in node.body:
+            visitor.visit(stmt)
+        visitor.finish()
+    return findings

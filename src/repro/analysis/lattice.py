@@ -1,0 +1,163 @@
+"""Path-sensitive persistence state.
+
+Per region base (allocation handle, pool root, or symbolic address
+expression) the state keeps disjoint byte segments, each in one
+persistence status.  The transitions mirror the dynamic shadow-PM FSM,
+with one deliberate deviation documented in ``docs/static-analysis.md``:
+a *scoped* persist (``pmem.persist`` / ``pool.persist``) drains only its
+own range; only bare fences (``drain`` / ``sfence`` / ``memory.fence``)
+drain everything.  This keeps "flush with no fence" and "non-temporal
+store with no drain" observable even when unrelated persists follow.
+"""
+
+from __future__ import annotations
+
+DIRTY = "dirty"
+FLUSHED = "flushed"
+NT = "nt"
+PERSISTED = "persisted"
+TXSTORED = "txstored"
+
+
+class Seg:
+    """One byte range of one region, in one persistence status."""
+
+    __slots__ = (
+        "status", "crossed", "lib", "reported",
+        "store_site", "store_fn", "store_stack",
+        "flush_site", "flush_fn", "flush_stack",
+    )
+
+    def __init__(self, status, store_site=None, store_fn="",
+                 store_stack=(), lib=False):
+        self.status = status
+        self.crossed = False
+        self.lib = lib
+        #: True once a finding was already emitted for this segment
+        #: (suppresses duplicate P001/P003 reports downstream).
+        self.reported = False
+        self.store_site = store_site
+        self.store_fn = store_fn
+        self.store_stack = store_stack
+        self.flush_site = None
+        self.flush_fn = ""
+        self.flush_stack = ()
+
+    def clone(self):
+        seg = Seg(self.status, self.store_site, self.store_fn,
+                  self.store_stack, self.lib)
+        seg.crossed = self.crossed
+        seg.reported = self.reported
+        seg.flush_site = self.flush_site
+        seg.flush_fn = self.flush_fn
+        seg.flush_stack = self.flush_stack
+        return seg
+
+
+class PMState:
+    """All persistence-relevant state along one execution path."""
+
+    def __init__(self):
+        #: base key -> sorted list of [start, end, Seg] (disjoint).
+        self.regions = {}
+        #: base key -> list of (start, end) undo-logged this tx.
+        self.prot = {}
+        #: registered commit variables/ranges: (base, start, end, name).
+        self.commit = []
+        #: bases whose unwritten bytes read as zero (fresh allocations).
+        self.zeroed = set()
+        #: (base, off, size) -> last stored Value (exact-match loads).
+        self.stored_vals = {}
+        #: (base, off, size) -> memoized symbolic load result, so the
+        #: same location reads as the same symbol until overwritten.
+        self.load_memo = {}
+        #: the active Transaction model object (None outside tx).
+        self.tx = None
+        #: in-tx stores whose range had no TX_ADD *yet*; resolved at
+        #: commit (PMDK allows add-after-write as long as the add lands
+        #: before commit): (base, start, end, site, fn, stack).
+        self.tx_pending = []
+
+    # -- interval plumbing ---------------------------------------------
+
+    def segs_overlapping(self, base, start, end):
+        out = []
+        for item in self.regions.get(base, ()):
+            if item[0] < end and start < item[1]:
+                out.append(item)
+        return out
+
+    def all_segs(self):
+        for base, items in self.regions.items():
+            for item in items:
+                yield base, item
+
+    def write_seg(self, base, start, end, seg, purge=True):
+        """Overwrite [start, end) with ``seg``, splitting survivors.
+
+        ``purge=False`` keeps remembered values/load memos intact (for
+        pure status transitions like flushing)."""
+        items = self.regions.setdefault(base, [])
+        kept = []
+        for s, e, old in items:
+            if e <= start or end <= s:
+                kept.append([s, e, old])
+                continue
+            if s < start:
+                kept.append([s, start, old.clone()])
+            if end < e:
+                kept.append([end, e, old.clone()])
+        kept.append([start, end, seg])
+        kept.sort(key=lambda item: item[0])
+        self.regions[base] = kept
+        if not purge:
+            return
+        for memo in (self.stored_vals, self.load_memo):
+            stale = [
+                k for k in memo
+                if k[0] == base and k[1] < end and start < k[1] + k[2]
+            ]
+            for k in stale:
+                del memo[k]
+
+    def drop_region(self, base):
+        self.regions.pop(base, None)
+        self.prot.pop(base, None)
+        self.zeroed.discard(base)
+        for memo in (self.stored_vals, self.load_memo):
+            for k in [k for k in memo if k[0] == base]:
+                del memo[k]
+
+    # -- transaction protection ----------------------------------------
+
+    def protect(self, base, start, end):
+        self.prot.setdefault(base, []).append((start, end))
+
+    def is_protected(self, base, start, end):
+        """Whether [start, end) is fully covered by logged ranges."""
+        spans = sorted(
+            (s, e) for s, e in self.prot.get(base, ())
+            if s < end and start < e
+        )
+        cursor = start
+        for s, e in spans:
+            if s > cursor:
+                return False
+            cursor = max(cursor, e)
+            if cursor >= end:
+                return True
+        return cursor >= end
+
+    def clear_protections(self):
+        self.prot = {}
+
+    # -- commit variables ----------------------------------------------
+
+    def add_commit_range(self, base, start, end, name):
+        self.commit.append((base, start, end, name))
+
+    def overlaps_commit(self, base, start, end):
+        for cbase, cstart, cend, _name in self.commit:
+            if cbase == base and cstart < end and start < cend:
+                return True
+        return False

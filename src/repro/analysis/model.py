@@ -1,0 +1,301 @@
+"""Abstract values for the static interpreter.
+
+The interpreter runs workload code over *abstract* PM: addresses are
+symbolic expressions anchored at allocation handles, and unknown scalars
+are structural symbols.  Two syntactically different computations of the
+same quantity (``table.addr_of(i)`` and the ``base + 8*i`` inside
+``table.set(i, ...)``) normalize to the *same* key, which is what lets
+TX-protection and flush coverage line up without a real heap.
+"""
+
+from __future__ import annotations
+
+
+class Value:
+    __slots__ = ()
+
+
+class Const(Value):
+    """A concrete Python value (int, str, bytes, frozenset, class...)."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, v):
+        self.v = v
+
+    def __repr__(self):
+        return f"Const({self.v!r})"
+
+
+class Sym(Value):
+    """An unknown scalar, identified by a structural key."""
+
+    __slots__ = ("k",)
+
+    def __init__(self, k):
+        self.k = k
+
+    def __repr__(self):
+        return f"Sym({self.k!r})"
+
+
+class Addr(Value):
+    """A PM address: region base key + concrete byte offset.
+
+    ``base`` is ``('h', n)`` for allocation handles, ``('root', n)``
+    for pool roots, or ``('x', exprkey)`` for symbolically derived
+    bases (whose offset is then relative to that expression).
+    """
+
+    __slots__ = ("base", "off")
+
+    def __init__(self, base, off=0):
+        self.base = base
+        self.off = off
+
+    def __repr__(self):
+        return f"Addr({self.base!r}+{self.off})"
+
+
+class StructV(Value):
+    """A typed view (``repro.pmdk.layout.Struct``) at an address."""
+
+    __slots__ = ("cls", "addr")
+
+    def __init__(self, cls, addr):
+        self.cls = cls
+        self.addr = addr
+
+    def __repr__(self):
+        return f"StructV({self.cls.__name__}@{self.addr!r})"
+
+
+class ArrayV(Value):
+    """A bound layout array (``Array`` field) at an address."""
+
+    __slots__ = ("field", "addr")
+
+    def __init__(self, field, addr):
+        self.field = field
+        self.addr = addr
+
+
+class RangeV(Value):
+    """An ``AddressRange`` analogue: start address + size."""
+
+    __slots__ = ("addr", "size")
+
+    def __init__(self, addr, size):
+        self.addr = addr
+        self.size = size
+
+
+class SeqV(Value):
+    """A mutable list/tuple of abstract values."""
+
+    __slots__ = ("items", "kind")
+
+    def __init__(self, items, kind="list"):
+        self.items = list(items)
+        self.kind = kind
+
+
+class SetV(Value):
+    """A set of abstract values, stored by structural key."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys=()):
+        self.keys = set(keys)
+
+
+class DictV(Value):
+    """A dict keyed by structural key → (key value, value)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self):
+        self.items = {}
+
+
+class ObjV(Value):
+    """An interpreted (or wrapped real) object instance.
+
+    ``tag`` marks modeled runtime objects ('memory', 'xf', 'pool',
+    'tx', 'ctx'); workload-defined helpers carry their real class and,
+    for the workload instance itself, the real object.
+    """
+
+    __slots__ = ("attrs", "cls", "real", "tag")
+
+    def __init__(self, cls=None, real=None, tag=None):
+        self.attrs = {}
+        self.cls = cls
+        self.real = real
+        self.tag = tag
+
+    def __repr__(self):
+        name = self.tag or (self.cls.__name__ if self.cls else "obj")
+        return f"ObjV<{name}>"
+
+
+class FuncV(Value):
+    """A real Python function, possibly bound to an abstract self."""
+
+    __slots__ = ("fn", "self_val")
+
+    def __init__(self, fn, self_val=None):
+        self.fn = fn
+        self.self_val = self_val
+
+
+class LambdaV(Value):
+    """A lambda / local def closure over an interpreter environment."""
+
+    __slots__ = ("node", "env", "file", "qualname")
+
+    def __init__(self, node, env, file, qualname="<lambda>"):
+        self.node = node
+        self.env = env
+        self.file = file
+        self.qualname = qualname
+
+
+class PrimV(Value):
+    """A modeled method, resolved at call time by (tag, name)."""
+
+    __slots__ = ("recv", "name")
+
+    def __init__(self, recv, name):
+        self.recv = recv
+        self.name = name
+
+
+# ----------------------------------------------------------------------
+# Structural keys
+# ----------------------------------------------------------------------
+
+
+def _const_key(v):
+    if isinstance(v, (frozenset, set)):
+        return ("set",) + tuple(sorted(map(repr, v)))
+    if isinstance(v, (list, tuple)):
+        return ("seq",) + tuple(_const_key(x) for x in v)
+    if isinstance(v, dict):
+        return ("dict",) + tuple(
+            sorted((repr(k), _const_key(x)) for k, x in v.items())
+        )
+    if isinstance(v, type):
+        return ("cls", v.__module__, v.__qualname__)
+    try:
+        hash(v)
+    except TypeError:
+        return ("repr", repr(v))
+    return v
+
+
+def key(value):
+    """A hashable structural identity for an abstract value."""
+    if isinstance(value, Const):
+        return ("c", _const_key(value.v))
+    if isinstance(value, Sym):
+        return value.k
+    if isinstance(value, Addr):
+        return ("a", value.base, value.off)
+    if isinstance(value, StructV):
+        return ("sv", value.cls.__qualname__, key(value.addr))
+    if isinstance(value, ArrayV):
+        return ("av", id(value.field), key(value.addr))
+    if isinstance(value, RangeV):
+        return ("rv", key(value.addr), value.size)
+    if isinstance(value, SeqV):
+        return ("seq",) + tuple(key(item) for item in value.items)
+    if isinstance(value, SetV):
+        return ("setv",) + tuple(sorted(map(repr, value.keys)))
+    if isinstance(value, FuncV):
+        return ("fn", value.fn.__qualname__,
+                key(value.self_val) if value.self_val else None)
+    return ("id", id(value))
+
+
+def addr_key(value):
+    """The expression key of an address (base folded with offset)."""
+    if value.off == 0:
+        return value.base
+    return ("off", value.base, value.off)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
+
+
+def _expr(op, *operands):
+    if op in _COMMUTATIVE:
+        operands = tuple(sorted(operands, key=repr))
+    return (op,) + tuple(operands)
+
+
+def binop(op, left, right):
+    """Abstract binary arithmetic.  Returns a Value, or None when the
+    interpreter must handle the combination itself (e.g. sequences)."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(_concrete_binop(op, left.v, right.v))
+    # Address +/- concrete offset.
+    if isinstance(left, Addr) and isinstance(right, Const) \
+            and isinstance(right.v, int):
+        if op == "add":
+            return Addr(left.base, left.off + right.v)
+        if op == "sub":
+            return Addr(left.base, left.off - right.v)
+    if isinstance(right, Addr) and isinstance(left, Const) \
+            and isinstance(left.v, int) and op == "add":
+        return Addr(right.base, right.off + left.v)
+    if isinstance(left, Addr) and isinstance(right, Addr) \
+            and op == "sub" and left.base == right.base:
+        return Const(left.off - right.off)
+    # Address + symbolic offset → new symbolic base.
+    if isinstance(left, Addr) and op == "add":
+        return Addr(("x", _expr("add", addr_key(left), key(right))), 0)
+    if isinstance(right, Addr) and op == "add":
+        return Addr(("x", _expr("add", addr_key(right), key(left))), 0)
+    # Structural symbol: identical computations unify.
+    return Sym(_expr(op, key(left), key(right)))
+
+
+def _concrete_binop(op, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a / b
+    if op == "floordiv":
+        return a // b
+    if op == "mod":
+        return a % b
+    if op == "pow":
+        return a ** b
+    if op == "lshift":
+        return a << b
+    if op == "rshift":
+        return a >> b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    raise NotImplementedError(f"binop {op}")
+
+
+AST_BINOPS = {
+    "Add": "add", "Sub": "sub", "Mult": "mul", "Div": "div",
+    "FloorDiv": "floordiv", "Mod": "mod", "Pow": "pow",
+    "LShift": "lshift", "RShift": "rshift", "BitAnd": "and",
+    "BitOr": "or", "BitXor": "xor",
+}

@@ -1,0 +1,90 @@
+"""Silhouette-style static pruning of failure points.
+
+The dynamic detector pays one post-failure execution per failure point
+(O(F · P), paper Section 5.4).  Many of those executions are redundant:
+between two consecutive ordering points the program often performs only
+updates the static analyzer can *certify* persistence-complete — every
+store is flushed and fenced on every interpreted path before the next
+ordering point, no transaction write escapes its undo log, and no
+finding poisons the surrounding code.  Crashing at such an ordering
+point yields an image that differs from the previous failure point's
+image only by fully-persisted, fully-logged updates, so the post-failure
+execution it would spawn cannot observe anything new.
+
+:func:`build_prune_plan` turns an analysis report into the set of
+*certified lines*; ``core.injector.FailureInjector`` consults it (via
+``DetectorConfig.static_prune``) and skips an ordering point when every
+PM data operation since the last recorded failure point originated from
+a certified line.  Pruning is conservative in four ways:
+
+* an incomplete analysis (budget exhaustion, unsupported construct)
+  produces **no** plan — nothing is pruned;
+* any finding at all produces **no** plan: pruning only applies to
+  code the analyzer believes persistence-clean.  A flagged workload
+  may leave data unpersisted arbitrarily early (even during setup,
+  where injection is suppressed and the taint would be absorbed by
+  the first failure point), making *every* later window vulnerable —
+  interval-local certification cannot bound that, so it must not try;
+* lines inside any function span that hit a forced loop break or was
+  skipped (generators, recursion) are uncertified;
+* PM operations attributed to lines the interpreter never covered
+  (library internals, uninterpreted helpers) veto pruning of their
+  interval;
+* forced failure points (``add_failure_point``) are never pruned, and
+  neither is the first failure point of a run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.interp import analyze_workload
+
+
+class PrunePlan:
+    """The set of source lines certified persistence-complete."""
+
+    __slots__ = ("certified", "report")
+
+    def __init__(self, certified, report=None):
+        #: frozenset of (filename, lineno) pairs.
+        self.certified = frozenset(certified)
+        #: The :class:`~repro.analysis.findings.AnalysisReport` the plan
+        #: was built from (carried for telemetry / inspection).
+        self.report = report
+
+    def certifies(self, ip):
+        """Whether a trace event at SourceLocation ``ip`` is certified."""
+        return (ip.filename, ip.lineno) in self.certified
+
+    def __len__(self):
+        return len(self.certified)
+
+    def __repr__(self):
+        return f"PrunePlan({len(self.certified)} certified lines)"
+
+
+def certified_lines(report):
+    """Certified lines of one analysis report: covered minus
+    uncertified minus everything inside an unsafe function span."""
+    certified = set(report.coverage) - set(report.uncertified)
+    if not certified:
+        return frozenset()
+    unsafe = sorted(report.unsafe_spans)
+    if unsafe:
+        certified = {
+            (file, line) for file, line in certified
+            if not any(
+                ufile == file and lo <= line <= hi
+                for ufile, lo, hi in unsafe
+            )
+        }
+    return frozenset(certified)
+
+
+def build_prune_plan(workload, report=None, **budgets):
+    """A :class:`PrunePlan` for one workload, or None when the static
+    analysis was incomplete (in which case nothing may be pruned)."""
+    if report is None:
+        report = analyze_workload(workload, **budgets)
+    if report.stats.incomplete or report.findings:
+        return None
+    return PrunePlan(certified_lines(report), report=report)

@@ -1,0 +1,97 @@
+"""The static rule registry.
+
+Every finding the analyzer can emit is declared here with a stable id,
+the severity taxonomy of the dynamic detector (race / semantic /
+performance), and a one-line description.  ``docs/static-analysis.md``
+carries the full catalogue with minimal offending snippets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severities mirror :class:`repro.core.report.BugKind` buckets.
+RACE = "race"
+SEMANTIC = "semantic"
+PERFORMANCE = "performance"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static check."""
+
+    id: str
+    title: str
+    severity: str
+    description: str
+
+
+_RULES = [
+    Rule(
+        "XF-P001", "unflushed store at exit", RACE,
+        "A store is still dirty (never written back) on a path that "
+        "reaches the end of the pre-failure stage; a failure leaves "
+        "the update volatile and recovery reads stale data.",
+    ),
+    Rule(
+        "XF-P002", "flush without fence at exit", RACE,
+        "A range was flushed but no ordering fence follows on some "
+        "exit path; the writeback may not have completed at the "
+        "failure.",
+    ),
+    Rule(
+        "XF-P003", "store crosses a persistence barrier unpersisted",
+        RACE,
+        "A store stays dirty across a later, disjoint persist barrier "
+        "before it is finally written back; a failure at that barrier "
+        "exposes the stale value even though the store is eventually "
+        "persisted.",
+    ),
+    Rule(
+        "XF-P004", "non-temporal store without drain", RACE,
+        "A non-temporal store (memcpy_nodrain) is never followed by a "
+        "drain/sfence on some exit path.",
+    ),
+    Rule(
+        "XF-T001", "in-transaction store without TX_ADD", RACE,
+        "A store inside an active transaction targets a range with no "
+        "dominating TX_ADD; the range is neither undo-logged nor "
+        "flushed at commit (the paper's Figure 1 'length' bug).",
+    ),
+    Rule(
+        "XF-T002", "duplicate TX_ADD of a covered range", PERFORMANCE,
+        "A range already covered by the undo log is added again, "
+        "paying a redundant log snapshot and persist.",
+    ),
+    Rule(
+        "XF-F001", "double flush of a clean range", PERFORMANCE,
+        "A flush targets a range that is entirely flushed or persisted "
+        "already, with no store in between (redundant writeback).",
+    ),
+    Rule(
+        "XF-F002", "fence with no pending writeback", PERFORMANCE,
+        "An ordering fence executes when nothing was flushed or "
+        "non-temporally stored since the previous fence.",
+    ),
+    Rule(
+        "XF-A001", "unbalanced region-of-interest annotation", SEMANTIC,
+        "roi_begin / roi_end (or skip begin/end) calls do not balance "
+        "within one function, so detection scope leaks across "
+        "operations.",
+    ),
+    Rule(
+        "XF-A002", "skip region swallows a commit-variable write",
+        SEMANTIC,
+        "A store to a registered commit variable happens inside a "
+        "skip-detection region, hiding the commit protocol from the "
+        "detector.",
+    ),
+]
+
+RULES = {rule.id: rule for rule in _RULES}
+
+
+def severity_of(rule_id):
+    """Severity string for a rule id ('race' for unknown ids)."""
+    rule = RULES.get(rule_id)
+    return rule.severity if rule is not None else RACE

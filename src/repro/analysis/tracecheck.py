@@ -1,0 +1,303 @@
+"""Offline PM-misuse checking over serialized traces.
+
+The same rule ids as the AST interpreter, applied to a recorded event
+stream (``repro.trace.serialize`` format) instead of source.  This is
+the "trace-analysis prototype" workflow: dump a pre-failure trace once,
+then re-lint it offline without re-running the workload.
+
+Semantics differ from the interpreter in one documented way: a trace
+``FENCE`` is the real machine barrier, so it drains *all* outstanding
+flushes (classic semantics), whereas the interpreter treats scoped
+persists as draining only their own range.  Trace findings therefore
+use the event's recorded ``ip`` for provenance.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisReport, AnalysisStats, Finding
+from repro.analysis.lattice import (
+    DIRTY,
+    FLUSHED,
+    NT,
+    PERSISTED,
+    PMState,
+    Seg,
+    TXSTORED,
+)
+from repro.trace.events import EventKind
+from repro.trace.serialize import parse_trace
+
+#: Single flat region key: trace addresses are absolute.
+_PM = "pm"
+
+
+def _covered(spans, start, end):
+    """Whether [start, end) is fully covered by ``spans``."""
+    cursor = start
+    for s, e in sorted(spans):
+        if s > cursor:
+            break
+        cursor = max(cursor, e)
+        if cursor >= end:
+            return True
+    return cursor >= end
+
+
+class TraceChecker:
+    """One pass over one event stream."""
+
+    def __init__(self):
+        self.state = PMState()
+        self.findings = []
+        self.lib_depth = 0
+        self.skip_depth = 0
+        self.roi_opens = []  # lineno stack of unmatched ROI_BEGINs
+        #: active transaction: {"adds": [(s, e)], "pending": [...]}.
+        self.tx = None
+        self.steps = 0
+
+    # -- helpers -------------------------------------------------------
+
+    def _emit(self, rule, event, message, site=None, function=None):
+        if site is None:
+            site = (event.ip.filename, event.ip.lineno)
+            function = event.ip.function
+        self.findings.append(Finding(
+            rule=rule, file=site[0], line=site[1], message=message,
+            function=function or "",
+        ))
+
+    def _site(self, event):
+        return (event.ip.filename, event.ip.lineno)
+
+    # -- event dispatch ------------------------------------------------
+
+    def feed(self, event):
+        self.steps += 1
+        kind = event.kind
+        handler = getattr(self, f"_ev_{kind.name.lower()}", None)
+        if handler is not None:
+            handler(event)
+
+    def _ev_store(self, event, nt=False):
+        start, end = event.addr, event.end
+        seg = Seg(NT if nt else DIRTY, store_site=self._site(event),
+                  store_fn=event.ip.function, lib=self.lib_depth > 0)
+        if self.skip_depth > 0 \
+                and self.state.overlaps_commit(_PM, start, end):
+            self._emit(
+                "XF-A002", event,
+                "store to a registered commit variable inside a "
+                "skip-detection region",
+            )
+        if not nt and self.lib_depth == 0 and self.tx is not None:
+            if _covered(self.tx["adds"], start, end):
+                seg.status = TXSTORED
+            else:
+                seg.status = TXSTORED
+                self.tx["pending"].append(
+                    (start, end, self._site(event), event.ip.function)
+                )
+        self.state.write_seg(_PM, start, end, seg)
+
+    def _ev_nt_store(self, event):
+        self._ev_store(event, nt=True)
+
+    def _ev_flush(self, event):
+        start, end = event.addr, event.end
+        overlapping = self.state.segs_overlapping(_PM, start, end)
+        # Untracked bytes of the flushed line were never stored, so a
+        # flush whose tracked overlap is entirely clean is redundant
+        # (no full-coverage requirement: trace flushes are whole cache
+        # lines and padding bytes are the norm).  A persisted library
+        # seg sharing the line must not veto the finding, but a line
+        # holding *only* library data is the library's business.
+        if self.lib_depth == 0 and self.skip_depth == 0 and overlapping \
+                and all(item[2].status in (FLUSHED, PERSISTED)
+                        for item in overlapping) \
+                and any(not item[2].lib for item in overlapping):
+            self._emit(
+                "XF-F001", event,
+                "flush of a range that is already flushed or "
+                "persisted (redundant writeback)",
+            )
+        for seg_start, seg_end, seg in list(overlapping):
+            lo, hi = max(seg_start, start), min(seg_end, end)
+            if lo >= hi or seg.status not in (DIRTY, NT, TXSTORED):
+                continue
+            new = seg.clone()
+            if new.status == DIRTY and new.crossed and not new.reported \
+                    and not new.lib and self.skip_depth == 0:
+                new.reported = True
+                self._emit(
+                    "XF-P003", event,
+                    "store left dirty across an earlier fence before "
+                    "this flush; a failure at that fence exposes the "
+                    "stale value",
+                    site=new.store_site, function=new.store_fn,
+                )
+            new.status = FLUSHED
+            new.flush_site = self._site(event)
+            new.flush_fn = event.ip.function
+            self.state.write_seg(_PM, lo, hi, new, purge=False)
+
+    def _ev_fence(self, event):
+        pending = False
+        for _base, (_s, _e, seg) in self.state.all_segs():
+            if seg.status in (FLUSHED, NT):
+                seg.status = PERSISTED
+                pending = True
+            elif seg.status == DIRTY and not seg.lib \
+                    and self.lib_depth == 0:
+                # A fence issued inside a library region is a scoped
+                # persist of the library's own word; it does not make
+                # unrelated application stores suspicious (mirrors the
+                # interpreter's bare-fence-only crossing rule).
+                seg.crossed = True
+        if not pending and self.lib_depth == 0 and self.skip_depth == 0:
+            self._emit(
+                "XF-F002", event,
+                "ordering fence with no pending writeback since the "
+                "previous fence",
+            )
+
+    def _ev_tx_begin(self, event):
+        if self.tx is None:
+            self.tx = {"adds": [], "pending": [], "depth": 1}
+        else:
+            self.tx["depth"] += 1
+
+    def _ev_tx_add(self, event):
+        if self.tx is None:
+            return
+        start, end = event.addr, event.end
+        if self.lib_depth == 0 and self.skip_depth == 0 \
+                and _covered(self.tx["adds"], start, end):
+            self._emit(
+                "XF-T002", event,
+                "range is already covered by the transaction's undo "
+                "log; duplicate TX_ADD pays a redundant snapshot",
+            )
+        self.tx["adds"].append((start, end))
+
+    def _ev_tx_commit(self, event):
+        if self.tx is None:
+            return
+        self.tx["depth"] -= 1
+        if self.tx["depth"] > 0:
+            return
+        for start, end, site, fn in self.tx["pending"]:
+            if _covered(self.tx["adds"], start, end):
+                continue
+            if self.skip_depth == 0:
+                self._emit(
+                    "XF-T001", event,
+                    "store inside a transaction with no TX_ADD "
+                    "covering it before commit",
+                    site=site, function=fn,
+                )
+            for _s, _e, seg in self.state.segs_overlapping(
+                    _PM, start, end):
+                seg.reported = True
+        for start, end in self.tx["adds"]:
+            for _s, _e, seg in self.state.segs_overlapping(
+                    _PM, start, end):
+                if seg.status in (DIRTY, TXSTORED, FLUSHED):
+                    seg.status = PERSISTED
+        if self.tx["adds"]:
+            for _base, (_s, _e, seg) in self.state.all_segs():
+                if seg.status in (FLUSHED, NT):
+                    seg.status = PERSISTED
+                elif seg.status == DIRTY and not seg.lib \
+                        and not seg.reported:
+                    seg.crossed = True
+        self.tx = None
+
+    def _ev_tx_abort(self, event):
+        if self.tx is None:
+            return
+        for start, end in self.tx["adds"]:
+            for _s, _e, seg in self.state.segs_overlapping(
+                    _PM, start, end):
+                seg.status = PERSISTED  # restored from the undo log
+        self.tx = None
+
+    def _ev_free(self, event):
+        seg = Seg(PERSISTED, lib=True)
+        self.state.write_seg(_PM, event.addr, event.end, seg)
+
+    def _ev_lib_begin(self, event):
+        self.lib_depth += 1
+
+    def _ev_lib_end(self, event):
+        self.lib_depth = max(0, self.lib_depth - 1)
+
+    def _ev_skip_det_begin(self, event):
+        self.skip_depth += 1
+
+    def _ev_skip_det_end(self, event):
+        self.skip_depth = max(0, self.skip_depth - 1)
+
+    def _ev_roi_begin(self, event):
+        self.roi_opens.append(event)
+
+    def _ev_roi_end(self, event):
+        if self.roi_opens:
+            self.roi_opens.pop()
+        else:
+            self._emit(
+                "XF-A001", event,
+                "ROI_END without a matching ROI_BEGIN in this trace",
+            )
+
+    def _ev_commit_var(self, event):
+        self.state.add_commit_range(
+            _PM, event.addr, event.end, event.info or "commit"
+        )
+
+    _ev_commit_range = _ev_commit_var
+
+    # -- trace end -----------------------------------------------------
+
+    def finish(self):
+        for event in self.roi_opens:
+            self._emit(
+                "XF-A001", event,
+                "ROI_BEGIN without a matching ROI_END in this trace",
+            )
+        for _base, (_s, _e, seg) in self.state.all_segs():
+            if seg.lib or seg.reported:
+                continue
+            if seg.status == DIRTY:
+                self._emit(
+                    "XF-P001", None,
+                    "store never written back by the end of the trace",
+                    site=seg.store_site, function=seg.store_fn,
+                )
+            elif seg.status == FLUSHED:
+                self._emit(
+                    "XF-P002", None,
+                    "flushed range with no ordering fence by the end "
+                    "of the trace",
+                    site=seg.flush_site, function=seg.flush_fn,
+                )
+            elif seg.status == NT:
+                self._emit(
+                    "XF-P004", None,
+                    "non-temporal store with no drain by the end of "
+                    "the trace",
+                    site=seg.store_site, function=seg.store_fn,
+                )
+            seg.reported = True
+
+
+def analyze_trace(events, target="trace"):
+    """Check an event stream (or trace text) and report findings."""
+    if isinstance(events, str):
+        events = parse_trace(events)
+    checker = TraceChecker()
+    for event in events:
+        checker.feed(event)
+    checker.finish()
+    stats = AnalysisStats(paths=1, steps=checker.steps)
+    return AnalysisReport(target, checker.findings, stats)

@@ -7,6 +7,8 @@ Examples::
     xfdetector run hashmap_atomic --fault bug1_unpersisted_create \\
         --audit --profile
     xfdetector profile hashmap_tx --test 2 --ndjson /tmp/run.ndjson
+    xfdetector lint hashmap_atomic --fault skip_persist_buckets_init
+    xfdetector lint --all --baseline benchmarks/results/lint_baseline.txt
     xfdetector list-workloads
     xfdetector list-faults hashmap_atomic
     xfdetector new-bugs
@@ -103,9 +105,46 @@ def _build_parser():
                      metavar="N",
                      help="sample N extra crash states per failure "
                           "point (pmreorder-style fuzzing)")
+    run.add_argument("--static-prune", action="store_true",
+                     help="statically analyze the workload first and "
+                          "skip failure points whose interval is "
+                          "certified persistence-complete")
     run.add_argument("--json", action="store_true",
                      help="print the report as JSON")
     _add_telemetry_args(run)
+
+    lint = sub.add_parser(
+        "lint", help="static PM-misuse analysis (no execution of the "
+                     "detection pipeline)"
+    )
+    lint.add_argument("workload", nargs="?", default=None,
+                      choices=sorted(ALL_WORKLOADS))
+    lint.add_argument("--all", action="store_true",
+                      help="lint every workload (clean configuration)")
+    lint.add_argument("--init", type=int, default=2,
+                      help="insertions during setup (canonical lint "
+                           "sizing; small sizes keep path enumeration "
+                           "exhaustive)")
+    lint.add_argument("--test", type=int, default=3,
+                      help="operations under test (canonical lint "
+                           "sizing)")
+    lint.add_argument("--fault", action="append", default=[],
+                      help="synthetic fault flag (repeatable)")
+    lint.add_argument("--trace", default=None, metavar="PATH",
+                      help="offline mode: check a serialized trace "
+                           "(see the trace subcommand's --dump) "
+                           "instead of interpreting a workload")
+    lint.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    lint.add_argument("--ndjson", default=None, metavar="PATH",
+                      help="write findings + stats as NDJSON to PATH")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppress findings recorded in this "
+                           "baseline file; exit 0 unless new findings "
+                           "appear")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="write the current findings as a baseline "
+                           "file and exit 0")
 
     profile = sub.add_parser(
         "profile", help="run detection and print the telemetry "
@@ -192,10 +231,19 @@ def _cmd_run(args):
         max_failure_points=args.max_failure_points,
         report_perf_bugs=not args.no_perf_bugs,
         crash_state_variants=args.crash_states,
+        static_prune=args.static_prune,
         audit=args.audit,
     )
     report = XFDetector(config).run(workload)
     telemetry = report.telemetry
+    # Exit status reflects what was *reported*: any bug in the printed
+    # report (performance bugs included) is a non-zero exit, so shell
+    # pipelines and CI never silently pass a run that printed findings.
+    reported = (
+        report.unique_bugs() if not args.all_occurrences
+        else report.bugs
+    )
+    status = 1 if reported else 0
     if args.json:
         payload = json.loads(
             report.to_json(unique=not args.all_occurrences)
@@ -205,12 +253,15 @@ def _cmd_run(args):
         print(json.dumps(payload, indent=2))
         if args.ndjson:
             _write_run_ndjson(args.ndjson, report)
-        return 1 if report.has_cross_failure_bugs else 0
+        return status
     print(report.format(unique=not args.all_occurrences))
     stats = report.stats
+    pruned = telemetry.metrics.value("injector.pruned_static")
     print(
-        f"-- {stats.failure_points} failure points, "
-        f"{stats.pre_trace_events} pre-trace events, "
+        f"-- {stats.failure_points} failure points"
+        + (f" ({pruned} pruned statically)" if args.static_prune
+           else "")
+        + f", {stats.pre_trace_events} pre-trace events, "
         f"{stats.post_trace_events} post-trace events, "
         f"{stats.total_seconds:.2f}s "
         f"(pre {stats.pre_failure_seconds:.2f}s / "
@@ -227,7 +278,121 @@ def _cmd_run(args):
 
         print("\n-- audit ndjson --")
         print(to_ndjson(telemetry.audit.to_records()))
-    return 1 if report.has_cross_failure_bugs else 0
+    return status
+
+
+def _baseline_key(finding, root):
+    return f"{finding.rule} {finding.short_location(root)}"
+
+
+def _cmd_lint(args):
+    import os
+
+    from repro.analysis import analyze_trace, lint_workload
+
+    root = os.getcwd()
+    if args.trace:
+        if args.workload or args.all:
+            print(
+                "xfdetector: error: --trace is exclusive with a "
+                "workload / --all",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        try:
+            with open(args.trace) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(
+                f"xfdetector: error: cannot read trace "
+                f"{args.trace}: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        reports = [analyze_trace(text, target=args.trace)]
+    else:
+        if args.all:
+            names = sorted(ALL_WORKLOADS)
+        elif args.workload:
+            names = [args.workload]
+        else:
+            print(
+                "xfdetector: error: a workload, --all, or --trace "
+                "is required",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        reports = []
+        for name in names:
+            workload = ALL_WORKLOADS[name](
+                faults=set(args.fault), init_size=args.init,
+                test_size=args.test,
+            )
+            reports.append(lint_workload(workload))
+
+    findings = [f for rep in reports for f in rep.findings]
+    if args.write_baseline:
+        lines = sorted({_baseline_key(f, root) for f in findings})
+        with open(args.write_baseline, "w") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(
+            f"-- baseline with {len(lines)} entr"
+            f"{'y' if len(lines) == 1 else 'ies'} written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    baselined = set()
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baselined = {
+                    line.strip() for line in handle
+                    if line.strip() and not line.startswith("#")
+                }
+        except OSError as exc:
+            print(
+                f"xfdetector: error: cannot read baseline "
+                f"{args.baseline}: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    new = [
+        f for f in findings if _baseline_key(f, root) not in baselined
+    ]
+
+    if args.json:
+        payload = {
+            "reports": [rep.to_dict(root) for rep in reports],
+            "findings": len(findings),
+            "new_findings": len(new),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for rep in reports:
+            print(rep.format(root))
+        if args.baseline:
+            print(
+                f"-- {len(new)} new finding(s), "
+                f"{len(findings) - len(new)} baselined"
+            )
+    if args.ndjson:
+        from repro.obs import write_ndjson
+
+        records = (
+            record for rep in reports for record in rep.records(root)
+        )
+        try:
+            count = write_ndjson(args.ndjson, records)
+        except OSError as exc:
+            print(
+                f"xfdetector: error: cannot write NDJSON to "
+                f"{args.ndjson}: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        print(f"-- {count} NDJSON records written to {args.ndjson}")
+    return 1 if new else 0
 
 
 def _cmd_profile(args):
@@ -362,6 +527,7 @@ def main(argv=None):
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "lint": _cmd_lint,
         "profile": _cmd_profile,
         "list-workloads": _cmd_list_workloads,
         "list-faults": _cmd_list_faults,

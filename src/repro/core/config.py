@@ -52,6 +52,15 @@ class DetectorConfig:
     #: redundant fences).
     report_perf_bugs: bool = True
 
+    #: Silhouette-style static pruning: run ``repro.analysis`` over the
+    #: workload before the pre-failure stage and skip failure points
+    #: whose interval since the last recorded one contains only PM
+    #: operations from statically certified (persistence-complete)
+    #: lines.  Conservative: an incomplete analysis prunes nothing, and
+    #: forced failure points are never pruned.  Pruned counts surface as
+    #: the ``injector.pruned_static`` metric.
+    static_prune: bool = False
+
     #: Extra pmreorder-style crash states sampled per failure point
     #: (0 = only the configured crash-image mode, the paper's setup).
     #: Each variant independently keeps or loses the volatile cache

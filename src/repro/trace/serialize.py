@@ -38,7 +38,9 @@ def parse_event(line):
     head, sep, tail = line.partition(" | ")
     if not sep:
         raise ValueError(f"malformed trace line (no location): {line!r}")
-    fields = head.split()
+    # Split at most 5 times: the trailing info field may itself contain
+    # spaces (commit-variable names, library region labels).
+    fields = head.split(None, 5)
     if len(fields) != 6:
         raise ValueError(f"malformed trace line: {line!r}")
     seq_text, kind_text, addr_text, size_text, tid_text, info = fields

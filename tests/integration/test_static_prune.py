@@ -1,0 +1,122 @@
+"""End-to-end validation of Silhouette-style static pruning.
+
+Acceptance bar: with ``DetectorConfig.static_prune`` on, detection on
+all five PMDK structures reproduces the same bug reports while
+executing strictly fewer failure points, with the pruned count visible
+in telemetry (``injector.pruned_static``).
+"""
+
+import pytest
+
+from repro.core import DetectorConfig, XFDetector
+from repro.workloads import ALL_WORKLOADS
+
+FIVE_STRUCTURES = [
+    "btree", "ctree", "rbtree", "hashmap_tx", "hashmap_atomic",
+]
+PARAMS = dict(init_size=2, test_size=3)
+
+
+def _run(workload, faults=(), static_prune=False, **params):
+    cls = ALL_WORKLOADS[workload]
+    instance = cls(faults=frozenset(faults), **params)
+    config = DetectorConfig(static_prune=static_prune)
+    return XFDetector(config).run(instance)
+
+
+def _bugset(report):
+    return {
+        (bug.kind.name, str(bug.reader_ip), str(bug.writer_ip),
+         bug.detail)
+        for bug in report.unique_bugs()
+    }
+
+
+class TestPruneOnCleanStructures:
+    @pytest.mark.parametrize("workload", FIVE_STRUCTURES)
+    def test_same_bugs_strictly_fewer_failure_points(self, workload):
+        baseline = _run(workload, **PARAMS)
+        pruned = _run(workload, static_prune=True, **PARAMS)
+        assert _bugset(pruned) == _bugset(baseline)
+        assert (
+            pruned.stats.failure_points
+            < baseline.stats.failure_points
+        )
+
+    @pytest.mark.parametrize("workload", FIVE_STRUCTURES)
+    def test_pruned_count_surfaces_in_telemetry(self, workload):
+        report = _run(workload, static_prune=True, **PARAMS)
+        metrics = report.telemetry.metrics
+        assert metrics.value("injector.pruned_static") > 0
+        assert metrics.value("analysis.certified_lines") > 0
+        assert metrics.value("analysis.findings") == 0
+
+
+class TestPruneOnFaultyRuns:
+    def test_statically_detectable_fault_disables_pruning(self):
+        # A workload the analyzer already flags must not be pruned at
+        # all: flagged code can leave data unpersisted arbitrarily
+        # early, so every later window is vulnerable.
+        baseline = _run("hashmap_tx",
+                        faults=["unpersisted_create_seed"], **PARAMS)
+        pruned = _run("hashmap_tx", faults=["unpersisted_create_seed"],
+                      static_prune=True, **PARAMS)
+        assert _bugset(pruned) == _bugset(baseline)
+        assert (
+            pruned.stats.failure_points
+            == baseline.stats.failure_points
+        )
+        metrics = pruned.telemetry.metrics
+        assert metrics.value("injector.pruned_static") == 0
+
+    def test_dynamic_only_fault_in_tx_code_keeps_its_bugs(self):
+        from repro.bugsuite.registry import bug_entries
+
+        (bug,) = [
+            entry for entry in bug_entries(workload="hashmap_tx")
+            if entry.flag == "skip_add_prev_next"
+        ]
+        baseline = _run("hashmap_tx", faults=[bug.flag], **bug.params)
+        pruned = _run("hashmap_tx", faults=[bug.flag],
+                      static_prune=True, **bug.params)
+        assert _bugset(baseline)  # the fault does produce bugs
+        assert _bugset(pruned) == _bugset(baseline)
+        assert (
+            pruned.stats.failure_points
+            < baseline.stats.failure_points
+        )
+
+
+class TestPruneConfigPlumbing:
+    def test_prune_off_by_default(self):
+        report = _run("linkedlist", init_size=1, test_size=1)
+        metrics = report.telemetry.metrics
+        assert metrics.value("injector.pruned_static") == 0
+        assert metrics.value("analysis.certified_lines") == 0
+
+    def test_forced_failure_points_are_never_pruned(self):
+        from repro.analysis.pruning import PrunePlan
+        from repro.core.injector import FailureInjector
+
+        class _Memory:
+            detection_complete = False
+            roi_active = True
+            skip_failure_depth = 0
+
+            def __init__(self):
+                self.recorder = []
+
+            def emit_marker(self, kind, info=""):
+                pass
+
+            def snapshot_images(self):
+                return []
+
+        config = DetectorConfig()
+        plan = PrunePlan([])  # certifies nothing... and yet:
+        injector = FailureInjector(config, prune_plan=plan)
+        memory = _Memory()
+        injector.before_ordering_point(memory, "forced", force=True)
+        injector.before_ordering_point(memory, "forced", force=True)
+        assert len(injector.failure_points) == 2
+        assert injector.pruned_static == 0
