@@ -9,8 +9,17 @@ increases."
 Reproduced shape: failure points grow linearly with transactions, and
 execution time grows linearly with failure points (O(F*P),
 Section 5.4).
+
+The O(F·P) post-failure work is also what ``repro.exec`` parallelizes,
+so this module additionally sweeps the detection at the largest
+transaction count over ``--jobs`` ∈ {1, 2, 4, 8}: the jobs table shows
+the speedup, and the reports are asserted bit-identical at every
+width.  The speedup floor is only asserted on machines with ≥ 4 cores
+(a single-core runner can't speed anything up; determinism is asserted
+everywhere).
 """
 
+import os
 import time
 
 import pytest
@@ -21,9 +30,12 @@ from benchmarks._common import (
     table_records,
     write_result,
 )
+from repro.core import DetectorConfig
+from repro.exec import ProcessExecutor
 from repro.workloads import MICROBENCHMARKS
 
 TX_COUNTS = [1, 5, 10, 20, 30]
+JOBS_SWEEP = [1, 2, 4, 8]
 
 _series = {}
 
@@ -55,6 +67,91 @@ def test_fig13_scaling(benchmark, name):
     assert max(per_fp) / min(per_fp) < 6.0, (
         f"{name}: time per failure point not roughly constant: {per_fp}"
     )
+
+
+def _strip_timings(report):
+    data = report.to_dict(unique=False)
+    data["stats"] = {
+        key: value for key, value in data["stats"].items()
+        if not key.endswith("seconds")
+    }
+    return data
+
+
+def test_fig13_jobs_sweep(benchmark):
+    """Parallel post-failure execution at the Figure-13 peak.
+
+    Runs hashmap_tx at the largest transaction count under every pool
+    width, asserting the reports are bit-identical and recording the
+    speedup table.  The >=1.8x floor only applies when the machine has
+    the cores to deliver it.
+    """
+    workload_cls = MICROBENCHMARKS["hashmap_tx"]
+    tx_count = TX_COUNTS[-1]
+    executor = "process" if ProcessExecutor.available() else "thread"
+    rows = []
+    reference = None
+    serial_time = None
+    speedups = {}
+    for jobs in JOBS_SWEEP:
+        config = DetectorConfig(jobs=jobs, executor=executor)
+        started = time.perf_counter()
+        report = run_detection(workload_cls(test_size=tx_count), config)
+        elapsed = time.perf_counter() - started
+        snapshot = _strip_timings(report)
+        if reference is None:
+            reference = snapshot
+            serial_time = elapsed
+            metrics = report.telemetry.metrics
+            recorded = metrics.value("snapshot_bytes_recorded")
+            saved = metrics.value("snapshot_bytes_saved")
+            assert recorded > 0
+            ratio = (recorded + saved) / recorded
+            assert ratio >= 5.0, (
+                f"delta snapshots saved only {ratio:.1f}x on "
+                f"hashmap_tx test_size={tx_count}"
+            )
+        else:
+            assert snapshot == reference, (
+                f"report differs at jobs={jobs} ({executor})"
+            )
+        speedups[jobs] = serial_time / elapsed
+        rows.append([
+            "hashmap_tx", tx_count, jobs, executor,
+            f"{elapsed:.3f}", f"{speedups[jobs]:.2f}",
+        ])
+
+    benchmark.pedantic(
+        lambda: run_detection(
+            workload_cls(test_size=tx_count),
+            DetectorConfig(jobs=4, executor=executor),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    headers = ["workload", "transactions", "jobs", "executor",
+               "time_s", "speedup"]
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 13 addendum — post-failure execution time vs. "
+            "--jobs (reports bit-identical at every width)"
+        ),
+    )
+    text += (
+        f"\ncpu_count={os.cpu_count()}; speedup floor asserted only "
+        "with >=4 cores\n"
+    )
+    write_result(
+        "fig13_jobs_sweep", text,
+        records=table_records("fig13_jobs_sweep", headers, rows),
+    )
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedups[4] >= 1.8, (
+            f"jobs=4 speedup {speedups[4]:.2f}x below the 1.8x floor"
+        )
 
 
 def test_fig13_emit_table(benchmark):

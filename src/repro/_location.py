@@ -45,6 +45,22 @@ class SourceLocation:
     def __str__(self):
         return f"{self.basename}:{self.lineno} ({self.function})"
 
+    def __reduce__(self):
+        # Unpickle through the interning factory: code compares against
+        # UNKNOWN_LOCATION by identity (e.g. Bug.__str__), and locations
+        # that cross a process boundary must keep that working.
+        return (_make_location, (self.filename, self.lineno, self.function))
+
+
+def _make_location(filename, lineno, function):
+    if (
+        filename == UNKNOWN_LOCATION.filename
+        and lineno == UNKNOWN_LOCATION.lineno
+        and function == UNKNOWN_LOCATION.function
+    ):
+        return UNKNOWN_LOCATION
+    return SourceLocation(filename, lineno, function)
+
 
 #: Placeholder used when location capture is disabled or no frame outside
 #: the runtime exists (e.g. operations issued by the engine itself).

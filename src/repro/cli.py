@@ -109,6 +109,14 @@ def _build_parser():
                      help="statically analyze the workload first and "
                           "skip failure points whose interval is "
                           "certified persistence-complete")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="fan post-failure executions and replays "
+                          "out over N workers (default: XFD_JOBS or "
+                          "1; reports are identical at any width)")
+    run.add_argument("--executor", default=None,
+                     choices=("auto", "serial", "thread", "process"),
+                     help="worker-pool kind for --jobs (default: "
+                          "XFD_EXECUTOR or auto)")
     run.add_argument("--json", action="store_true",
                      help="print the report as JSON")
     _add_telemetry_args(run)
@@ -223,6 +231,11 @@ def _write_run_ndjson(path, report):
 def _cmd_run(args):
     name = _resolve_workload_name(args)
     workload = _make_workload(name, args)
+    overrides = {}
+    if args.jobs is not None:
+        overrides["jobs"] = max(1, args.jobs)
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     config = DetectorConfig(
         crash_image_mode=(
             CrashImageMode.PERSISTED_ONLY if args.strict_image
@@ -233,6 +246,7 @@ def _cmd_run(args):
         crash_state_variants=args.crash_states,
         static_prune=args.static_prune,
         audit=args.audit,
+        **overrides,
     )
     report = XFDetector(config).run(workload)
     telemetry = report.telemetry

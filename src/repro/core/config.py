@@ -2,10 +2,33 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.pm.cacheline import PlatformMode
 from repro.pm.image import CrashImageMode
+
+
+def _default_jobs():
+    """Worker-pool width: the ``XFD_JOBS`` env var, default 1 (serial).
+
+    Invalid or non-positive values degrade to 1 rather than erroring —
+    the env var is a CI/ops knob, not an API.
+    """
+    raw = os.environ.get("XFD_JOBS", "").strip()
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+def _default_executor():
+    """Executor kind: the ``XFD_EXECUTOR`` env var, default ``auto``."""
+    raw = os.environ.get("XFD_EXECUTOR", "").strip().lower()
+    if raw in ("serial", "thread", "process", "auto"):
+        return raw
+    return "auto"
 
 
 @dataclass
@@ -73,6 +96,18 @@ class DetectorConfig:
 
     #: Stop after the first cross-failure bug (useful interactively).
     fail_fast: bool = False
+
+    #: Worker-pool width for the post-failure execution and replay
+    #: phases (``repro.exec``).  1 (the default) runs the serial
+    #: reference schedule; reports are byte-identical at any width.
+    #: Overridable via the ``XFD_JOBS`` env var.
+    jobs: int = field(default_factory=_default_jobs)
+
+    #: Executor kind: "auto" (process when fork is available, else
+    #: thread), "serial", "thread", or "process".  Overridable via the
+    #: ``XFD_EXECUTOR`` env var.  Audit and fail-fast runs always use
+    #: the serial executor regardless of this setting.
+    executor: str = field(default_factory=_default_executor)
 
     #: Record every shadow-PM persistence/consistency FSM transition in
     #: an audit log (``repro.obs.AuditLog``) with address range,

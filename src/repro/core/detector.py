@@ -8,6 +8,12 @@ from repro.core.frontend import Frontend
 from repro.core.replay import StopAnalysis, TraceReplayer
 from repro.core.report import Bug, BugKind, DetectionReport
 from repro.core.shadow import ShadowPM
+from repro.exec.base import resolve_executor
+from repro.exec.worker import (
+    ReplayPhaseContext,
+    run_replay_task,
+    strip_config,
+)
 from repro.obs import resolve_telemetry
 from repro.trace.events import EventKind
 
@@ -25,6 +31,16 @@ class XFDetector:
     decisions, and (when ``config.audit`` is set) the shadow PM logs
     every FSM transition.  The run's telemetry is attached to the
     returned report as ``report.telemetry``.
+
+    Backend scheduling: the default path replays the pre-failure trace
+    once, capturing a shadow checkpoint at each ``FAILURE_POINT``
+    marker, and then replays every post-failure trace against a fork of
+    its checkpoint — independent tasks a ``repro.exec`` executor can
+    fan out.  Bugs are merged back in the schedule the classic
+    interleaved replay would have produced, so reports are
+    byte-identical regardless of ``config.jobs``.  Audit and fail-fast
+    runs use the interleaved replay directly (the audit log records the
+    in-process schedule; fail-fast stops mid-schedule).
     """
 
     def __init__(self, config=None):
@@ -32,20 +48,27 @@ class XFDetector:
         self.telemetry = resolve_telemetry(self.config)
 
     def run(self, workload):
-        with self.telemetry.span(
-            "run",
-            workload=getattr(workload, "name", type(workload).__name__),
-        ):
-            frontend_result = Frontend(
-                self.config, telemetry=self.telemetry
-            ).run(workload)
-            return self.analyze(frontend_result)
+        executor = resolve_executor(self.config, self.telemetry)
+        try:
+            with self.telemetry.span(
+                "run",
+                workload=getattr(
+                    workload, "name", type(workload).__name__
+                ),
+            ):
+                frontend_result = Frontend(
+                    self.config, telemetry=self.telemetry,
+                    executor=executor,
+                ).run(workload)
+                return self.analyze(frontend_result, executor=executor)
+        finally:
+            executor.close()
 
     # ------------------------------------------------------------------
     # Backend
     # ------------------------------------------------------------------
 
-    def analyze(self, frontend_result):
+    def analyze(self, frontend_result, executor=None):
         """Replay traces from a frontend run and produce the report."""
         tel = self.telemetry
         report = DetectionReport(
@@ -60,8 +83,44 @@ class XFDetector:
         stats.pre_failure_seconds = frontend_result.pre_seconds
         stats.post_failure_seconds = frontend_result.post_seconds
 
+        # Canonical replay order: by failure point, base run first,
+        # then variants — the order the frontend produces, re-imposed
+        # here so hand-built results analyze identically.
+        ordered_runs = sorted(
+            frontend_result.post_runs,
+            key=lambda run: (
+                run.failure_point.fid,
+                run.variant is not None,
+                run.variant or 0,
+            ),
+        )
+
+        if self.config.fail_fast or tel.audit is not None:
+            self._analyze_interleaved(
+                frontend_result, ordered_runs, report
+            )
+        else:
+            self._analyze_checkpointed(
+                frontend_result, ordered_runs, report, executor
+            )
+
+        tel.metrics.gauge("post_trace_events").set(
+            stats.post_trace_events
+        )
+        tel.metrics.gauge("benign_race_reads").set(stats.benign_races)
+        return report
+
+    # -- interleaved replay (audit / fail-fast) -------------------------
+
+    def _analyze_interleaved(self, frontend_result, ordered_runs,
+                             report):
+        """The classic schedule: fork and replay each post-failure
+        trace inline at its ``FAILURE_POINT`` marker during the
+        pre-failure replay."""
+        tel = self.telemetry
+        stats = report.stats
         post_by_fid = {}
-        for run in frontend_result.post_runs:
+        for run in ordered_runs:
             post_by_fid.setdefault(run.failure_point.fid, []).append(run)
 
         with tel.span("backend") as backend_span:
@@ -89,6 +148,7 @@ class XFDetector:
                 for event in frontend_result.pre_recorder:
                     if event.kind is EventKind.FAILURE_POINT:
                         for run in post_by_fid.get(int(event.info), []):
+                            stats.post_runs_analyzed += 1
                             self._analyze_failure_point(
                                 shadow, report, run
                             )
@@ -97,11 +157,9 @@ class XFDetector:
                 pass
 
         stats.backend_seconds = backend_span.duration
-        tel.metrics.gauge("post_trace_events").set(
-            stats.post_trace_events
+        tel.metrics.gauge("orphaned_post_runs").set(
+            len(ordered_runs) - stats.post_runs_analyzed
         )
-        tel.metrics.gauge("benign_race_reads").set(stats.benign_races)
-        return report
 
     def _analyze_failure_point(self, shadow, report, post_run):
         if post_run is None:
@@ -135,19 +193,135 @@ class XFDetector:
             for event in post_run.recorder:
                 replayer.process(event)
             if post_run.crash is not None:
-                tel.metrics.inc("bugs_reported_total")
-                tel.metrics.inc(
-                    "bugs_reported.post_failure_crash"
+                self._append_crash_bug(report, post_run)
+
+    # -- checkpointed replay (executor-friendly) ------------------------
+
+    def _analyze_checkpointed(self, frontend_result, ordered_runs,
+                              report, executor):
+        """Checkpoint the shadow at each marker during one pre-failure
+        replay, then replay every post-failure trace against a fork of
+        its checkpoint as an independent executor task.
+
+        Bugs are spliced back into the interleaved schedule's order
+        (pre-failure bugs found before a marker precede that failure
+        point's post-failure bugs), so the report is byte-identical to
+        the classic path and independent of the executor.
+        """
+        tel = self.telemetry
+        stats = report.stats
+
+        with tel.span("backend") as backend_span:
+            shadow = ShadowPM(
+                platform=self.config.platform,
+                transition_counter=tel.metrics.counter(
+                    "shadow_transitions_total"
+                ),
+            )
+            pre_has_roi = _has_roi(frontend_result.pre_recorder)
+            tel.metrics.inc(
+                "replays_roi_scoped" if pre_has_roi
+                else "replays_whole_trace"
+            )
+            pre_replayer = TraceReplayer(
+                shadow, self.config, "pre", report,
+                has_roi=pre_has_roi, metrics=tel.metrics,
+            )
+            checkpoints = {}
+            insert_at = {}
+            for event in frontend_result.pre_recorder:
+                if event.kind is EventKind.FAILURE_POINT:
+                    fid = int(event.info)
+                    checkpoints[fid] = shadow.copy()
+                    insert_at[fid] = len(report.bugs)
+                pre_replayer.process(event)
+            pre_bugs = list(report.bugs)
+
+            tasks = [
+                run for run in ordered_runs
+                if run.failure_point.fid in checkpoints
+            ]
+            stats.post_runs_analyzed = len(tasks)
+            tel.metrics.gauge("orphaned_post_runs").set(
+                len(ordered_runs) - len(tasks)
+            )
+            results = self._replay_tasks(tasks, checkpoints, executor)
+
+            merged = []
+            cursor = 0
+            current_fid = None
+            for run, (bugs, benign_races) in zip(tasks, results):
+                fid = run.failure_point.fid
+                if fid != current_fid:
+                    offset = insert_at[fid]
+                    merged.extend(pre_bugs[cursor:offset])
+                    cursor = offset
+                    current_fid = fid
+                merged.extend(bugs)
+                stats.benign_races += benign_races
+                if run.crash is not None:
+                    self._append_crash_bug(report, run, into=merged)
+            merged.extend(pre_bugs[cursor:])
+            report.bugs = merged
+
+        stats.backend_seconds = backend_span.duration
+
+    def _replay_tasks(self, tasks, checkpoints, executor):
+        """Run every post-failure replay task; returns one
+        ``(bugs, benign_races)`` pair per task, in task order."""
+        tel = self.telemetry
+        keys = []
+        runs_map = {}
+        for index, run in enumerate(tasks):
+            key = (run.failure_point.fid, run.variant, index)
+            keys.append(key)
+            runs_map[key] = (
+                tuple(run.recorder), _has_roi(run.recorder)
+            )
+        results = []
+        if executor is not None and executor.kind != "serial":
+            ctx = ReplayPhaseContext(
+                strip_config(self.config), checkpoints, runs_map
+            )
+            wait_timer = tel.metrics.timer("exec.queue_wait_seconds")
+            for outcome in executor.run_phase(
+                ctx, run_replay_task, keys
+            ):
+                value = outcome.value
+                attrs = {"fid": value.fid, "worker": outcome.worker}
+                if value.variant is not None:
+                    attrs["variant"] = value.variant
+                tel.spans.add_completed(
+                    "post_replay", value.seconds, **attrs
                 )
-                report.bugs.append(
-                    Bug(
-                        kind=BugKind.POST_FAILURE_CRASH,
-                        detail=str(post_run.crash),
-                        failure_point=fid,
-                        reader_ip=UNKNOWN_LOCATION,
-                        writer_ip=UNKNOWN_LOCATION,
-                    )
-                )
+                wait_timer.observe(outcome.queue_wait)
+                tel.metrics.merge(value.metrics)
+                results.append((value.bugs, value.benign_races))
+        else:
+            ctx = ReplayPhaseContext(self.config, checkpoints, runs_map)
+            for key in keys:
+                attrs = {"fid": key[0]}
+                if key[1] is not None:
+                    attrs["variant"] = key[1]
+                with tel.span("post_replay", **attrs):
+                    value = run_replay_task(ctx, key)
+                tel.metrics.merge(value.metrics)
+                results.append((value.bugs, value.benign_races))
+        return results
+
+    def _append_crash_bug(self, report, post_run, into=None):
+        """A crashed post-failure execution is itself a finding."""
+        tel = self.telemetry
+        tel.metrics.inc("bugs_reported_total")
+        tel.metrics.inc("bugs_reported.post_failure_crash")
+        bug = Bug(
+            kind=BugKind.POST_FAILURE_CRASH,
+            detail=str(post_run.crash),
+            failure_point=post_run.failure_point.fid,
+            reader_ip=UNKNOWN_LOCATION,
+            writer_ip=UNKNOWN_LOCATION,
+        )
+        (report.bugs if into is None else into).append(bug)
 
 
 def _has_roi(recorder):

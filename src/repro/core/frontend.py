@@ -3,10 +3,18 @@
 The original frontend suspends the pre-failure process at each failure
 point, copies the PM pool, and spawns a post-failure process on the
 copy (Figure 8a).  Workload execution here is deterministic, so we run
-the pre-failure stage once end-to-end while the injector snapshots the
-PM image at every failure point, then run one post-failure execution
-per failure point on its snapshot — semantically the same schedule with
-the same complexity O(F · P) (Section 5.4).
+the pre-failure stage once end-to-end while the injector records a
+delta snapshot at every failure point, then run one post-failure
+execution per failure point (plus sampled crash-state variants) on its
+materialized image — semantically the same schedule with the same
+complexity O(F · P) (Section 5.4).
+
+The post-failure executions are mutually independent, so the stage is
+*planned* first — a canonical list of ``(fid, variant, mask)`` task
+keys — and then fanned out over a ``repro.exec`` executor.  Results are
+consumed in key order, so the produced ``PostRun`` list (and therefore
+the report) is identical whether the tasks ran serially, on a thread
+pool, or on a forked process pool.
 """
 
 from __future__ import annotations
@@ -15,10 +23,11 @@ from dataclasses import dataclass, field
 
 from repro.core.injector import FailureInjector
 from repro.core.interface import DetectionComplete, XFInterface
-from repro.errors import PostFailureCrash
+from repro.errors import CrashSummary, PostFailureCrash
+from repro.exec.base import TaskOutcome, resolve_executor
+from repro.exec.worker import PostPhaseContext, run_post_task, strip_config
 from repro.obs import resolve_telemetry
 from repro.pm.memory import PersistentMemory
-from repro.pm.pool import PMPool
 from repro.trace.recorder import TraceRecorder
 
 
@@ -63,15 +72,48 @@ class FrontendResult:
     uses_roi: bool = False
 
 
+def _variant_masks(fid, total_bits, count):
+    """Sampled pmreorder-style survivor masks for one failure point.
+
+    Returns ``(masks, skipped)``: up to ``count`` distinct masks drawn
+    from a deterministic per-failure-point LCG stream, and how many of
+    the requested variants the mask space could not supply.  The
+    all-survive mask is excluded (the base run covers it), so only
+    ``2**total_bits - 1`` distinct crash states exist; when ``count``
+    exceeds that, the remainder is *skipped* rather than silently
+    under-produced by an attempt budget.
+
+    The LCG (a=1103515245, c=12345, mod 2**31) is full-period in its
+    low bits, so drawing until ``target`` masks are seen terminates
+    without an attempt cap.
+    """
+    all_ones = (1 << total_bits) - 1
+    target = min(count, all_ones)
+    state = (fid * 2654435761 + 40503) & 0xFFFFFFFF
+    masks = []
+    seen = set()
+    while len(masks) < target:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        mask = state & all_ones
+        if mask in seen or mask == all_ones:
+            continue
+        seen.add(mask)
+        masks.append(mask)
+    return masks, count - target
+
+
 class Frontend:
     """Drives the pre- and post-failure stages of one workload."""
 
-    def __init__(self, config, telemetry=None):
+    def __init__(self, config, telemetry=None, executor=None):
         self.config = config
         self.telemetry = (
             telemetry if telemetry is not None
             else resolve_telemetry(config)
         )
+        #: Optional pre-resolved ``repro.exec`` executor.  When None the
+        #: frontend resolves (and closes) one per run from the config.
+        self.executor = executor
 
     def run(self, workload):
         tel = self.telemetry
@@ -119,19 +161,9 @@ class Frontend:
             - injector.snapshot_seconds
         )
 
-        post_runs = []
-        post_seconds = injector.snapshot_seconds
-        for failure_point in injector.failure_points:
-            run = self._run_post_failure(workload, failure_point)
-            post_seconds += run.seconds
-            post_runs.append(run)
-            for variant, images in self._variant_images(failure_point):
-                extra = self._run_post_failure(
-                    workload, failure_point, images=images,
-                    variant=variant,
-                )
-                post_seconds += extra.seconds
-                post_runs.append(extra)
+        post_runs, post_seconds = self._post_stage(
+            workload, injector, uses_roi
+        )
         tel.metrics.gauge("pre_trace_events").set(len(pre_recorder))
 
         return FrontendResult(
@@ -168,101 +200,114 @@ class Frontend:
             )
         return plan
 
-    def _variant_images(self, failure_point):
-        """Sampled pmreorder-style crash states for one failure point.
+    # ------------------------------------------------------------------
+    # Post-failure stage
+    # ------------------------------------------------------------------
 
-        Yields ``(variant_index, [(name, size, base, bytes), ...])``.
-        Masks are drawn from a deterministic per-failure-point stream;
-        the all-survive state is skipped (the base run covers it).
+    def _post_plan(self, injector):
+        """The canonical task list of the post-failure stage.
+
+        One ``(fid, None, None)`` base run per failure point on the
+        configured crash-image mode, followed by its sampled crash-state
+        variants ``(fid, variant, survivor_mask)``.  Masks are computed
+        here, in the parent, so every executor runs the exact same
+        crash states.
         """
+        keys = []
         count = getattr(self.config, "crash_state_variants", 0)
-        if not count:
-            return
-        total_bits = sum(
-            len(image.volatile_lines)
-            for image in failure_point.images
-        )
-        if total_bits == 0:
-            return
-        state = (failure_point.fid * 2654435761 + 40503) & 0xFFFFFFFF
-        seen = set()
-        produced = 0
-        for _attempt in range(count * 4):
-            if produced >= count:
-                break
-            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
-            mask = state & ((1 << total_bits) - 1)
-            if mask in seen or mask == (1 << total_bits) - 1:
+        skipped_total = 0
+        for failure_point in injector.failure_points:
+            fid = failure_point.fid
+            keys.append((fid, None, None))
+            if not count:
                 continue
-            seen.add(mask)
-            pools = []
-            bit_offset = 0
-            for image in failure_point.images:
-                bits = len(image.volatile_lines)
-                sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
-                bit_offset += bits
-                pools.append((
-                    image.pool_name, image.size, image.base,
-                    image.variant_bytes(sub_mask),
-                ))
-            yield produced, pools
-            produced += 1
+            total_bits = injector.store.volatile_bits(fid)
+            if total_bits == 0:
+                continue
+            masks, skipped = _variant_masks(fid, total_bits, count)
+            skipped_total += skipped
+            for variant, mask in enumerate(masks):
+                keys.append((fid, variant, mask))
+        if skipped_total:
+            self.telemetry.metrics.inc(
+                "crash_variants_skipped", skipped_total
+            )
+        return keys
 
-    def _run_post_failure(self, workload, failure_point, images=None,
-                          variant=None):
-        """Spawn one post-failure execution on a crash-image copy.
+    def _post_stage(self, workload, injector, uses_roi):
+        """Run every planned post-failure execution on an executor.
 
-        The ``post_run`` span covers the whole spawn — runtime
-        construction, crash-image mapping, and the execution itself —
-        matching the paper's attribution of image copying to the
-        post-failure stage (Figure 8a step 3).
+        The serial executor runs tasks inline under real ``post_run``
+        spans; pool executors fan them out and the worker-measured
+        durations are attached as back-dated spans.  Either way the
+        results are consumed in plan order, so the returned ``PostRun``
+        list is schedule-independent.
         """
         tel = self.telemetry
-        attrs = {"fid": failure_point.fid}
-        if variant is not None:
-            attrs["variant"] = variant
-        crash = None
-        with tel.span("post_run", **attrs) as span:
-            recorder = TraceRecorder("post")
-            memory = PersistentMemory(
-                recorder, self.config.capture_ips,
-                platform=self.config.platform,
-            )
-            if images is None:
-                images = [
-                    (
-                        image.pool_name, image.size, image.base,
-                        image.bytes_for(self.config.crash_image_mode),
+        keys = self._post_plan(injector)
+        post_seconds = injector.snapshot_seconds
+        if not keys:
+            return [], post_seconds
+        executor = self.executor
+        owned = executor is None
+        if owned:
+            executor = resolve_executor(self.config, tel)
+        ctx = PostPhaseContext(
+            strip_config(self.config), workload, injector.store,
+            uses_roi,
+        )
+        try:
+            if executor.kind == "serial":
+                outcomes = []
+                for key in keys:
+                    attrs = {"fid": key[0]}
+                    if key[1] is not None:
+                        attrs["variant"] = key[1]
+                    with tel.span("post_run", **attrs) as span:
+                        value = run_post_task(ctx, key)
+                    value.seconds = span.duration
+                    outcomes.append(TaskOutcome(value))
+            else:
+                outcomes = executor.run_phase(ctx, run_post_task, keys)
+                wait_timer = tel.metrics.timer("exec.queue_wait_seconds")
+                for outcome in outcomes:
+                    value = outcome.value
+                    attrs = {"fid": value.fid, "worker": outcome.worker}
+                    if value.variant is not None:
+                        attrs["variant"] = value.variant
+                    tel.spans.add_completed(
+                        "post_run", value.seconds, **attrs
                     )
-                    for image in failure_point.images
-                ]
-            for name, size, base, data in images:
-                memory.map_pool(PMPool(name, size, base, data=data))
-            uses_roi = getattr(workload, "uses_roi", False)
-            memory.roi_active = not uses_roi
-            context = ExecutionContext(
-                memory=memory,
-                interface=XFInterface(memory, stage="post"),
-                stage="post",
-                options=dict(self.config.workload_options),
+                    wait_timer.observe(outcome.queue_wait)
+        finally:
+            if owned:
+                executor.close()
+
+        fps = {fp.fid: fp for fp in injector.failure_points}
+        post_runs = []
+        for outcome in outcomes:
+            value = outcome.value
+            crash = None
+            if value.crash_repr is not None:
+                # Rebuilt from the repr either way, so the message is
+                # byte-identical across in-process and forked workers.
+                crash = PostFailureCrash(
+                    value.fid, CrashSummary(value.crash_repr)
+                )
+            tel.metrics.inc("post_runs")
+            if crash is not None:
+                tel.metrics.inc("post_run_crashes")
+            tel.metrics.histogram("post_run_trace_events").observe(
+                len(value.recorder)
             )
-            try:
-                workload.post_failure(context)
-            except DetectionComplete:
-                pass
-            except Exception as exc:  # recovery crashed: a finding
-                crash = PostFailureCrash(failure_point.fid, exc)
-        seconds = span.duration
-        tel.metrics.inc("post_runs")
-        if crash is not None:
-            tel.metrics.inc("post_run_crashes")
-        tel.metrics.histogram("post_run_trace_events").observe(
-            len(recorder)
-        )
-        return PostRun(
-            failure_point=failure_point,
-            recorder=recorder,
-            crash=crash,
-            seconds=seconds,
-            variant=variant,
-        )
+            post_seconds += value.seconds
+            post_runs.append(
+                PostRun(
+                    failure_point=fps[value.fid],
+                    recorder=value.recorder,
+                    crash=crash,
+                    seconds=value.seconds,
+                    variant=value.variant,
+                )
+            )
+        return post_runs, post_seconds

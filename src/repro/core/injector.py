@@ -18,25 +18,46 @@ Injection respects the annotation state on the runtime:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
+from repro.pm.snapshot import SnapshotStore
 from repro.trace.events import EventKind
 
 
-@dataclass
 class FailurePoint:
-    """One injected failure: where, and what PM looked like."""
+    """One injected failure: where, and what PM looked like.
 
-    fid: int
-    reason: str
-    trace_index: int  # pre-trace length right after the marker
-    images: list = field(default_factory=list)
+    Crash images are no longer stored inline: the injector records a
+    delta snapshot into a shared :class:`SnapshotStore` and ``images``
+    materializes the full images on demand, so F failure points cost
+    O(dirty lines) resident memory instead of O(F · pool size).
+    """
+
+    __slots__ = ("fid", "reason", "trace_index", "store")
+
+    def __init__(self, fid, reason, trace_index, store):
+        self.fid = fid
+        self.reason = reason
+        #: Pre-trace length right after the marker.
+        self.trace_index = trace_index
+        self.store = store
+
+    @property
+    def images(self):
+        """The full crash images, materialized from the delta store."""
+        return self.store.materialize(self.fid)
+
+    def __repr__(self):
+        return (
+            f"FailurePoint(fid={self.fid}, reason={self.reason!r}, "
+            f"trace_index={self.trace_index})"
+        )
 
 
 class FailureInjector:
     """Ordering-point listener + trace observer for the pre-failure run."""
 
-    def __init__(self, config, telemetry=None, prune_plan=None):
+    def __init__(self, config, telemetry=None, prune_plan=None,
+                 snapshot_store=None):
         self.config = config
         #: Optional ``repro.obs.Telemetry``: counts injected failure
         #: points and times pool snapshots.
@@ -47,6 +68,12 @@ class FailureInjector:
         self.prune_plan = prune_plan
         #: How many ordering points static pruning skipped.
         self.pruned_static = 0
+        #: Delta snapshot store shared by every failure point of this
+        #: run (workers materialize crash images from it on demand).
+        self.store = (
+            snapshot_store if snapshot_store is not None
+            else SnapshotStore()
+        )
         self.failure_points = []
         #: Seconds spent copying PM images.  Copying the image is part
         #: of spawning the post-failure execution (Figure 8a step 3),
@@ -108,20 +135,30 @@ class FailureInjector:
         fid = len(self.failure_points)
         memory.emit_marker(EventKind.FAILURE_POINT, info=str(fid))
         started = time.perf_counter()
-        images = memory.snapshot_images()
+        if hasattr(memory, "snapshot_delta"):
+            memory.snapshot_delta(self.store)
+        else:
+            # Memories without delta support (e.g. test fakes) fall
+            # back to recording their full images.
+            self.store.capture_full(memory.snapshot_images())
         elapsed = time.perf_counter() - started
         self.snapshot_seconds += elapsed
         if self.telemetry is not None:
-            self.telemetry.metrics.inc("failure_points_injected")
-            self.telemetry.metrics.timer("snapshot_seconds").observe(
-                elapsed
+            metrics = self.telemetry.metrics
+            metrics.inc("failure_points_injected")
+            metrics.timer("snapshot_seconds").observe(elapsed)
+            metrics.gauge("snapshot_bytes_recorded").set(
+                self.store.recorded_bytes
+            )
+            metrics.gauge("snapshot_bytes_saved").set(
+                self.store.bytes_saved
             )
         self.failure_points.append(
             FailurePoint(
                 fid=fid,
                 reason=reason,
                 trace_index=len(memory.recorder),
-                images=images,
+                store=self.store,
             )
         )
         self._ops_pending = False

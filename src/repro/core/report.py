@@ -71,6 +71,11 @@ class DetectionStats:
     failure_points: int = 0
     pre_trace_events: int = 0
     post_trace_events: int = 0
+    #: Post-failure runs the backend actually replayed.  Can be lower
+    #: than the number of runs when ``fail_fast`` stopped the analysis
+    #: early (``post_trace_events`` still counts every produced run —
+    #: the orphan count surfaces as the ``orphaned_post_runs`` metric).
+    post_runs_analyzed: int = 0
     benign_races: int = 0
     pre_failure_seconds: float = 0.0
     post_failure_seconds: float = 0.0
@@ -189,6 +194,7 @@ class DetectionReport:
                 "failure_points": self.stats.failure_points,
                 "pre_trace_events": self.stats.pre_trace_events,
                 "post_trace_events": self.stats.post_trace_events,
+                "post_runs_analyzed": self.stats.post_runs_analyzed,
                 "benign_races": self.stats.benign_races,
                 "pre_failure_seconds": self.stats.pre_failure_seconds,
                 "post_failure_seconds":

@@ -149,6 +149,23 @@ class ShadowPM:
         dup._stores_since_fence = self._stores_since_fence
         return dup
 
+    def fork_for_replay(self, transition_counter=None):
+        """A fork for a detached post-failure replay (executor task).
+
+        Unlike :meth:`copy`, the fork carries no audit hook (parallel
+        replays do not share the in-process audit log — audit mode
+        forces the serial interleaved schedule) and counts transitions
+        into its own counter so parallel replays never contend on, or
+        non-deterministically interleave into, the parent's counter.
+        """
+        dup = self.copy()
+        dup.audit = None
+        dup.transitions = (
+            transition_counter if transition_counter is not None
+            else Counter("shadow_transitions_total")
+        )
+        return dup
+
     # ------------------------------------------------------------------
     # Audit hook (only ever invoked with ``self.audit`` set)
     # ------------------------------------------------------------------

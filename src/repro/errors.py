@@ -85,6 +85,29 @@ class FailureInjected(ReproError):
         super().__init__(f"injected failure point #{failure_point_id}")
 
 
+class CrashSummary:
+    """Repr-preserving carrier for a crash that crossed a process
+    boundary.
+
+    Worker processes ship a crashed post-failure execution home as
+    ``repr(exc)`` (exception instances do not pickle reliably);
+    rebuilding ``PostFailureCrash(fid, CrashSummary(text))`` then
+    produces a message byte-identical to the in-process one, keeping
+    reports independent of the executor.
+    """
+
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        self.text = text
+
+    def __repr__(self):
+        return self.text
+
+    def __str__(self):
+        return self.text
+
+
 class PostFailureCrash(ReproError):
     """The post-failure stage itself crashed (e.g. segfault analogue such
     as dereferencing a null persistent pointer).

@@ -1,0 +1,32 @@
+"""Parallel failure-point engine.
+
+The detection pipeline's cost is dominated by the O(F · P)
+post-failure work (paper Section 5.4, Figure 13): one post-failure
+execution and one post-failure replay per failure point, all mutually
+independent.  This package fans both phases out across a pluggable
+worker pool:
+
+* :class:`~repro.exec.base.SerialExecutor` — in-process, the default
+  and the reference schedule (``jobs=1``, audit, or ``fail_fast``);
+* :class:`~repro.exec.pool.ThreadExecutor` — a thread pool; no
+  CPU-bound speedup under the GIL but exercises the parallel result
+  plumbing everywhere;
+* :class:`~repro.exec.pool.ProcessExecutor` — a fork-based process
+  pool; phase contexts travel to children by fork inheritance (never
+  pickled), task keys and results cross via pickle.
+
+Task keys are issued in canonical ``(fid, variant)`` order and results
+are consumed in submission order, so reports and metrics are identical
+regardless of scheduling — the executors differ only in wall-clock.
+"""
+
+from repro.exec.base import SerialExecutor, TaskOutcome, resolve_executor
+from repro.exec.pool import ProcessExecutor, ThreadExecutor
+
+__all__ = [
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskOutcome",
+    "ThreadExecutor",
+    "resolve_executor",
+]

@@ -1,0 +1,76 @@
+"""Executor protocol, the serial reference executor, and resolution.
+
+An executor runs one *phase*: a batch of independent tasks, each
+``func(context, key)``, sharing one read-only context.  ``run_phase``
+returns one :class:`TaskOutcome` per key, **in key order** — that
+ordering is what makes the pipeline's reports byte-identical across
+executors.
+"""
+
+from __future__ import annotations
+
+EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+class TaskOutcome:
+    """One task's result plus scheduling telemetry."""
+
+    __slots__ = ("value", "queue_wait", "worker")
+
+    def __init__(self, value, queue_wait=0.0, worker="main"):
+        self.value = value
+        #: Seconds between submission and a worker picking the task up.
+        self.queue_wait = queue_wait
+        #: Label of the worker that ran the task (thread name / pid).
+        self.worker = worker
+
+
+class SerialExecutor:
+    """Runs every task inline, in order — the reference schedule."""
+
+    kind = "serial"
+    jobs = 1
+
+    def run_phase(self, context, func, keys):
+        return [TaskOutcome(func(context, key)) for key in keys]
+
+    def close(self):
+        pass
+
+
+def resolve_executor(config, telemetry=None):
+    """The executor for one detection run, from ``config.jobs`` /
+    ``config.executor``.
+
+    Serial is forced when ``jobs <= 1`` and for two configurations
+    whose semantics are inherently sequential: ``audit`` (the audit
+    log and span tree record the in-process schedule) and
+    ``fail_fast`` (the backend stops mid-schedule at the first
+    cross-failure bug).  ``auto`` prefers processes (real CPU
+    parallelism) when fork is available, threads otherwise.
+    """
+    from repro.exec.pool import ProcessExecutor, ThreadExecutor
+
+    jobs = int(getattr(config, "jobs", 1) or 1)
+    kind = getattr(config, "executor", "auto") or "auto"
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {kind!r} (choose from "
+            f"{', '.join(EXECUTOR_KINDS)})"
+        )
+    if (
+        kind == "serial"
+        or jobs <= 1
+        or getattr(config, "audit", False)
+        or getattr(config, "fail_fast", False)
+    ):
+        return SerialExecutor()
+    if kind == "auto":
+        kind = "process" if ProcessExecutor.available() else "thread"
+    if kind == "process" and not ProcessExecutor.available():
+        if telemetry is not None:
+            telemetry.metrics.inc("exec.fallback_to_thread")
+        kind = "thread"
+    if kind == "process":
+        return ProcessExecutor(jobs)
+    return ThreadExecutor(jobs)

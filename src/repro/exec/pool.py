@@ -1,0 +1,111 @@
+"""Thread- and process-pool executors.
+
+Both executors submit tasks in key order and collect results in the
+same order, so downstream merging is deterministic.  Queue-wait is
+measured with ``time.monotonic`` (system-wide on Linux, so it is
+comparable across a fork) and surfaced per task through
+:class:`~repro.exec.base.TaskOutcome`.
+
+The process executor uses the ``fork`` start method: the phase context
+(workload, config, snapshot store, shadow checkpoints) is published as
+a module global in :mod:`repro.exec.worker` immediately before the
+pool forks, so children inherit it through copy-on-write memory and
+nothing but the small task keys and the results ever crosses a pickle
+boundary.  A fresh pool is created per phase — the fork must happen
+after the phase's context is published.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import threading
+import time
+
+from repro.exec.base import TaskOutcome
+
+
+def _thread_call(func, context, key, submitted):
+    started = time.monotonic()
+    value = func(context, key)
+    return TaskOutcome(
+        value, started - submitted, threading.current_thread().name
+    )
+
+
+class ThreadExecutor:
+    """A thread pool: no GIL-bound speedup, but exercises the parallel
+    result plumbing and overlaps any releases of the GIL."""
+
+    kind = "thread"
+
+    def __init__(self, jobs):
+        self.jobs = max(2, int(jobs))
+
+    def run_phase(self, context, func, keys):
+        keys = list(keys)
+        if not keys:
+            return []
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.jobs, len(keys)),
+            thread_name_prefix="xfd-worker",
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _thread_call, func, context, key, time.monotonic()
+                )
+                for key in keys
+            ]
+            return [future.result() for future in futures]
+
+    def close(self):
+        pass
+
+
+def _process_call(func, key, submitted):
+    from repro.exec import worker
+
+    started = time.monotonic()
+    value = func(worker.get_context(), key)
+    return TaskOutcome(
+        value, started - submitted, f"pid-{os.getpid()}"
+    )
+
+
+class ProcessExecutor:
+    """A fork-based process pool: real CPU parallelism."""
+
+    kind = "process"
+
+    def __init__(self, jobs):
+        self.jobs = max(2, int(jobs))
+
+    @staticmethod
+    def available():
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def run_phase(self, context, func, keys):
+        from repro.exec import worker
+
+        keys = list(keys)
+        if not keys:
+            return []
+        worker.set_context(context)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(keys)),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _process_call, func, key, time.monotonic()
+                    )
+                    for key in keys
+                ]
+                return [future.result() for future in futures]
+        finally:
+            worker.set_context(None)
+
+    def close(self):
+        pass

@@ -1,0 +1,207 @@
+"""Task bodies and phase contexts for the failure-point engine.
+
+A *phase context* bundles everything every task of one phase reads and
+nothing it writes: the (telemetry-stripped) config, the workload, the
+delta snapshot store, shadow checkpoints.  With the thread executor it
+is shared by reference; with the process executor it travels into the
+children by fork inheritance through :func:`set_context` — it is never
+pickled.  Task keys and outcomes are the only values that cross the
+pickle boundary, and outcomes are built from plain data (trace
+recorders, repr strings, bug records, a local metrics registry) so the
+parent can merge them deterministically in key order.
+
+The task bodies import :mod:`repro.core.frontend` lazily: the frontend
+itself imports this package, and the cycle resolves only at call time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+#: The current phase context for forked process workers.  Published by
+#: ``ProcessExecutor.run_phase`` immediately before the pool forks, so
+#: children inherit it through copy-on-write memory.
+_CONTEXT = None
+
+
+def set_context(context):
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def get_context():
+    if _CONTEXT is None:
+        raise RuntimeError(
+            "no phase context published; run_phase must set_context() "
+            "before forking workers"
+        )
+    return _CONTEXT
+
+
+def strip_config(config):
+    """A copy of ``config`` without the telemetry sink: workers record
+    into task-local registries that the parent merges, never into the
+    run's own telemetry."""
+    if getattr(config, "telemetry", None) is None:
+        return config
+    return dataclasses.replace(config, telemetry=None)
+
+
+# ----------------------------------------------------------------------
+# Post-failure execution phase
+# ----------------------------------------------------------------------
+
+
+class PostPhaseContext:
+    """Read-only inputs of the post-failure execution phase."""
+
+    __slots__ = ("config", "workload", "store", "uses_roi")
+
+    def __init__(self, config, workload, store, uses_roi):
+        self.config = config
+        self.workload = workload
+        #: The pre-failure run's ``SnapshotStore``; workers materialize
+        #: crash images from it on demand.
+        self.store = store
+        self.uses_roi = uses_roi
+
+
+class PostTaskOutcome:
+    """One post-failure execution's result, in picklable form.
+
+    The crash (if any) travels as ``repr(exc)`` — exception instances
+    do not pickle reliably and the report only needs the message; the
+    parent rebuilds a ``PostFailureCrash`` whose text is byte-identical
+    to the serial executor's.  ``seconds`` is writable: the serial path
+    overrides it with the enclosing ``post_run`` span's duration.
+    """
+
+    __slots__ = ("fid", "variant", "recorder", "crash_repr", "seconds")
+
+    def __init__(self, fid, variant, recorder, crash_repr, seconds):
+        self.fid = fid
+        self.variant = variant
+        self.recorder = recorder
+        self.crash_repr = crash_repr
+        self.seconds = seconds
+
+
+def run_post_task(ctx, key):
+    """Run one post-failure execution on a materialized crash image.
+
+    ``key`` is ``(fid, variant, survivor_mask)``; a None mask means the
+    base run on the configured crash-image mode.
+    """
+    from repro.core.frontend import ExecutionContext
+    from repro.core.interface import DetectionComplete, XFInterface
+    from repro.pm.memory import PersistentMemory
+    from repro.pm.pool import PMPool
+    from repro.trace.recorder import TraceRecorder
+
+    fid, variant, mask = key
+    config = ctx.config
+    started = time.perf_counter()
+    recorder = TraceRecorder("post")
+    memory = PersistentMemory(
+        recorder, config.capture_ips, platform=config.platform
+    )
+    images = ctx.store.materialize(fid)
+    bit_offset = 0
+    for image in images:
+        if mask is None:
+            data = image.bytes_for(config.crash_image_mode)
+        else:
+            bits = len(image.volatile_lines)
+            sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
+            bit_offset += bits
+            data = image.variant_bytes(sub_mask)
+        memory.map_pool(
+            PMPool(image.pool_name, image.size, image.base, data=data)
+        )
+    memory.roi_active = not ctx.uses_roi
+    context = ExecutionContext(
+        memory=memory,
+        interface=XFInterface(memory, stage="post"),
+        stage="post",
+        options=dict(config.workload_options),
+    )
+    crash_repr = None
+    try:
+        ctx.workload.post_failure(context)
+    except DetectionComplete:
+        pass
+    except Exception as exc:  # recovery crashed: a finding
+        crash_repr = repr(exc)
+    return PostTaskOutcome(
+        fid, variant, recorder, crash_repr,
+        time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Post-failure replay phase
+# ----------------------------------------------------------------------
+
+
+class ReplayPhaseContext:
+    """Read-only inputs of the checkpointed post-replay phase."""
+
+    __slots__ = ("config", "checkpoints", "runs")
+
+    def __init__(self, config, checkpoints, runs):
+        self.config = config
+        #: fid -> ShadowPM checkpoint captured at that FAILURE_POINT
+        #: marker during the single pre-failure replay.
+        self.checkpoints = checkpoints
+        #: (fid, variant, index) -> (post-trace events, has_roi flag).
+        #: ``index`` is the task's position in the canonical run order,
+        #: so keys stay unique even for hand-built duplicate runs.
+        self.runs = runs
+
+
+class ReplayTaskOutcome:
+    """One post-failure replay's findings, in picklable form."""
+
+    __slots__ = ("fid", "variant", "bugs", "benign_races", "metrics",
+                 "seconds")
+
+    def __init__(self, fid, variant, bugs, benign_races, metrics,
+                 seconds):
+        self.fid = fid
+        self.variant = variant
+        self.bugs = bugs
+        self.benign_races = benign_races
+        #: Task-local ``MetricsRegistry``; the parent merges it so the
+        #: run's counters are identical to the serial schedule's.
+        self.metrics = metrics
+        self.seconds = seconds
+
+
+def run_replay_task(ctx, key):
+    """Replay one post-failure trace against a forked shadow checkpoint."""
+    from repro.core.replay import TraceReplayer
+    from repro.core.report import DetectionReport
+    from repro.obs.metrics import MetricsRegistry
+
+    fid, variant, _index = key
+    events, has_roi = ctx.runs[key]
+    started = time.perf_counter()
+    metrics = MetricsRegistry()
+    fork = ctx.checkpoints[fid].fork_for_replay(
+        metrics.counter("shadow_transitions_total")
+    )
+    metrics.inc(
+        "replays_roi_scoped" if has_roi else "replays_whole_trace"
+    )
+    shell = DetectionReport()
+    replayer = TraceReplayer(
+        fork, ctx.config, "post", shell,
+        failure_point=fid, has_roi=has_roi, metrics=metrics,
+    )
+    for event in events:
+        replayer.process(event)
+    return ReplayTaskOutcome(
+        fid, variant, shell.bugs, shell.stats.benign_races, metrics,
+        time.perf_counter() - started,
+    )

@@ -206,6 +206,38 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         return metric.value if metric is not None else default
 
+    def merge(self, other):
+        """Fold another registry's metrics into this one.
+
+        Counters/timers/histograms add; gauges take the other's last
+        value.  Used to merge executor workers' task-local registries
+        into the run's registry — merging task registries in canonical
+        task order yields the same totals as the serial schedule.
+        """
+        for name in other.names():
+            metric = other.get(name)
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).set(metric.value)
+            elif isinstance(metric, Timer):
+                mine = self.timer(name)
+                mine.count += metric.count
+                mine.total += metric.total
+                if metric.count:
+                    mine.min = min(mine.min, metric.min)
+                    mine.max = max(mine.max, metric.max)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(name, metric.buckets)
+                if mine.buckets != metric.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch"
+                    )
+                mine.count += metric.count
+                mine.total += metric.total
+                for index, count in enumerate(metric.counts):
+                    mine.counts[index] += count
+
     def names(self):
         return sorted(self._metrics)
 

@@ -85,6 +85,25 @@ class SpanRecorder:
             span.ended = self._clock()
             self._stack.pop()
 
+    def add_completed(self, name, seconds, **attrs):
+        """Record an already-measured region as a closed span.
+
+        Used for work that ran off-thread (executor tasks): the worker
+        measures its own duration and the parent attaches the result
+        under the currently open span.  The span is back-dated so its
+        duration is ``seconds``; siblings recorded this way overlap in
+        wall-clock, which is exactly what parallel execution looks like
+        in a profile.
+        """
+        span = Span(name, attrs)
+        span.ended = self._clock()
+        span.started = span.ended - max(0.0, seconds)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
     # -- queries ----------------------------------------------------------
 
     def walk(self):

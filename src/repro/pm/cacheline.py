@@ -102,6 +102,11 @@ class CacheModel:
         # eADR: stores since the last fence (a fence ordering at least
         # one store is an ordering point there).
         self._stores_since_fence = False
+        # Lines whose crash-image contents (program view, media, or
+        # state) may have changed since the last drain.  The delta
+        # snapshot store drains this at each failure point so snapshots
+        # record O(dirty) lines instead of O(pool).
+        self._touched = set()
 
     # ------------------------------------------------------------------
     # Queries
@@ -123,6 +128,18 @@ class CacheModel:
     def has_pending_writebacks(self):
         return bool(self._pending)
 
+    def drain_touched(self):
+        """Lines dirtied since the previous drain (and forget them).
+
+        A line is *touched* whenever its program-view bytes, persisted
+        media, or FSM state changed — i.e. whenever a crash image taken
+        now could differ from one taken at the previous drain for that
+        line.  Consumed by :class:`repro.pm.snapshot.SnapshotStore`.
+        """
+        touched = self._touched
+        self._touched = set()
+        return touched
+
     def is_ordering_fence(self):
         """Would a fence issued now be an ordering point?  On ADR: yes
         iff a writeback is pending.  On eADR: yes iff it orders at
@@ -143,9 +160,11 @@ class CacheModel:
             for line in AddressRange(address, size).lines():
                 self._media[line] = bytes(self._read_line(line))
                 self._states[line] = LineState.PERSISTED
+                self._touched.add(line)
             return
         for line in AddressRange(address, size).lines():
             self._states[line] = LineState.MODIFIED
+            self._touched.add(line)
 
     def nt_store(self, address, size):
         """A non-temporal store: bypasses the cache into the write-
@@ -157,6 +176,7 @@ class CacheModel:
         for line in AddressRange(address, size).lines():
             self._states[line] = LineState.WRITEBACK_PENDING
             self._pending.add(line)
+            self._touched.add(line)
 
     def flush(self, address, kind=FlushKind.CLWB):
         """A writeback instruction on the line containing ``address``.
@@ -174,10 +194,12 @@ class CacheModel:
                 self._media[line] = bytes(self._read_line(line))
                 self._states[line] = LineState.PERSISTED
                 self._pending.discard(line)
+                self._touched.add(line)
             return useful
         if state is LineState.MODIFIED:
             self._states[line] = LineState.WRITEBACK_PENDING
             self._pending.add(line)
+            self._touched.add(line)
             return True
         # UNMODIFIED, WRITEBACK_PENDING or PERSISTED: redundant flush.
         return False
@@ -196,6 +218,7 @@ class CacheModel:
                 self._media[line] = bytes(self._read_line(line))
                 self._states[line] = LineState.PERSISTED
                 completed.append(line)
+                self._touched.add(line)
         self._pending.clear()
         return completed
 
@@ -212,10 +235,16 @@ class CacheModel:
 
     def restore(self, snap):
         states, media, pending, stores_since_fence = snap
+        # Anything tracked before or after the restore may now differ
+        # from the last drained delta — mark it all touched.
+        self._touched.update(self._states)
+        self._touched.update(self._media)
         self._states = dict(states)
         self._media = dict(media)
         self._pending = set(pending)
         self._stores_since_fence = stores_since_fence
+        self._touched.update(self._states)
+        self._touched.update(self._media)
 
     def persisted_only_overlay(self, base, size, current):
         """Build the strict crash contents for ``[base, base+size)``.

@@ -85,16 +85,24 @@ class PMImage:
         return 1 << len(self.volatile_lines)
 
 
-def capture_image(pool, cache):
-    """Snapshot ``pool`` under cache model ``cache`` into a PMImage."""
+def volatile_lines_for(pool, cache):
+    """Offsets (from ``pool.base``) of lines whose contents were not
+    guaranteed persistent under ``cache`` — the enumerable crash bits."""
     from repro.pm.cacheline import LineState
 
-    current = pool.raw_bytes()
-    strict = cache.persisted_only_overlay(pool.base, pool.size, current)
-    volatile_lines = tuple(sorted(
+    return tuple(sorted(
         line - pool.base
         for line, state in cache.line_states().items()
         if state in (LineState.MODIFIED, LineState.WRITEBACK_PENDING)
         and pool.base <= line < pool.end
     ))
-    return PMImage(pool.name, pool.base, current, strict, volatile_lines)
+
+
+def capture_image(pool, cache):
+    """Snapshot ``pool`` under cache model ``cache`` into a PMImage."""
+    current = pool.raw_bytes()
+    strict = cache.persisted_only_overlay(pool.base, pool.size, current)
+    return PMImage(
+        pool.name, pool.base, current, strict,
+        volatile_lines_for(pool, cache),
+    )

@@ -315,6 +315,15 @@ class PersistentMemory:
         """Capture a crash image of every mapped pool."""
         return [capture_image(pool, self._cache) for pool in self._pools]
 
+    def snapshot_delta(self, store):
+        """Record this runtime's crash-image state into a
+        :class:`~repro.pm.snapshot.SnapshotStore` as a delta of the
+        lines dirtied since the store's previous capture.  Full images
+        are rebuilt on demand via ``store.materialize``; returns the
+        new snapshot id."""
+        with self._lock:
+            return store.capture(self)
+
     def is_persisted(self, address, size=1):
         """True if every line covering the range is in PERSISTED state
         (or UNMODIFIED, i.e. nothing volatile outstanding)."""

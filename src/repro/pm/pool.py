@@ -63,6 +63,15 @@ class PMPool:
         """The whole program-view image as bytes."""
         return bytes(self._data)
 
+    def line_bytes(self, line_base, line_size=None):
+        """The program-view bytes of one cache line, clipped to the pool
+        end (the last line of an unaligned pool is short)."""
+        from repro.pm.constants import CACHE_LINE_SIZE
+
+        size = line_size if line_size is not None else CACHE_LINE_SIZE
+        end = min(line_base + size, self.end)
+        return self.read(line_base, end - line_base)
+
     def load_bytes(self, data):
         """Replace the whole image (used when restoring crash images)."""
         if len(data) != self.size:

@@ -1,0 +1,212 @@
+"""Delta pool snapshots for failure points.
+
+The injector used to deep-copy every mapped pool at every failure
+point, making snapshot time and resident memory O(F · pool size).  A
+:class:`SnapshotStore` instead records, per failure point, only the
+cache lines dirtied since the previous failure point (the cache model's
+``drain_touched`` set) plus one full base image the first time a pool
+is seen.  Full :class:`~repro.pm.image.PMImage` crash images are
+reconstructed on demand — typically inside the executor worker that
+runs the post-failure stage — by replaying the line deltas forward
+from the base over an incremental cursor.
+
+The store is append-only during the pre-failure stage and read-only
+afterwards, so worker threads can materialize concurrently (the cursor
+is guarded by a lock) and forked worker processes inherit it wholesale.
+The ``bytes_saved`` accounting backs the ``snapshot_bytes_saved``
+metric: how many bytes the legacy full-copy scheme would have recorded
+minus what the deltas actually hold.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.pm.image import PMImage, capture_image, volatile_lines_for
+
+
+class PoolDelta:
+    """One pool's snapshot record at one failure point.
+
+    Either a full base image (``full`` set, first sighting of the pool)
+    or a tuple of ``(offset, data, persisted)`` line patches against
+    the previous failure point's contents.  ``volatile_lines`` is
+    always recorded in full — it is tiny and every materialized image
+    needs it for crash-state enumeration.
+    """
+
+    __slots__ = ("pool_name", "base", "size", "full", "lines",
+                 "volatile_lines")
+
+    def __init__(self, pool_name, base, size, full=None, lines=(),
+                 volatile_lines=()):
+        self.pool_name = pool_name
+        self.base = base
+        self.size = size
+        self.full = full
+        self.lines = tuple(lines)
+        self.volatile_lines = tuple(volatile_lines)
+
+    @property
+    def recorded_bytes(self):
+        """Image bytes this record actually stores (data + persisted)."""
+        if self.full is not None:
+            return 2 * self.size
+        return sum(
+            len(data) + len(persisted)
+            for _offset, data, persisted in self.lines
+        )
+
+    def __repr__(self):
+        shape = "full" if self.full is not None else (
+            f"{len(self.lines)} line(s)"
+        )
+        return f"PoolDelta({self.pool_name!r}, {shape})"
+
+
+class SnapshotStore:
+    """Append-only store of per-failure-point pool deltas."""
+
+    def __init__(self):
+        self._snapshots = []  # fid -> [PoolDelta, ...]
+        self._known_pools = set()
+        #: Image bytes actually recorded across all snapshots.
+        self.recorded_bytes = 0
+        #: Image bytes the legacy full-copy scheme would have recorded.
+        self.full_equivalent_bytes = 0
+        self._lock = threading.Lock()
+        # Incremental materialization cursor: pool contents as of
+        # ``_cursor_fid`` so sequential fids replay only their delta.
+        self._cursor_fid = -1
+        self._cursor = {}  # pool_name -> [bytearray data, bytearray persisted]
+
+    def __len__(self):
+        return len(self._snapshots)
+
+    @property
+    def bytes_saved(self):
+        """How many snapshot bytes the delta scheme avoided recording."""
+        return max(0, self.full_equivalent_bytes - self.recorded_bytes)
+
+    # -- capture (pre-failure stage) -----------------------------------
+
+    def capture(self, memory):
+        """Record the crash-image state of every pool of ``memory`` as
+        a delta since the previous capture; returns the snapshot id."""
+        cache = memory.cache
+        touched = sorted(cache.drain_touched())
+        deltas = []
+        for pool in memory.pools:
+            if pool.name not in self._known_pools:
+                self._known_pools.add(pool.name)
+                image = capture_image(pool, cache)
+                delta = PoolDelta(
+                    pool.name, pool.base, pool.size, full=image,
+                    volatile_lines=image.volatile_lines,
+                )
+            else:
+                lines = []
+                for line in touched:
+                    if not (pool.base <= line < pool.end):
+                        continue
+                    data = pool.line_bytes(line)
+                    persisted = cache.persisted_only_overlay(
+                        line, len(data), data
+                    )
+                    lines.append((line - pool.base, data, persisted))
+                delta = PoolDelta(
+                    pool.name, pool.base, pool.size, lines=lines,
+                    volatile_lines=volatile_lines_for(pool, cache),
+                )
+            deltas.append(delta)
+            self.recorded_bytes += delta.recorded_bytes
+            self.full_equivalent_bytes += 2 * pool.size
+        fid = len(self._snapshots)
+        self._snapshots.append(deltas)
+        return fid
+
+    def capture_full(self, images):
+        """Fallback for memories without delta support: record already-
+        captured full ``PMImage``s as-is (saves nothing)."""
+        deltas = []
+        for image in images:
+            self._known_pools.add(image.pool_name)
+            deltas.append(PoolDelta(
+                image.pool_name, image.base, image.size, full=image,
+                volatile_lines=image.volatile_lines,
+            ))
+            self.recorded_bytes += 2 * image.size
+            self.full_equivalent_bytes += 2 * image.size
+        fid = len(self._snapshots)
+        self._snapshots.append(deltas)
+        return fid
+
+    # -- queries --------------------------------------------------------
+
+    def volatile_bits(self, fid):
+        """Total enumerable crash bits at ``fid`` (sum of volatile
+        lines across pools) — cheap, no materialization."""
+        return sum(
+            len(delta.volatile_lines) for delta in self._snapshots[fid]
+        )
+
+    # -- materialization (post-failure / inspection) --------------------
+
+    def materialize(self, fid):
+        """Reconstruct the full crash images at failure point ``fid``.
+
+        Returns fresh ``PMImage``s in the pool order recorded at that
+        failure point.  Sequential access is O(delta) thanks to the
+        cursor; going backwards rebuilds from the base images.
+        """
+        if not 0 <= fid < len(self._snapshots):
+            raise IndexError(
+                f"no snapshot for failure point #{fid} "
+                f"({len(self._snapshots)} recorded)"
+            )
+        with self._lock:
+            if fid < self._cursor_fid:
+                self._cursor_fid = -1
+                self._cursor = {}
+            for index in range(self._cursor_fid + 1, fid + 1):
+                for delta in self._snapshots[index]:
+                    if delta.full is not None:
+                        self._cursor[delta.pool_name] = [
+                            bytearray(delta.full.data),
+                            bytearray(delta.full.persisted_data),
+                        ]
+                        continue
+                    data, persisted = self._cursor[delta.pool_name]
+                    for offset, line_data, line_persisted in delta.lines:
+                        data[offset:offset + len(line_data)] = line_data
+                        persisted[offset:offset + len(line_persisted)] = \
+                            line_persisted
+            self._cursor_fid = max(self._cursor_fid, fid)
+            return [
+                PMImage(
+                    delta.pool_name, delta.base,
+                    bytes(self._cursor[delta.pool_name][0]),
+                    bytes(self._cursor[delta.pool_name][1]),
+                    delta.volatile_lines,
+                )
+                for delta in self._snapshots[fid]
+            ]
+
+    # -- pickling (the store crosses into forked workers) ---------------
+
+    def __getstate__(self):
+        return {
+            "snapshots": self._snapshots,
+            "known_pools": sorted(self._known_pools),
+            "recorded_bytes": self.recorded_bytes,
+            "full_equivalent_bytes": self.full_equivalent_bytes,
+        }
+
+    def __setstate__(self, state):
+        self._snapshots = state["snapshots"]
+        self._known_pools = set(state["known_pools"])
+        self.recorded_bytes = state["recorded_bytes"]
+        self.full_equivalent_bytes = state["full_equivalent_bytes"]
+        self._lock = threading.Lock()
+        self._cursor_fid = -1
+        self._cursor = {}

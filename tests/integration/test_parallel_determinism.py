@@ -1,0 +1,213 @@
+"""Executor determinism: reports are byte-identical at any pool width.
+
+The tentpole contract of ``repro.exec``: running the same workload with
+``jobs=1`` (serial), ``jobs=4`` on the thread pool, and ``jobs=4`` on
+the fork-based process pool yields identical bug lists, identical
+stats, and identical NDJSON records — modulo wall-clock timings, which
+are the *only* thing an executor is allowed to change.
+"""
+
+from repro.core import DetectorConfig, XFDetector
+from repro.exec import ProcessExecutor
+from repro.obs import run_records
+from repro.workloads import HashmapAtomicWorkload, HashmapTxWorkload
+
+
+def _run(jobs, executor, make_workload, **config_kwargs):
+    config = DetectorConfig(
+        jobs=jobs, executor=executor, **config_kwargs
+    )
+    return XFDetector(config).run(make_workload())
+
+
+def _report_dict(report):
+    """The full report, with the timing fields removed."""
+    data = report.to_dict(unique=False)
+    data["stats"] = {
+        key: value for key, value in data["stats"].items()
+        if not key.endswith("seconds")
+    }
+    return data
+
+
+def _ndjson_records(report):
+    """Schedule-independent NDJSON records: spans and timers measure
+    wall-clock, ``exec.*`` metrics describe the pool itself — drop
+    those, keep everything else byte-for-byte."""
+    kept = []
+    for record in run_records(report, unique=False):
+        if record.get("type") == "span":
+            continue
+        if record.get("type") == "metric":
+            if record.get("metric") == "timer":
+                continue
+            if record.get("name", "").startswith("exec."):
+                continue
+        if record.get("type") == "stats":
+            record = {
+                key: value for key, value in record.items()
+                if not key.endswith("seconds")
+            }
+        kept.append(record)
+    return kept
+
+
+class CrashingRecovery(HashmapAtomicWorkload):
+    """Recovery dereferences state that a mid-rehash crash corrupts —
+    modelled bluntly: it raises, so every post run produces a
+    POST_FAILURE_CRASH whose message must survive the pickle boundary
+    byte-for-byte."""
+
+    name = "crashing_recovery"
+
+    def post_failure(self, ctx):
+        raise ValueError("recovery exploded at bucket #7")
+
+
+class TestExecutorDeterminism:
+    def _compare(self, make_workload, **config_kwargs):
+        reference = None
+        for jobs, executor in [(1, "serial"), (4, "thread")] + (
+            [(4, "process")] if ProcessExecutor.available() else []
+        ):
+            report = _run(
+                jobs, executor, make_workload, **config_kwargs
+            )
+            snapshot = (
+                _report_dict(report), _ndjson_records(report)
+            )
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot[0] == reference[0], (
+                    f"report differs under jobs={jobs} {executor}"
+                )
+                assert snapshot[1] == reference[1], (
+                    f"NDJSON differs under jobs={jobs} {executor}"
+                )
+        return reference
+
+    def test_racy_workload_with_variants(self):
+        report_dict, _records = self._compare(
+            lambda: HashmapAtomicWorkload(
+                faults={"skip_persist_count"}, test_size=3
+            ),
+            crash_state_variants=3,
+        )
+        assert report_dict["bugs"], "fault should produce bugs"
+
+    def test_transactional_workload(self):
+        self._compare(
+            lambda: HashmapTxWorkload(
+                faults={"skip_add_count"}, test_size=3
+            ),
+        )
+
+    def test_crash_messages_cross_process_boundary(self):
+        report_dict, _records = self._compare(
+            lambda: CrashingRecovery(test_size=2),
+        )
+        kinds = {bug["kind"] for bug in report_dict["bugs"]}
+        assert "post-failure crash" in kinds
+        assert any(
+            "recovery exploded at bucket #7" in bug["detail"]
+            for bug in report_dict["bugs"]
+        )
+
+
+class TestVariantPlanDeterminism:
+    def test_variant_schedule_is_identical(self):
+        """Every executor runs the exact same crash-state variants:
+        the (fid, variant) sequence and each run's trace length match
+        the serial schedule."""
+        def collect(jobs, executor):
+            config = DetectorConfig(
+                jobs=jobs, executor=executor, crash_state_variants=3
+            )
+            from repro.core.frontend import Frontend
+
+            result = Frontend(config).run(
+                HashmapAtomicWorkload(
+                    faults={"skip_persist_count"}, test_size=3
+                )
+            )
+            return [
+                (run.failure_point.fid, run.variant,
+                 len(run.recorder))
+                for run in result.post_runs
+            ]
+
+        reference = collect(1, "serial")
+        assert collect(4, "thread") == reference
+        if ProcessExecutor.available():
+            assert collect(4, "process") == reference
+        assert any(variant is not None for _f, variant, _n in reference)
+
+
+class TestVariantExhaustion:
+    def test_small_mask_spaces_skip_explicitly(self):
+        """Asking for more crash states than the mask space holds
+        records the shortfall instead of silently under-producing."""
+        config = DetectorConfig(crash_state_variants=64)
+        report = XFDetector(config).run(
+            HashmapAtomicWorkload(
+                faults={"skip_persist_count"}, test_size=2
+            )
+        )
+        metrics = report.telemetry.metrics
+        skipped = metrics.value("crash_variants_skipped")
+        assert skipped > 0
+        produced = metrics.value("post_runs") - (
+            report.stats.failure_points
+        )
+        requested = 64 * report.stats.failure_points
+        # Every requested variant is either produced or accounted for.
+        assert produced + skipped <= requested
+        assert report.stats.post_runs_analyzed == metrics.value(
+            "post_runs"
+        )
+
+
+class TestFailFastAccounting:
+    def test_orphaned_runs_are_counted(self):
+        config = DetectorConfig(fail_fast=True)
+        report = XFDetector(config).run(
+            HashmapAtomicWorkload(
+                faults={"skip_persist_count"}, test_size=3
+            )
+        )
+        stats = report.stats
+        total_runs = report.telemetry.metrics.value("post_runs")
+        orphaned = report.telemetry.metrics.value("orphaned_post_runs")
+        assert report.has_cross_failure_bugs
+        assert stats.post_runs_analyzed < total_runs
+        assert orphaned == total_runs - stats.post_runs_analyzed
+        assert (
+            report.to_dict()["stats"]["post_runs_analyzed"]
+            == stats.post_runs_analyzed
+        )
+
+    def test_no_orphans_on_full_analysis(self):
+        report = XFDetector(DetectorConfig()).run(
+            HashmapAtomicWorkload(test_size=2)
+        )
+        assert report.telemetry.metrics.value("orphaned_post_runs") == 0
+        assert (
+            report.stats.post_runs_analyzed
+            == report.telemetry.metrics.value("post_runs")
+        )
+
+
+class TestCheckpointedEqualsInterleaved:
+    def test_audit_schedule_matches_checkpointed_reports(self):
+        """The audit run (interleaved legacy schedule) and the default
+        checkpointed schedule produce identical bug lists."""
+        make = lambda: HashmapAtomicWorkload(
+            faults={"skip_persist_count"}, test_size=3
+        )
+        checkpointed = XFDetector(DetectorConfig()).run(make())
+        interleaved = XFDetector(DetectorConfig(audit=True)).run(make())
+        assert (
+            _report_dict(checkpointed)["bugs"]
+            == _report_dict(interleaved)["bugs"]
+        )
