@@ -37,6 +37,7 @@ from repro.analysis.lattice import (
 from repro.analysis.rules import RULES
 from repro.pmdk import ObjectPool, pmem as _pmem
 from repro.pmdk.layout import Array as _ArrayField, Blob, Embed, Struct
+from repro.workloads.base import TraversalGuard as _TraversalGuard
 
 #: Modules whose functions must be *modeled*, never inlined.
 RUNTIME_PREFIXES = (
@@ -192,6 +193,12 @@ MODEL_FNS = {
     ObjectPool.open.__func__: "_m_pool_open",
     Struct.offset_of.__func__: "_m_struct_offset_of",
     Struct.size_of.__func__: "_m_struct_size_of",
+    # Traversal guards are cycle insurance for *corrupted* crash
+    # images; on the analyzer's bounded unrollings they can never trip,
+    # so inlining their per-iteration bookkeeping would only burn the
+    # step budget.
+    _TraversalGuard.__init__: "_m_noop",
+    _TraversalGuard.step: "_m_noop",
 }
 
 
@@ -2385,6 +2392,11 @@ def _prim_set(self, sv, name, args):
 
 
 # -- MODEL_FNS handlers (libpmem-style helpers, pool lifecycle) --------
+
+
+@_method
+def _m_noop(self, self_val, args, kwargs):
+    return M.Const(None)
 
 
 @_method

@@ -117,6 +117,24 @@ def _build_parser():
                      choices=("auto", "serial", "thread", "process"),
                      help="worker-pool kind for --jobs (default: "
                           "XFD_EXECUTOR or auto)")
+    run.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget per post-failure "
+                          "execution/replay; a livelocked task is "
+                          "killed and recorded as a hang incident "
+                          "(default: XFD_DEADLINE or none)")
+    run.add_argument("--max-retries", type=int, default=None,
+                     metavar="N",
+                     help="retries for transient worker faults before "
+                          "a failure point is quarantined (default 2)")
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="append each completed failure-point "
+                          "outcome to PATH (NDJSON) so a killed run "
+                          "can be resumed")
+    run.add_argument("--resume", default=None, metavar="PATH",
+                     help="resume from a previous run's journal: "
+                          "validate its config+trace checksum and "
+                          "skip completed failure points")
     run.add_argument("--json", action="store_true",
                      help="print the report as JSON")
     _add_telemetry_args(run)
@@ -225,7 +243,11 @@ def _write_run_ndjson(path, report):
             file=sys.stderr,
         )
         raise SystemExit(2)
-    print(f"-- {count} NDJSON records written to {path}")
+    # stderr: under --json, stdout is a machine-readable document.
+    print(
+        f"-- {count} NDJSON records written to {path}",
+        file=sys.stderr,
+    )
 
 
 def _cmd_run(args):
@@ -236,6 +258,16 @@ def _cmd_run(args):
         overrides["jobs"] = max(1, args.jobs)
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.deadline is not None:
+        overrides["exec_deadline"] = (
+            args.deadline if args.deadline > 0 else None
+        )
+    if args.max_retries is not None:
+        overrides["max_retries"] = max(0, args.max_retries)
+    if args.journal is not None:
+        overrides["journal"] = args.journal
+    if args.resume is not None:
+        overrides["resume"] = args.resume
     config = DetectorConfig(
         crash_image_mode=(
             CrashImageMode.PERSISTED_ONLY if args.strict_image
@@ -248,7 +280,13 @@ def _cmd_run(args):
         audit=args.audit,
         **overrides,
     )
-    report = XFDetector(config).run(workload)
+    from repro.errors import JournalError
+
+    try:
+        report = XFDetector(config).run(workload)
+    except JournalError as exc:
+        print(f"xfdetector: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     telemetry = report.telemetry
     # Exit status reflects what was *reported*: any bug in the printed
     # report (performance bugs included) is a non-zero exit, so shell
@@ -282,6 +320,17 @@ def _cmd_run(args):
         f"post {stats.post_failure_seconds:.2f}s / "
         f"backend {stats.backend_seconds:.2f}s)"
     )
+    if report.incidents:
+        state = (
+            "DEGRADED: some outcomes lost" if report.degraded
+            else "all recovered"
+        )
+        print(
+            f"-- {len(report.incidents)} incident(s) absorbed "
+            f"({state})"
+        )
+        for incident in report.incidents:
+            print(f"   {incident}")
     if args.profile:
         print()
         print(telemetry.format())

@@ -31,6 +31,25 @@ def _default_executor():
     return "auto"
 
 
+def _default_deadline():
+    """Per-execution wall budget in seconds: the ``XFD_DEADLINE`` env
+    var, default None (no deadline).  Invalid or non-positive values
+    degrade to None — an ops knob, not an API."""
+    raw = os.environ.get("XFD_DEADLINE", "").strip()
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
+
+
+def _default_chaos():
+    """Chaos fault spec: the ``XFD_CHAOS`` env var (e.g.
+    ``crash:0.1,hang:0.05``), default None (no injection)."""
+    raw = os.environ.get("XFD_CHAOS", "").strip()
+    return raw or None
+
+
 @dataclass
 class DetectorConfig:
     """Tunables of the detection procedure.
@@ -119,6 +138,43 @@ class DetectorConfig:
     #: registry / span recorder across runs (None = the detector
     #: creates a fresh per-run instance honoring ``audit``).
     telemetry: object | None = None
+
+    #: Wall-clock budget (seconds) for each post-failure execution and
+    #: replay task, enforced cooperatively on every traced operation
+    #: plus a hard watchdog in forked process workers.  None = no
+    #: deadline.  Overridable via the ``XFD_DEADLINE`` env var.
+    exec_deadline: float | None = field(default_factory=_default_deadline)
+
+    #: Step budget (traced PM operations / replayed events) for each
+    #: post-failure execution and replay task.  None = unlimited.
+    exec_step_budget: int | None = None
+
+    #: Retry budget for *transient* task faults (worker deaths): a key
+    #: is retried on a fresh pool up to this many times before being
+    #: quarantined.  Deterministic faults (harness errors, deadline
+    #: hangs) are quarantined after the first attempt regardless.
+    max_retries: int = 2
+
+    #: Base delay (seconds) of the exponential retry backoff
+    #: (``retry_backoff * 2**generation``, capped).
+    retry_backoff: float = 0.05
+
+    #: Chaos self-test spec, e.g. ``"crash:0.1,hang:0.05"``: inject
+    #: synthetic worker faults at the given per-task rates to exercise
+    #: the resilience layer.  Decisions are a deterministic hash, so
+    #: the same run rolls the same faults under any executor.
+    #: Overridable via the ``XFD_CHAOS`` env var.
+    chaos: str | None = field(default_factory=_default_chaos)
+
+    #: Path of the run journal: every completed failure-point outcome
+    #: is appended (NDJSON, flushed) so a killed run can be resumed.
+    journal: str | None = None
+
+    #: Path of a previous run's journal to resume from: after
+    #: validating its config+trace checksum, completed failure points
+    #: are spliced from the journal and skipped.  When ``journal`` is
+    #: unset, new outcomes are appended to the resumed file.
+    resume: str | None = None
 
     #: Extra keyword arguments forwarded to workload stages.
     workload_options: dict = field(default_factory=dict)

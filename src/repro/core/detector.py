@@ -8,13 +8,19 @@ from repro.core.frontend import Frontend
 from repro.core.replay import StopAnalysis, TraceReplayer
 from repro.core.report import Bug, BugKind, DetectionReport
 from repro.core.shadow import ShadowPM
-from repro.exec.base import resolve_executor
+from repro.exec.base import TaskOutcome, resolve_executor
 from repro.exec.worker import (
     ReplayPhaseContext,
     run_replay_task,
     strip_config,
 )
 from repro.obs import resolve_telemetry
+from repro.resilience import (
+    IncidentLog,
+    PhaseSupervisor,
+    ResilienceContext,
+    deserialize_bug,
+)
 from repro.trace.events import EventKind
 
 
@@ -82,6 +88,10 @@ class XFDetector:
         )
         stats.pre_failure_seconds = frontend_result.pre_seconds
         stats.post_failure_seconds = frontend_result.post_seconds
+        incident_log = getattr(frontend_result, "incidents", None)
+        if incident_log is None:
+            incident_log = IncidentLog()
+        journal = getattr(frontend_result, "journal", None)
 
         # Canonical replay order: by failure point, base run first,
         # then variants — the order the frontend produces, re-imposed
@@ -95,15 +105,21 @@ class XFDetector:
             ),
         )
 
-        if self.config.fail_fast or tel.audit is not None:
-            self._analyze_interleaved(
-                frontend_result, ordered_runs, report
-            )
-        else:
-            self._analyze_checkpointed(
-                frontend_result, ordered_runs, report, executor
-            )
+        try:
+            if self.config.fail_fast or tel.audit is not None:
+                self._analyze_interleaved(
+                    frontend_result, ordered_runs, report
+                )
+            else:
+                self._analyze_checkpointed(
+                    frontend_result, ordered_runs, report, executor,
+                    incident_log, journal,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
 
+        report.incidents = incident_log.incidents
         tel.metrics.gauge("post_trace_events").set(
             stats.post_trace_events
         )
@@ -198,7 +214,8 @@ class XFDetector:
     # -- checkpointed replay (executor-friendly) ------------------------
 
     def _analyze_checkpointed(self, frontend_result, ordered_runs,
-                              report, executor):
+                              report, executor, incident_log=None,
+                              journal=None):
         """Checkpoint the shadow at each marker during one pre-failure
         replay, then replay every post-failure trace against a fork of
         its checkpoint as an independent executor task.
@@ -206,8 +223,14 @@ class XFDetector:
         Bugs are spliced back into the interleaved schedule's order
         (pre-failure bugs found before a marker precede that failure
         point's post-failure bugs), so the report is byte-identical to
-        the classic path and independent of the executor.
+        the classic path and independent of the executor.  Runs spliced
+        from a resume journal skip the replay entirely; quarantined
+        runs are dropped (their incidents carry the provenance); and
+        every newly completed run is journaled the moment it is merged,
+        so a killed run loses at most the point being merged.
         """
+        if incident_log is None:
+            incident_log = IncidentLog()
         tel = self.telemetry
         stats = report.stats
 
@@ -241,16 +264,23 @@ class XFDetector:
                 run for run in ordered_runs
                 if run.failure_point.fid in checkpoints
             ]
-            stats.post_runs_analyzed = len(tasks)
             tel.metrics.gauge("orphaned_post_runs").set(
                 len(ordered_runs) - len(tasks)
             )
-            results = self._replay_tasks(tasks, checkpoints, executor)
+            results = self._replay_tasks(
+                tasks, checkpoints, executor, incident_log
+            )
+            stats.post_runs_analyzed = sum(
+                1 for result in results if result is not None
+            )
 
             merged = []
             cursor = 0
             current_fid = None
-            for run, (bugs, benign_races) in zip(tasks, results):
+            for run, result in zip(tasks, results):
+                if result is None:
+                    continue  # quarantined: outcome lost
+                bugs, benign_races = result
                 fid = run.failure_point.fid
                 if fid != current_fid:
                     offset = insert_at[fid]
@@ -261,33 +291,116 @@ class XFDetector:
                 stats.benign_races += benign_races
                 if run.crash is not None:
                     self._append_crash_bug(report, run, into=merged)
+                if journal is not None:
+                    journal.record_post(
+                        fid, run.variant,
+                        events=len(run.recorder),
+                        has_roi=_has_roi(run.recorder),
+                        crash_repr=(
+                            repr(run.crash.original)
+                            if run.crash is not None else None
+                        ),
+                        bugs=bugs,
+                        benign_races=benign_races,
+                    )
             merged.extend(pre_bugs[cursor:])
             report.bugs = merged
 
         stats.backend_seconds = backend_span.duration
 
-    def _replay_tasks(self, tasks, checkpoints, executor):
+    def _replay_tasks(self, tasks, checkpoints, executor,
+                      incident_log):
         """Run every post-failure replay task; returns one
-        ``(bugs, benign_races)`` pair per task, in task order."""
+        ``(bugs, benign_races)`` pair per task, in task order —
+        rebuilt straight from the journal for resumed runs, None for
+        quarantined ones."""
         tel = self.telemetry
         keys = []
         runs_map = {}
+        journaled = {}
         for index, run in enumerate(tasks):
             key = (run.failure_point.fid, run.variant, index)
             keys.append(key)
+            entry = getattr(run, "journal_entry", None)
+            if entry is not None:
+                journaled[key] = (
+                    [deserialize_bug(bug) for bug in entry["bugs"]],
+                    entry["benign_races"],
+                )
+                continue
             runs_map[key] = (
                 tuple(run.recorder), _has_roi(run.recorder)
             )
-        results = []
-        if executor is not None and executor.kind != "serial":
-            ctx = ReplayPhaseContext(
-                strip_config(self.config), checkpoints, runs_map
+        live_keys = [key for key in keys if key not in journaled]
+        completed = {}
+        if live_keys:
+            resilience = ResilienceContext.from_config(
+                self.config, "post_replay"
             )
+            supervisor = PhaseSupervisor(
+                "post_replay", self.config, incident_log, resilience,
+                tel,
+            )
+            if executor is not None and executor.kind != "serial":
+                ctx = ReplayPhaseContext(
+                    strip_config(self.config), checkpoints, runs_map,
+                    resilience,
+                )
+                submit = self._replay_submit_pool(executor, ctx)
+            else:
+                ctx = ReplayPhaseContext(
+                    self.config, checkpoints, runs_map, resilience
+                )
+                submit = self._replay_submit_serial(ctx)
+            completed = supervisor.run(submit, live_keys)
+        results = []
+        for key in keys:
+            if key in journaled:
+                results.append(journaled[key])
+            elif key in completed:
+                value = completed[key].value
+                results.append((value.bugs, value.benign_races))
+            else:
+                results.append(None)
+        return results
+
+    def _replay_submit_serial(self, ctx):
+        """Inline replay under real ``post_replay`` spans."""
+        tel = self.telemetry
+
+        def submit(wave):
+            outcomes = []
+            for key in wave:
+                attrs = {"fid": key[0]}
+                if key[1] is not None:
+                    attrs["variant"] = key[1]
+                error = None
+                with tel.span("post_replay", **attrs):
+                    try:
+                        value = run_replay_task(ctx, key)
+                    except Exception as exc:
+                        error = exc
+                if error is not None:
+                    outcomes.append(TaskOutcome(None, error=error))
+                else:
+                    tel.metrics.merge(value.metrics)
+                    outcomes.append(TaskOutcome(value))
+            return outcomes
+
+        return submit
+
+    def _replay_submit_pool(self, executor, ctx):
+        """Fan replay out over a pool; merge worker-local telemetry
+        for completed tasks only (a retried task merges once)."""
+        tel = self.telemetry
+
+        def submit(wave):
+            outcomes = executor.run_phase(ctx, run_replay_task, wave)
             wait_timer = tel.metrics.timer("exec.queue_wait_seconds")
-            for outcome in executor.run_phase(
-                ctx, run_replay_task, keys
-            ):
+            for outcome in outcomes:
                 value = outcome.value
+                if value is None:
+                    continue
                 attrs = {"fid": value.fid, "worker": outcome.worker}
                 if value.variant is not None:
                     attrs["variant"] = value.variant
@@ -296,18 +409,9 @@ class XFDetector:
                 )
                 wait_timer.observe(outcome.queue_wait)
                 tel.metrics.merge(value.metrics)
-                results.append((value.bugs, value.benign_races))
-        else:
-            ctx = ReplayPhaseContext(self.config, checkpoints, runs_map)
-            for key in keys:
-                attrs = {"fid": key[0]}
-                if key[1] is not None:
-                    attrs["variant"] = key[1]
-                with tel.span("post_replay", **attrs):
-                    value = run_replay_task(ctx, key)
-                tel.metrics.merge(value.metrics)
-                results.append((value.bugs, value.benign_races))
-        return results
+            return outcomes
+
+        return submit
 
     def _append_crash_bug(self, report, post_run, into=None):
         """A crashed post-failure execution is itself a finding."""

@@ -23,11 +23,19 @@ from dataclasses import dataclass, field
 
 from repro.core.injector import FailureInjector
 from repro.core.interface import DetectionComplete, XFInterface
-from repro.errors import CrashSummary, PostFailureCrash
+from repro.errors import CrashSummary, DetectorError, PostFailureCrash
 from repro.exec.base import TaskOutcome, resolve_executor
 from repro.exec.worker import PostPhaseContext, run_post_task, strip_config
 from repro.obs import resolve_telemetry
 from repro.pm.memory import PersistentMemory
+from repro.resilience import (
+    IncidentLog,
+    JournaledTrace,
+    PhaseSupervisor,
+    ResilienceContext,
+    RunJournal,
+    run_checksum,
+)
 from repro.trace.recorder import TraceRecorder
 
 
@@ -57,6 +65,10 @@ class PostRun:
     crash: Exception | None = None
     seconds: float = 0.0
     variant: int | None = None
+    #: When this run was spliced from a resume journal instead of
+    #: executed, the journal record (the backend skips its replay and
+    #: rebuilds the recorded bugs from it).
+    journal_entry: dict | None = None
 
 
 @dataclass
@@ -70,6 +82,11 @@ class FrontendResult:
     pre_seconds: float = 0.0
     post_seconds: float = 0.0
     uses_roi: bool = False
+    #: The run's shared ``IncidentLog`` (the backend keeps recording
+    #: into it during replay), or None for hand-built results.
+    incidents: object | None = None
+    #: The run's ``RunJournal``, or None when journaling is off.
+    journal: object | None = None
 
 
 def _variant_masks(fid, total_bits, count):
@@ -114,9 +131,24 @@ class Frontend:
         #: Optional pre-resolved ``repro.exec`` executor.  When None the
         #: frontend resolves (and closes) one per run from the config.
         self.executor = executor
+        #: Harness faults absorbed by this run (shared with the
+        #: backend, which keeps recording during replay).
+        self.incident_log = IncidentLog()
 
     def run(self, workload):
         tel = self.telemetry
+        journal = RunJournal.from_config(self.config)
+        if journal is not None and (
+            getattr(self.config, "audit", False)
+            or getattr(self.config, "fail_fast", False)
+        ):
+            # The interleaved backend replays everything inline; there
+            # is no per-point completion to journal, and a spliced
+            # resume would falsify the audit log / fail-fast schedule.
+            raise DetectorError(
+                "run journaling (--journal/--resume) is not supported "
+                "with audit or fail_fast"
+            )
         pre_recorder = TraceRecorder("pre")
         memory = PersistentMemory(
             pre_recorder, self.config.capture_ips,
@@ -161,19 +193,33 @@ class Frontend:
             - injector.snapshot_seconds
         )
 
+        workload_name = getattr(
+            workload, "name", type(workload).__name__
+        )
+        if journal is not None:
+            # The checksum needs the pre-failure trace, so a resume
+            # journal is validated (and refused on mismatch) here,
+            # before any post-failure work is spent.
+            journal.begin(
+                run_checksum(self.config, workload_name, pre_recorder),
+                workload_name,
+            )
+
         post_runs, post_seconds = self._post_stage(
-            workload, injector, uses_roi
+            workload, injector, uses_roi, journal
         )
         tel.metrics.gauge("pre_trace_events").set(len(pre_recorder))
 
         return FrontendResult(
-            workload_name=getattr(workload, "name", type(workload).__name__),
+            workload_name=workload_name,
             pre_recorder=pre_recorder,
             failure_points=injector.failure_points,
             post_runs=post_runs,
             pre_seconds=pre_seconds,
             post_seconds=post_seconds,
             uses_roi=uses_roi,
+            incidents=self.incident_log,
+            journal=journal,
         )
 
     def _build_prune_plan(self, workload, tel):
@@ -234,58 +280,92 @@ class Frontend:
             )
         return keys
 
-    def _post_stage(self, workload, injector, uses_roi):
+    def _post_stage(self, workload, injector, uses_roi, journal=None):
         """Run every planned post-failure execution on an executor.
 
         The serial executor runs tasks inline under real ``post_run``
         spans; pool executors fan them out and the worker-measured
-        durations are attached as back-dated spans.  Either way the
-        results are consumed in plan order, so the returned ``PostRun``
-        list is schedule-independent.
+        durations are attached as back-dated spans.  A
+        :class:`PhaseSupervisor` drives the submissions, so harness
+        faults quarantine individual keys instead of aborting the
+        stage, and points completed by a resume journal are spliced in
+        without executing at all.  Either way the results are consumed
+        in plan order, so the returned ``PostRun`` list is
+        schedule-independent.
         """
         tel = self.telemetry
-        keys = self._post_plan(injector)
+        plan = self._post_plan(injector)
         post_seconds = injector.snapshot_seconds
-        if not keys:
+        if not plan:
             return [], post_seconds
-        executor = self.executor
-        owned = executor is None
-        if owned:
-            executor = resolve_executor(self.config, tel)
-        ctx = PostPhaseContext(
-            strip_config(self.config), workload, injector.store,
-            uses_roi,
-        )
-        try:
-            if executor.kind == "serial":
-                outcomes = []
-                for key in keys:
-                    attrs = {"fid": key[0]}
-                    if key[1] is not None:
-                        attrs["variant"] = key[1]
-                    with tel.span("post_run", **attrs) as span:
-                        value = run_post_task(ctx, key)
-                    value.seconds = span.duration
-                    outcomes.append(TaskOutcome(value))
-            else:
-                outcomes = executor.run_phase(ctx, run_post_task, keys)
-                wait_timer = tel.metrics.timer("exec.queue_wait_seconds")
-                for outcome in outcomes:
-                    value = outcome.value
-                    attrs = {"fid": value.fid, "worker": outcome.worker}
-                    if value.variant is not None:
-                        attrs["variant"] = value.variant
-                    tel.spans.add_completed(
-                        "post_run", value.seconds, **attrs
-                    )
-                    wait_timer.observe(outcome.queue_wait)
-        finally:
+        journaled = {}
+        keys = plan
+        if journal is not None and journal.entries:
+            keys = []
+            for key in plan:
+                entry = journal.entry_for(key[0], key[1])
+                if entry is not None:
+                    journaled[key] = entry
+                else:
+                    keys.append(key)
+            if journaled:
+                tel.metrics.inc(
+                    "journal.points_resumed", len(journaled)
+                )
+
+        completed = {}
+        if keys:
+            executor = self.executor
+            owned = executor is None
             if owned:
-                executor.close()
+                executor = resolve_executor(self.config, tel)
+            resilience = ResilienceContext.from_config(
+                self.config, "post_exec"
+            )
+            ctx = PostPhaseContext(
+                strip_config(self.config), workload, injector.store,
+                uses_roi, resilience,
+            )
+            supervisor = PhaseSupervisor(
+                "post_exec", self.config, self.incident_log,
+                resilience, tel,
+            )
+            try:
+                if executor.kind == "serial":
+                    submit = self._submit_serial(ctx)
+                else:
+                    submit = self._submit_pool(executor, ctx)
+                completed = supervisor.run(submit, keys)
+            finally:
+                if owned:
+                    executor.close()
 
         fps = {fp.fid: fp for fp in injector.failure_points}
         post_runs = []
-        for outcome in outcomes:
+        for key in plan:
+            entry = journaled.get(key)
+            if entry is not None:
+                crash = None
+                if entry["crash"] is not None:
+                    crash = PostFailureCrash(
+                        key[0], CrashSummary(entry["crash"])
+                    )
+                post_runs.append(
+                    PostRun(
+                        failure_point=fps[key[0]],
+                        recorder=JournaledTrace(
+                            entry["events"], entry["has_roi"]
+                        ),
+                        crash=crash,
+                        seconds=0.0,
+                        variant=key[1],
+                        journal_entry=entry,
+                    )
+                )
+                continue
+            outcome = completed.get(key)
+            if outcome is None:
+                continue  # quarantined: outcome lost, incident logged
             value = outcome.value
             crash = None
             if value.crash_repr is not None:
@@ -311,3 +391,53 @@ class Frontend:
                 )
             )
         return post_runs, post_seconds
+
+    def _submit_serial(self, ctx):
+        """A supervisor submit callable running tasks inline under
+        real ``post_run`` spans (the span tree is the serial
+        schedule's profile — see test_observability)."""
+        tel = self.telemetry
+
+        def submit(wave):
+            outcomes = []
+            for key in wave:
+                attrs = {"fid": key[0]}
+                if key[1] is not None:
+                    attrs["variant"] = key[1]
+                error = None
+                with tel.span("post_run", **attrs) as span:
+                    try:
+                        value = run_post_task(ctx, key)
+                    except Exception as exc:
+                        error = exc
+                if error is not None:
+                    outcomes.append(TaskOutcome(None, error=error))
+                else:
+                    value.seconds = span.duration
+                    outcomes.append(TaskOutcome(value))
+            return outcomes
+
+        return submit
+
+    def _submit_pool(self, executor, ctx):
+        """A supervisor submit callable fanning tasks out over a pool
+        executor; completed tasks get back-dated spans."""
+        tel = self.telemetry
+
+        def submit(wave):
+            outcomes = executor.run_phase(ctx, run_post_task, wave)
+            wait_timer = tel.metrics.timer("exec.queue_wait_seconds")
+            for outcome in outcomes:
+                value = outcome.value
+                if value is None:
+                    continue
+                attrs = {"fid": value.fid, "worker": outcome.worker}
+                if value.variant is not None:
+                    attrs["variant"] = value.variant
+                tel.spans.add_completed(
+                    "post_run", value.seconds, **attrs
+                )
+                wait_timer.observe(outcome.queue_wait)
+            return outcomes
+
+        return submit

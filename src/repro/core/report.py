@@ -97,6 +97,10 @@ class DetectionReport:
     workload_name: str = ""
     bugs: list = field(default_factory=list)
     stats: DetectionStats = field(default_factory=DetectionStats)
+    #: Harness faults absorbed during the run
+    #: (``repro.resilience.Incident``): worker deaths, deadline hangs,
+    #: quarantined harness errors.  Empty on a fault-free run.
+    incidents: list = field(default_factory=list)
     #: The run's ``repro.obs.Telemetry`` (spans, metrics, audit log);
     #: attached by the detector, excluded from ``to_dict``.
     telemetry: object | None = None
@@ -138,6 +142,15 @@ class DetectionReport:
         return unique
 
     @property
+    def degraded(self):
+        """True when at least one failure point's outcome was lost
+        (quarantined): the report is incomplete and says so, rather
+        than silently presenting partial results as a full run."""
+        return any(
+            incident.quarantined for incident in self.incidents
+        )
+
+    @property
     def has_cross_failure_bugs(self):
         return any(
             bug.kind in (
@@ -160,11 +173,18 @@ class DetectionReport:
         pieces = [
             f"{count} {kind.value}(s)" for kind, count in counts.items()
         ] or ["no bugs"]
-        return (
+        text = (
             f"{self.workload_name}: {', '.join(pieces)} across "
             f"{self.stats.failure_points} failure point(s), "
             f"{self.stats.benign_races} benign race read(s)"
         )
+        if self.incidents:
+            state = "DEGRADED" if self.degraded else "recovered"
+            text += (
+                f" [{state}: {len(self.incidents)} incident(s) "
+                f"absorbed]"
+            )
+        return text
 
     def format(self, unique=True):
         lines = [self.summary()]
@@ -190,6 +210,10 @@ class DetectionReport:
                 }
                 for bug in bugs
             ],
+            "incidents": [
+                incident.to_dict() for incident in self.incidents
+            ],
+            "degraded": self.degraded,
             "stats": {
                 "failure_points": self.stats.failure_points,
                 "pre_trace_events": self.stats.pre_trace_events,

@@ -65,6 +65,90 @@ class DetectorError(ReproError):
     """Misuse or internal failure of the XFDetector engine."""
 
 
+class TraversalLimitError(ReproError):
+    """A workload traversal exceeded its step budget.
+
+    Raised by workload data-structure walks instead of spinning forever
+    when cyclic corruption (e.g. a node whose child pointer loops back
+    onto itself in a crash image) makes a structural loop non-
+    terminating.  Deliberately a :class:`ReproError`: a post-failure
+    traversal that cannot terminate is itself evidence of a
+    cross-failure bug, so the frontend reports it as a finding with a
+    diagnosable message rather than a watchdog kill.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A pipeline execution ran past its step or wall-clock budget.
+
+    Raised cooperatively by the PM runtime (every traced operation
+    ticks the active :class:`repro.resilience.Deadline`) when a
+    post-failure execution or replay livelocks — e.g. corrupted
+    pointers sending recovery into an unbounded spin.  Unlike
+    :class:`TraversalLimitError` this is *not* a finding: the detector
+    records it as a ``HANG`` incident with the failure point's
+    provenance and continues the run.
+    """
+
+    def __init__(self, detail, steps=None, seconds=None):
+        self.detail = detail
+        self.steps = steps
+        self.seconds = seconds
+        super().__init__(detail)
+
+    def __reduce__(self):
+        # Explicit so instances raised inside forked pool workers
+        # unpickle cleanly in the parent.
+        return (DeadlineExceeded, (self.detail, self.steps, self.seconds))
+
+
+class HarnessError(ReproError):
+    """The detection harness itself failed while running a task.
+
+    Wraps programming errors originating in pipeline code (executor,
+    snapshot store, PM runtime internals) so they are never
+    misclassified as workload findings: the resilience layer turns
+    them into quarantine incidents instead of bogus
+    ``POST_FAILURE_CRASH`` bugs.  ``transient`` marks faults worth
+    retrying (worker deaths); deterministic harness exceptions are
+    quarantined after the first attempt.
+    """
+
+    transient = False
+
+    def __init__(self, detail, phase=None):
+        self.detail = detail
+        self.phase = phase
+        super().__init__(detail)
+
+    def __reduce__(self):
+        return (type(self), (self.detail, self.phase))
+
+
+class ChaosCrash(HarnessError):
+    """A synthetic worker fault injected by chaos mode (``XFD_CHAOS``).
+
+    Simulates an abrupt worker death on executors that cannot actually
+    lose a process (serial, threads); forked process workers simulate
+    the real thing with ``os._exit`` instead.  Transient by
+    definition — a retry gets a fresh attempt number and a fresh
+    chaos roll.
+    """
+
+    transient = True
+
+
+class JournalError(ReproError):
+    """A run journal could not be read, parsed, or written."""
+
+
+class JournalMismatchError(JournalError):
+    """A resume journal's config+trace checksum does not match this
+    run: the journal was recorded for a different workload, sizing,
+    configuration, or code revision, so its completed outcomes cannot
+    be trusted to splice into this report."""
+
+
 class AnnotationError(DetectorError):
     """Misuse of the Table 2 annotation interface (e.g. unbalanced RoI)."""
 

@@ -13,16 +13,25 @@ EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
 
 
 class TaskOutcome:
-    """One task's result plus scheduling telemetry."""
+    """One task's result plus scheduling telemetry.
 
-    __slots__ = ("value", "queue_wait", "worker")
+    A task that failed carries its exception in ``error`` (with
+    ``value`` None) instead of raising through ``run_phase`` — fault
+    policy belongs to the :class:`~repro.resilience.PhaseSupervisor`,
+    not the executors, and one crashed task must not discard its
+    siblings' completed work.
+    """
 
-    def __init__(self, value, queue_wait=0.0, worker="main"):
+    __slots__ = ("value", "queue_wait", "worker", "error")
+
+    def __init__(self, value, queue_wait=0.0, worker="main", error=None):
         self.value = value
         #: Seconds between submission and a worker picking the task up.
         self.queue_wait = queue_wait
         #: Label of the worker that ran the task (thread name / pid).
         self.worker = worker
+        #: The exception the task raised, or None on success.
+        self.error = error
 
 
 class SerialExecutor:
@@ -32,7 +41,13 @@ class SerialExecutor:
     jobs = 1
 
     def run_phase(self, context, func, keys):
-        return [TaskOutcome(func(context, key)) for key in keys]
+        outcomes = []
+        for key in keys:
+            try:
+                outcomes.append(TaskOutcome(func(context, key)))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(None, error=exc))
+        return outcomes
 
     def close(self):
         pass

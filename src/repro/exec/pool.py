@@ -26,6 +26,31 @@ import time
 from repro.exec.base import TaskOutcome
 
 
+def _collect(pool, call, keys):
+    """Submit every key and gather outcomes in key order, converting
+    per-task exceptions — including a broken pool, whose in-flight and
+    not-yet-submitted keys all surface it — into error outcomes.  The
+    supervisor decides what to retry; the executor never loses the
+    completed siblings of a failed task.
+    """
+    futures = []
+    for key in keys:
+        try:
+            futures.append(pool.submit(*call(key)))
+        except Exception as exc:  # pool already broken at submit time
+            futures.append(exc)
+    outcomes = []
+    for future in futures:
+        if isinstance(future, Exception):
+            outcomes.append(TaskOutcome(None, error=future))
+            continue
+        try:
+            outcomes.append(future.result())
+        except Exception as exc:
+            outcomes.append(TaskOutcome(None, error=exc))
+    return outcomes
+
+
 def _thread_call(func, context, key, submitted):
     started = time.monotonic()
     value = func(context, key)
@@ -51,13 +76,13 @@ class ThreadExecutor:
             max_workers=min(self.jobs, len(keys)),
             thread_name_prefix="xfd-worker",
         ) as pool:
-            futures = [
-                pool.submit(
+            return _collect(
+                pool,
+                lambda key: (
                     _thread_call, func, context, key, time.monotonic()
-                )
-                for key in keys
-            ]
-            return [future.result() for future in futures]
+                ),
+                keys,
+            )
 
     def close(self):
         pass
@@ -97,13 +122,12 @@ class ProcessExecutor:
                 max_workers=min(self.jobs, len(keys)),
                 mp_context=multiprocessing.get_context("fork"),
             ) as pool:
-                futures = [
-                    pool.submit(
-                        _process_call, func, key, time.monotonic()
-                    )
-                    for key in keys
-                ]
-                return [future.result() for future in futures]
+                return _collect(
+                    pool,
+                    lambda key: (_process_call, func, key,
+                                 time.monotonic()),
+                    keys,
+                )
         finally:
             worker.set_context(None)
 

@@ -17,7 +17,10 @@ itself imports this package, and the cycle resolves only at call time.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
+
+from repro.errors import DeadlineExceeded, HarnessError, ReproError
 
 #: The current phase context for forked process workers.  Published by
 #: ``ProcessExecutor.run_phase`` immediately before the pool forks, so
@@ -48,6 +51,38 @@ def strip_config(config):
     return dataclasses.replace(config, telemetry=None)
 
 
+#: Path fragments identifying pipeline (harness) modules.  Workload
+#: modules — ``repro/workloads`` and anything outside the package,
+#: such as test-defined workloads — deliberately match none of them,
+#: and neither does ``repro/pmdk``: the PMDK shim is part of the
+#: *traced application stack*, so e.g. its NULL-view ValueError is the
+#: Figure 1 segfault analogue, a finding rather than a harness fault.
+_HARNESS_FRAGMENTS = tuple(
+    os.path.join("repro", name) + os.sep
+    for name in ("pm", "trace", "core", "exec", "obs", "resilience")
+)
+
+
+def _is_harness_fault(exc):
+    """Did this exception originate in pipeline code?
+
+    A crashing recovery is a *finding* only when the workload's own
+    code (or a library error it provoked, which arrives as a
+    :class:`ReproError` and never reaches this check) is at fault.  A
+    programming error raised from the deepest frame of a pipeline
+    module is the harness failing, and reporting it as a
+    ``POST_FAILURE_CRASH`` bug would be a false positive — so the
+    caller reraises it as :class:`HarnessError` for the supervisor to
+    quarantine.
+    """
+    traceback = exc.__traceback__
+    filename = ""
+    while traceback is not None:
+        filename = traceback.tb_frame.f_code.co_filename
+        traceback = traceback.tb_next
+    return any(fragment in filename for fragment in _HARNESS_FRAGMENTS)
+
+
 # ----------------------------------------------------------------------
 # Post-failure execution phase
 # ----------------------------------------------------------------------
@@ -56,15 +91,20 @@ def strip_config(config):
 class PostPhaseContext:
     """Read-only inputs of the post-failure execution phase."""
 
-    __slots__ = ("config", "workload", "store", "uses_roi")
+    __slots__ = ("config", "workload", "store", "uses_roi",
+                 "resilience")
 
-    def __init__(self, config, workload, store, uses_roi):
+    def __init__(self, config, workload, store, uses_roi,
+                 resilience=None):
         self.config = config
         self.workload = workload
         #: The pre-failure run's ``SnapshotStore``; workers materialize
         #: crash images from it on demand.
         self.store = store
         self.uses_roi = uses_roi
+        #: The phase's ``ResilienceContext`` (chaos, deadlines, attempt
+        #: counts), or None when every resilience knob is off.
+        self.resilience = resilience
 
 
 class PostTaskOutcome:
@@ -101,42 +141,67 @@ def run_post_task(ctx, key):
 
     fid, variant, mask = key
     config = ctx.config
+    resilience = ctx.resilience
+    deadline = watchdog = None
+    if resilience is not None:
+        deadline, watchdog = resilience.guard_task(key)
     started = time.perf_counter()
-    recorder = TraceRecorder("post")
-    memory = PersistentMemory(
-        recorder, config.capture_ips, platform=config.platform
-    )
-    images = ctx.store.materialize(fid)
-    bit_offset = 0
-    for image in images:
-        if mask is None:
-            data = image.bytes_for(config.crash_image_mode)
-        else:
-            bits = len(image.volatile_lines)
-            sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
-            bit_offset += bits
-            data = image.variant_bytes(sub_mask)
-        memory.map_pool(
-            PMPool(image.pool_name, image.size, image.base, data=data)
-        )
-    memory.roi_active = not ctx.uses_roi
-    context = ExecutionContext(
-        memory=memory,
-        interface=XFInterface(memory, stage="post"),
-        stage="post",
-        options=dict(config.workload_options),
-    )
-    crash_repr = None
     try:
-        ctx.workload.post_failure(context)
-    except DetectionComplete:
-        pass
-    except Exception as exc:  # recovery crashed: a finding
-        crash_repr = repr(exc)
-    return PostTaskOutcome(
-        fid, variant, recorder, crash_repr,
-        time.perf_counter() - started,
-    )
+        recorder = TraceRecorder("post")
+        memory = PersistentMemory(
+            recorder, config.capture_ips, platform=config.platform
+        )
+        memory.deadline = deadline
+        images = ctx.store.materialize(fid)
+        bit_offset = 0
+        for image in images:
+            if mask is None:
+                data = image.bytes_for(config.crash_image_mode)
+            else:
+                bits = len(image.volatile_lines)
+                sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
+                bit_offset += bits
+                data = image.variant_bytes(sub_mask)
+            memory.map_pool(
+                PMPool(image.pool_name, image.size, image.base,
+                       data=data)
+            )
+        memory.roi_active = not ctx.uses_roi
+        context = ExecutionContext(
+            memory=memory,
+            interface=XFInterface(memory, stage="post"),
+            stage="post",
+            options=dict(config.workload_options),
+        )
+        crash_repr = None
+        try:
+            ctx.workload.post_failure(context)
+        except DetectionComplete:
+            pass
+        except (DeadlineExceeded, HarnessError):
+            # Livelocked or harness-broken recovery: the supervisor's
+            # problem (a typed incident), never a finding.
+            raise
+        except ReproError as exc:
+            # Library errors the workload provoked (bad persistent
+            # pointer, pool corruption, traversal limit, ...):
+            # recovery crashed — a finding.
+            crash_repr = repr(exc)
+        except Exception as exc:
+            if _is_harness_fault(exc):
+                raise HarnessError(
+                    f"harness fault during post-failure execution: "
+                    f"{type(exc).__name__}: {exc}",
+                    phase="post_exec",
+                ) from exc
+            crash_repr = repr(exc)  # recovery crashed: a finding
+        return PostTaskOutcome(
+            fid, variant, recorder, crash_repr,
+            time.perf_counter() - started,
+        )
+    finally:
+        if watchdog is not None:
+            watchdog.cancel()
 
 
 # ----------------------------------------------------------------------
@@ -147,9 +212,9 @@ def run_post_task(ctx, key):
 class ReplayPhaseContext:
     """Read-only inputs of the checkpointed post-replay phase."""
 
-    __slots__ = ("config", "checkpoints", "runs")
+    __slots__ = ("config", "checkpoints", "runs", "resilience")
 
-    def __init__(self, config, checkpoints, runs):
+    def __init__(self, config, checkpoints, runs, resilience=None):
         self.config = config
         #: fid -> ShadowPM checkpoint captured at that FAILURE_POINT
         #: marker during the single pre-failure replay.
@@ -158,6 +223,9 @@ class ReplayPhaseContext:
         #: ``index`` is the task's position in the canonical run order,
         #: so keys stay unique even for hand-built duplicate runs.
         self.runs = runs
+        #: The phase's ``ResilienceContext``, or None when every
+        #: resilience knob is off.
+        self.resilience = resilience
 
 
 class ReplayTaskOutcome:
@@ -185,23 +253,36 @@ def run_replay_task(ctx, key):
     from repro.obs.metrics import MetricsRegistry
 
     fid, variant, _index = key
+    resilience = ctx.resilience
+    deadline = watchdog = None
+    if resilience is not None:
+        deadline, watchdog = resilience.guard_task(key)
     events, has_roi = ctx.runs[key]
     started = time.perf_counter()
-    metrics = MetricsRegistry()
-    fork = ctx.checkpoints[fid].fork_for_replay(
-        metrics.counter("shadow_transitions_total")
-    )
-    metrics.inc(
-        "replays_roi_scoped" if has_roi else "replays_whole_trace"
-    )
-    shell = DetectionReport()
-    replayer = TraceReplayer(
-        fork, ctx.config, "post", shell,
-        failure_point=fid, has_roi=has_roi, metrics=metrics,
-    )
-    for event in events:
-        replayer.process(event)
-    return ReplayTaskOutcome(
-        fid, variant, shell.bugs, shell.stats.benign_races, metrics,
-        time.perf_counter() - started,
-    )
+    try:
+        metrics = MetricsRegistry()
+        fork = ctx.checkpoints[fid].fork_for_replay(
+            metrics.counter("shadow_transitions_total")
+        )
+        metrics.inc(
+            "replays_roi_scoped" if has_roi else "replays_whole_trace"
+        )
+        shell = DetectionReport()
+        replayer = TraceReplayer(
+            fork, ctx.config, "post", shell,
+            failure_point=fid, has_roi=has_roi, metrics=metrics,
+        )
+        if deadline is None:
+            for event in events:
+                replayer.process(event)
+        else:
+            for event in events:
+                deadline.tick()
+                replayer.process(event)
+        return ReplayTaskOutcome(
+            fid, variant, shell.bugs, shell.stats.benign_races, metrics,
+            time.perf_counter() - started,
+        )
+    finally:
+        if watchdog is not None:
+            watchdog.cancel()

@@ -7,9 +7,9 @@ it, so downstream no-regression comparisons can consume any of them
 with the same three lines of code.
 
 Record ``type`` values: ``span``, ``metric``, ``audit`` (from
-telemetry), ``bug`` and ``stats`` (from reports, with field names
-identical to :meth:`DetectionReport.to_dict`), and ``bench_row`` /
-``bench_result`` (from the benchmark harness).
+telemetry), ``bug``, ``incident``, and ``stats`` (from reports, with
+field names identical to :meth:`DetectionReport.to_dict`), and
+``bench_row`` / ``bench_result`` (from the benchmark harness).
 """
 
 from __future__ import annotations
@@ -50,6 +50,11 @@ def report_records(report, unique=True):
     data = report.to_dict(unique=unique)
     for bug in data["bugs"]:
         yield {"type": "bug", "workload": data["workload"], **bug}
+    for incident in data["incidents"]:
+        yield {
+            "type": "incident", "workload": data["workload"],
+            **incident,
+        }
     yield {
         "type": "stats", "workload": data["workload"], **data["stats"]
     }

@@ -82,6 +82,11 @@ class PersistentMemory:
         self._thread_ids = {}
         self.roi_active = False
         self.detection_complete = False
+        # Cooperative execution budget (repro.resilience.Deadline) or
+        # None.  Ticked on every traced operation: any loop that makes
+        # progress on PM — which a recovery traversal must — hits the
+        # budget, turning a livelock into a typed DeadlineExceeded.
+        self.deadline = None
         self._cache.platform = self.platform
 
     # ------------------------------------------------------------------
@@ -174,6 +179,8 @@ class PersistentMemory:
         self._observers.append(observer)
 
     def _emit(self, kind, addr=0, size=0, info="", ip=None):
+        if self.deadline is not None:
+            self.deadline.tick()
         if ip is None and self.capture_ips:
             ip = capture_location(skip=2)
         event = self.recorder.append(

@@ -19,10 +19,18 @@ suite).
 
 from __future__ import annotations
 
-from repro.errors import OutOfPMError, PMAddressError
+from repro.errors import (
+    OutOfPMError, PMAddressError, TraversalLimitError,
+)
 from repro.pmdk import pmem
 from repro.pmdk.layout import Struct, U64
 from repro.trace.events import EventKind
+
+#: Free-list walk bound: a crash image can leave the list cyclic, and
+#: an unbounded first-fit scan would then livelock recovery.  Raising
+#: :class:`TraversalLimitError` (a ``ReproError``) turns that into a
+#: diagnosable post-failure crash finding instead.
+FREE_LIST_LIMIT = 1 << 16
 
 
 class HeapHeader(Struct):
@@ -122,8 +130,15 @@ class Allocator:
     def _take_block(self, user_size):
         """Pop a fitting free block or carve a fresh one."""
         prev = None
+        steps = 0
         cursor = self._header.free_head
         while cursor:
+            steps += 1
+            if steps > FREE_LIST_LIMIT:
+                raise TraversalLimitError(
+                    f"allocator free-list walk exceeded "
+                    f"{FREE_LIST_LIMIT} steps (cyclic free list?)"
+                )
             block = BlockHeader(self.memory, cursor)
             if block.size >= user_size:
                 successor = block.next_free
@@ -175,6 +190,11 @@ class Allocator:
         blocks = []
         cursor = self._header.free_head
         while cursor:
+            if len(blocks) > FREE_LIST_LIMIT:
+                raise TraversalLimitError(
+                    f"allocator free-list walk exceeded "
+                    f"{FREE_LIST_LIMIT} steps (cyclic free list?)"
+                )
             blocks.append(cursor)
             cursor = BlockHeader(self.memory, cursor).next_free
         return blocks

@@ -2,6 +2,41 @@
 
 from __future__ import annotations
 
+from repro.errors import TraversalLimitError
+
+#: Default step bound for structural walks.  Far above any reachable
+#: structure size at test sizings (trees/lists of a few thousand
+#: nodes), so only genuine cycles ever hit it.
+TRAVERSAL_LIMIT = 1 << 16
+
+
+class TraversalGuard:
+    """Bounds a data-structure walk against cyclic corruption.
+
+    A crash image can contain pointer cycles (e.g. a node whose child
+    pointer survived a failure mid-update and loops back onto an
+    ancestor), turning a recovery traversal into a livelock.  Calling
+    :meth:`step` once per visited node raises a diagnosable
+    :class:`~repro.errors.TraversalLimitError` — which the frontend
+    reports as a post-failure crash *finding* — instead of spinning
+    until the deadline watchdog kills the worker with less provenance.
+    """
+
+    __slots__ = ("what", "limit", "steps")
+
+    def __init__(self, what, limit=TRAVERSAL_LIMIT):
+        self.what = what
+        self.limit = limit
+        self.steps = 0
+
+    def step(self):
+        self.steps += 1
+        if self.steps > self.limit:
+            raise TraversalLimitError(
+                f"{self.what}: traversal exceeded {self.limit} steps "
+                f"(cyclic corruption in the crash image?)"
+            )
+
 
 class Workload:
     """One testable PM program.

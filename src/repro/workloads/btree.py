@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from repro.pmdk import Array, ObjectPool, Ptr, Struct, U64, pmem
 from repro.workloads._txutil import TxAdder
-from repro.workloads.base import Workload, deterministic_keys
+from repro.workloads.base import (
+    TraversalGuard,
+    Workload,
+    deterministic_keys,
+)
 
 LAYOUT = "xf-btree"
 
@@ -123,7 +127,9 @@ class BTree:
         """Insert below ``node`` (known non-full).  Returns
         ``(updated, value_slot_addr)``: True when an existing key was
         updated in place."""
+        guard = TraversalGuard("btree insert descent")
         while True:
+            guard.step()
             nkeys = node.nkeys
             if node.is_leaf:
                 idx = self._search(node, key)
@@ -205,7 +211,9 @@ class BTree:
         if root.root_ptr == 0:
             return False
         node = self._node(root.root_ptr)
+        guard = TraversalGuard("btree remove descent")
         while True:
+            guard.step()
             idx = self._search(node, key)
             if node.is_leaf:
                 break
@@ -256,7 +264,9 @@ class BTree:
         if root.root_ptr == 0:
             return None
         node = self._node(root.root_ptr)
+        guard = TraversalGuard("btree lookup descent")
         while True:
+            guard.step()
             idx = self._search(node, key)
             if idx is not None:
                 return node.values[idx]

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from repro.pmdk import ObjectPool, Ptr, Struct, U64, pmem
 from repro.workloads._txutil import TxAdder
-from repro.workloads.base import Workload, deterministic_keys
+from repro.workloads.base import (
+    TraversalGuard, Workload, deterministic_keys,
+)
 
 LAYOUT = "xf-ctree"
 
@@ -78,7 +80,9 @@ class CTree:
         pointer = self.root.root_ptr
         if pointer == 0:
             return None
+        guard = TraversalGuard("ctree lookup descent")
         while not _is_leaf(pointer):
+            guard.step()
             node = self._internal(pointer)
             pointer = node.right if _bit(key, node.diff) else node.left
         return self._leaf(pointer)
@@ -151,8 +155,10 @@ class CTree:
         """
         parent = None
         field = None
+        guard = TraversalGuard("ctree insert descent")
         pointer = self.root.root_ptr
         while not _is_leaf(pointer):
+            guard.step()
             node = self._internal(pointer)
             if node.diff < diff:
                 break
@@ -174,7 +180,9 @@ class CTree:
         grand_field = None
         parent = None
         parent_field = None
+        guard = TraversalGuard("ctree remove descent")
         while not _is_leaf(pointer):
+            guard.step()
             node = self._internal(pointer)
             grand, grand_field = parent, parent_field
             parent = node

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 from repro.pmdk import Embed, ObjectPool, Ptr, Struct, U64, pmem
 from repro.workloads._parray import PersistentPtrArray, atomic_word_write
-from repro.workloads.base import Workload, deterministic_keys
+from repro.workloads.base import (
+    TraversalGuard, Workload, deterministic_keys,
+)
 
 LAYOUT = "xf-hashmap-atomic"
 DEFAULT_NBUCKETS = 16
@@ -238,8 +240,10 @@ class HashmapAtomic:
         table = self._table(header)
         idx = self._bucket_of(header, key)
         prev = None
+        guard = TraversalGuard("hashmap-atomic remove chain walk")
         cursor = table.get(idx)
         while cursor:
+            guard.step()
             entry = AtomicEntry(memory, cursor)
             if entry.key == key:
                 break
@@ -284,8 +288,10 @@ class HashmapAtomic:
     def _find(self, key):
         header = self.header
         table = self._table(header)
+        guard = TraversalGuard("hashmap-atomic lookup chain walk")
         cursor = table.get(self._bucket_of(header, key))
         while cursor:
+            guard.step()
             entry = AtomicEntry(self.memory, cursor)
             if entry.key == key:
                 return entry
@@ -303,9 +309,11 @@ class HashmapAtomic:
         header = self.header
         table = self._table(header)
         seen = 0
+        guard = TraversalGuard("hashmap-atomic count walk")
         for idx in range(header.nbuckets):
             cursor = table.get(idx)
             while cursor:
+                guard.step()
                 cursor = AtomicEntry(self.memory, cursor).next
                 seen += 1
         return seen
@@ -326,9 +334,11 @@ class HashmapAtomic:
         header = self.header
         table = self._table(header)
         pairs = []
+        guard = TraversalGuard("hashmap-atomic items walk")
         for idx in range(header.nbuckets):
             cursor = table.get(idx)
             while cursor:
+                guard.step()
                 entry = AtomicEntry(self.memory, cursor)
                 pairs.append((entry.key, entry.value))
                 cursor = entry.next

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from repro.pmdk import ObjectPool, Ptr, Struct, U64, pmem
 from repro.workloads._parray import PersistentPtrArray
-from repro.workloads.base import Workload, deterministic_keys
+from repro.workloads.base import (
+    TraversalGuard, Workload, deterministic_keys,
+)
 
 LAYOUT = "xf-hashmap-tx"
 DEFAULT_NBUCKETS = 16
@@ -135,8 +137,10 @@ class HashmapTX:
         table = self._table(header)
         idx = self._bucket_of(header, key)
         prev = None
+        guard = TraversalGuard("hashmap-tx remove chain walk")
         cursor = table.get(idx)
         while cursor:
+            guard.step()
             entry = TxEntry(self.memory, cursor)
             if entry.key == key:
                 break
@@ -170,8 +174,10 @@ class HashmapTX:
 
     def _find(self, header, key):
         table = self._table(header)
+        guard = TraversalGuard("hashmap-tx lookup chain walk")
         cursor = table.get(self._bucket_of(header, key))
         while cursor:
+            guard.step()
             entry = TxEntry(self.memory, cursor)
             if entry.key == key:
                 return entry
@@ -194,9 +200,11 @@ class HashmapTX:
         header = self.header
         table = self._table(header)
         seen = 0
+        guard = TraversalGuard("hashmap-tx count walk")
         for idx in range(header.nbuckets):
             cursor = table.get(idx)
             while cursor:
+                guard.step()
                 entry = TxEntry(self.memory, cursor)
                 _ = entry.key
                 _ = entry.value
@@ -208,9 +216,11 @@ class HashmapTX:
         header = self.header
         table = self._table(header)
         pairs = []
+        guard = TraversalGuard("hashmap-tx items walk")
         for idx in range(header.nbuckets):
             cursor = table.get(idx)
             while cursor:
+                guard.step()
                 entry = TxEntry(self.memory, cursor)
                 pairs.append((entry.key, entry.value))
                 cursor = entry.next

@@ -18,7 +18,7 @@ post-failure stage:
 from __future__ import annotations
 
 from repro.pmdk import I64, ObjectPool, Ptr, Struct, U64, pmem
-from repro.workloads.base import Workload
+from repro.workloads.base import TraversalGuard, Workload
 
 LAYOUT = "xf-linkedlist"
 
@@ -78,8 +78,10 @@ class PersistentList:
         no transaction — it is reset on every recovery."""
         root = self.root
         count = 0
+        guard = TraversalGuard("linkedlist recount")
         cursor = root.head
         while cursor:
+            guard.step()
             cursor = ListNode(self.pool.memory, cursor).next
             count += 1
         root.length = count
@@ -87,8 +89,10 @@ class PersistentList:
 
     def items(self):
         values = []
+        guard = TraversalGuard("linkedlist items walk")
         cursor = self.root.head
         while cursor:
+            guard.step()
             node = ListNode(self.pool.memory, cursor)
             values.append(node.value)
             cursor = node.next

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.pmdk import Blob, Embed, ObjectPool, Ptr, Struct, U64, pmem
 from repro.workloads._parray import PersistentPtrArray, atomic_word_write
-from repro.workloads.base import Workload
+from repro.workloads.base import TraversalGuard, Workload
 
 LAYOUT = "xf-pmcache"
 DEFAULT_NBUCKETS = 32
@@ -129,8 +129,10 @@ class PMCache:
     def _find_with_prev(self, key_bytes):
         table = self._table()
         prev = None
+        guard = TraversalGuard("pmcache lookup chain walk")
         cursor = table.get(self._bucket_of(key_bytes))
         while cursor:
+            guard.step()
             item = CacheItem(self.memory, cursor)
             if item.key[: item.keylen] == key_bytes:
                 return prev, item
@@ -250,8 +252,10 @@ class PMCache:
         table = self._table()
         idx = self._bucket_of(key_bytes)
         prev = None
+        guard = TraversalGuard("pmcache delete chain walk")
         cursor = table.get(idx)
         while cursor:
+            guard.step()
             item = CacheItem(memory, cursor)
             if item.key[: item.keylen] == key_bytes:
                 break
@@ -310,9 +314,11 @@ class PMCache:
     def _iterate(self):
         header = self.header
         table = self._table()
+        guard = TraversalGuard("pmcache items walk")
         for idx in range(header.nbuckets):
             cursor = table.get(idx)
             while cursor:
+                guard.step()
                 item = CacheItem(self.memory, cursor)
                 yield bytes(item.key[: item.keylen]), item
                 cursor = item.hnext

@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.pmdk import Blob, ObjectPool, Ptr, Struct, U64
 from repro.workloads._parray import PersistentPtrArray
 from repro.workloads._txutil import TxAdder
-from repro.workloads.base import Workload
+from repro.workloads.base import TraversalGuard, Workload
 
 LAYOUT = "xf-pmkv"
 DEFAULT_NBUCKETS = 32
@@ -116,8 +116,10 @@ class PMKVServer:
 
     def _find(self, key_bytes):
         table = self._table()
+        guard = TraversalGuard("pmkv lookup chain walk")
         cursor = table.get(self._bucket_of(key_bytes))
         while cursor:
+            guard.step()
             entry = KVEntry(self.memory, cursor)
             if entry.key[: entry.keylen] == key_bytes:
                 return entry
@@ -214,8 +216,10 @@ class PMKVServer:
         table = self._table()
         idx = self._bucket_of(key_bytes)
         prev = None
+        guard = TraversalGuard("pmkv delete chain walk")
         cursor = table.get(idx)
         while cursor:
+            guard.step()
             entry = KVEntry(self.memory, cursor)
             if entry.key[: entry.keylen] == key_bytes:
                 break
@@ -249,9 +253,11 @@ class PMKVServer:
         root = self.root
         table = self._table()
         found = []
+        guard = TraversalGuard("pmkv keys walk")
         for idx in range(root.nbuckets):
             cursor = table.get(idx)
             while cursor:
+                guard.step()
                 entry = KVEntry(self.memory, cursor)
                 found.append(bytes(entry.key[: entry.keylen]))
                 cursor = entry.next

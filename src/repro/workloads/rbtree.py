@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from repro.pmdk import ObjectPool, Ptr, Struct, U64, pmem
 from repro.workloads._txutil import NullAdder, TxAdder
-from repro.workloads.base import Workload, deterministic_keys
+from repro.workloads.base import (
+    TraversalGuard, Workload, deterministic_keys,
+)
 
 LAYOUT = "xf-rbtree"
 
@@ -63,8 +65,10 @@ class RBTree:
                 adder.force_duplicate(root)
             # Standard BST descent.
             parent = None
+            guard = TraversalGuard("rbtree insert descent")
             cursor = root.root_ptr
             while cursor:
+                guard.step()
                 node = self._node(cursor)
                 if key == node.key:
                     adder.add(node, "skip_add_update_value")
@@ -107,7 +111,9 @@ class RBTree:
     def _fixup(self, adder, node):
         """Restore red-black invariants after inserting ``node``."""
         root = self.root
+        guard = TraversalGuard("rbtree fixup climb")
         while node.parent:
+            guard.step()
             parent = self._node(node.parent)
             if parent.color != RED:
                 break
@@ -196,8 +202,10 @@ class RBTree:
     # ------------------------------------------------------------------
 
     def get(self, key):
+        guard = TraversalGuard("rbtree lookup descent")
         cursor = self.root.root_ptr
         while cursor:
+            guard.step()
             node = self._node(cursor)
             if key == node.key:
                 return node.value
