@@ -24,6 +24,13 @@ from repro.workloads import MICROBENCHMARKS, REAL_WORKLOADS
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Repository root: trajectory files live at the top level so perf
+#: history is one `git log -p BENCH_*.json` away.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Schema tag for top-level ``BENCH_<name>.json`` trajectory files.
+TRAJECTORY_SCHEMA = "xfd-bench-trajectory/1"
+
 #: Workloads of Figure 12, in paper order.
 FIG12_WORKLOADS = {**MICROBENCHMARKS, **REAL_WORKLOADS}
 
@@ -45,6 +52,30 @@ def write_result(name, text, records=None):
         os.path.join(RESULTS_DIR, f"{name}.ndjson"), records
     )
     print(f"\n{text}")
+    return path
+
+
+def write_trajectory(name, rows, summary=None):
+    """Write a top-level ``BENCH_<name>.json`` trajectory file.
+
+    One file per benchmark family, overwritten on every run and meant
+    to be committed: the file's git history *is* the perf trajectory
+    across PRs.  ``rows`` are plain dicts (one per measured
+    configuration); ``summary`` holds the headline scalars (speedups,
+    ratios) tooling compares first.
+    """
+    import json
+
+    payload = {
+        "schema": TRAJECTORY_SCHEMA,
+        "bench": name,
+        "summary": summary or {},
+        "rows": rows,
+    }
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -29,6 +29,7 @@ from benchmarks._common import (
     run_detection,
     table_records,
     write_result,
+    write_trajectory,
 )
 from repro.core import DetectorConfig
 from repro.exec import ProcessExecutor
@@ -146,6 +147,18 @@ def test_fig13_jobs_sweep(benchmark):
     write_result(
         "fig13_jobs_sweep", text,
         records=table_records("fig13_jobs_sweep", headers, rows),
+    )
+    write_trajectory(
+        "fig13",
+        [dict(zip(headers, row)) for row in rows],
+        summary={
+            "workload": "hashmap_tx",
+            "transactions": tx_count,
+            "executor": executor,
+            "cpu_count": os.cpu_count(),
+            "speedup_jobs4": round(speedups[4], 3),
+            "speedup_jobs8": round(speedups[8], 3),
+        },
     )
 
     if (os.cpu_count() or 1) >= 4:

@@ -135,6 +135,11 @@ def _build_parser():
                      help="resume from a previous run's journal: "
                           "validate its config+trace checksum and "
                           "skip completed failure points")
+    run.add_argument("--no-dedup", action="store_true",
+                     help="disable crash-image deduplication and "
+                          "replay-prefix memoization (every failure "
+                          "point runs and replays from scratch; "
+                          "default: XFD_DEDUP or on)")
     run.add_argument("--json", action="store_true",
                      help="print the report as JSON")
     _add_telemetry_args(run)
@@ -268,6 +273,9 @@ def _cmd_run(args):
         overrides["journal"] = args.journal
     if args.resume is not None:
         overrides["resume"] = args.resume
+    if args.no_dedup:
+        overrides["dedup"] = False
+        overrides["replay_memo"] = False
     config = DetectorConfig(
         crash_image_mode=(
             CrashImageMode.PERSISTED_ONLY if args.strict_image
@@ -320,6 +328,16 @@ def _cmd_run(args):
         f"post {stats.post_failure_seconds:.2f}s / "
         f"backend {stats.backend_seconds:.2f}s)"
     )
+    if stats.post_runs_deduped or stats.replays_deduped:
+        skipped_events = telemetry.metrics.value(
+            "replay_events_skipped"
+        )
+        print(
+            f"-- dedup: {stats.post_runs_deduped} post-failure "
+            f"run(s) cloned from class representatives, "
+            f"{stats.replays_deduped} replay(s) memoized "
+            f"({skipped_events} replay events skipped)"
+        )
     if report.incidents:
         state = (
             "DEGRADED: some outcomes lost" if report.degraded

@@ -43,6 +43,15 @@ def _default_deadline():
     return seconds if seconds > 0 else None
 
 
+def _default_dedup():
+    """Crash-state dedup switch: the ``XFD_DEDUP`` env var, default on.
+
+    Only explicit ``0/false/off/no`` disable — an ops knob mirroring
+    the CLI's ``--no-dedup``."""
+    raw = os.environ.get("XFD_DEDUP", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
 def _default_chaos():
     """Chaos fault spec: the ``XFD_CHAOS`` env var (e.g.
     ``crash:0.1,hang:0.05``), default None (no injection)."""
@@ -127,6 +136,24 @@ class DetectorConfig:
     #: ``XFD_EXECUTOR`` env var.  Audit and fail-fast runs always use
     #: the serial executor regardless of this setting.
     executor: str = field(default_factory=_default_executor)
+
+    #: Crash-state deduplication (``repro.dedup``): fingerprint every
+    #: failure point's crash image incrementally, run only one
+    #: post-failure execution/replay per equivalence class, and clone
+    #: the findings onto the other members with per-member provenance.
+    #: Reports stay content-identical to a dedup-off run modulo the
+    #: skipped-work counters.  CLI ``run --no-dedup`` / env
+    #: ``XFD_DEDUP=0`` disable it (needed only when a workload's
+    #: recovery is deliberately non-deterministic).
+    dedup: bool = field(default_factory=_default_dedup)
+
+    #: Replay-prefix memoization: per-worker rolling crash-image
+    #: buffers advanced by per-failure-point deltas (O(delta) instead
+    #: of O(pool) image work per post-failure task), and shadow
+    #: checkpoints captured only at failure points with live replays
+    #: (skipped ones are rebuilt on demand).  Same escape hatches as
+    #: ``dedup``.
+    replay_memo: bool = field(default_factory=_default_dedup)
 
     #: Record every shadow-PM persistence/consistency FSM transition in
     #: an audit log (``repro.obs.AuditLog``) with address range,

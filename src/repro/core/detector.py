@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro._location import UNKNOWN_LOCATION
 from repro.core.config import DetectorConfig
 from repro.core.frontend import Frontend
 from repro.core.replay import StopAnalysis, TraceReplayer
 from repro.core.report import Bug, BugKind, DetectionReport
-from repro.core.shadow import ShadowPM
+from repro.core.shadow import ShadowCheckpointCache, ShadowPM
 from repro.exec.base import TaskOutcome, resolve_executor
 from repro.exec.worker import (
     ReplayPhaseContext,
@@ -88,6 +90,9 @@ class XFDetector:
         )
         stats.pre_failure_seconds = frontend_result.pre_seconds
         stats.post_failure_seconds = frontend_result.post_seconds
+        stats.post_runs_deduped = getattr(
+            frontend_result, "post_runs_deduped", 0
+        )
         incident_log = getattr(frontend_result, "incidents", None)
         if incident_log is None:
             incident_log = IncidentLog()
@@ -233,6 +238,8 @@ class XFDetector:
             incident_log = IncidentLog()
         tel = self.telemetry
         stats = report.stats
+        dedup_on = getattr(self.config, "dedup", False)
+        memo_on = getattr(self.config, "replay_memo", False)
 
         with tel.span("backend") as backend_span:
             shadow = ShadowPM(
@@ -250,26 +257,78 @@ class XFDetector:
                 shadow, self.config, "pre", report,
                 has_roi=pre_has_roi, metrics=tel.metrics,
             )
-            checkpoints = {}
-            insert_at = {}
-            for event in frontend_result.pre_recorder:
-                if event.kind is EventKind.FAILURE_POINT:
-                    fid = int(event.info)
-                    checkpoints[fid] = shadow.copy()
-                    insert_at[fid] = len(report.bugs)
-                pre_replayer.process(event)
-            pre_bugs = list(report.bugs)
 
+            # Tasks are fixed before the pre-replay so replay-level
+            # dedup can decide, at each marker, which runs need a live
+            # checkpoint and which clone an earlier identical replay.
+            marker_fids = {
+                int(event.info)
+                for event in frontend_result.pre_recorder
+                if event.kind is EventKind.FAILURE_POINT
+            }
             tasks = [
                 run for run in ordered_runs
-                if run.failure_point.fid in checkpoints
+                if run.failure_point.fid in marker_fids
             ]
             tel.metrics.gauge("orphaned_post_runs").set(
                 len(ordered_runs) - len(tasks)
             )
-            results = self._replay_tasks(
-                tasks, checkpoints, executor, incident_log
+            runs_at = {}
+            for task_index, run in enumerate(tasks):
+                runs_at.setdefault(
+                    run.failure_point.fid, []
+                ).append(task_index)
+            # Merged LOAD ranges per exec-dedup class with >1 live
+            # member: the shadow read set a digest must cover.
+            readsets = _class_readsets(tasks) if dedup_on else {}
+
+            checkpoints = ShadowCheckpointCache(
+                self._checkpoint_rebuilder(frontend_result, pre_has_roi)
             )
+            replay_seen = {}  # (class id, digest) -> source task index
+            clone_of = {}  # task index -> source task index
+            insert_at = {}
+            for event in frontend_result.pre_recorder:
+                if event.kind is EventKind.FAILURE_POINT:
+                    fid = int(event.info)
+                    insert_at[fid] = len(report.bugs)
+                    need_live = not (dedup_on and memo_on)
+                    digests = {}
+                    for task_index in runs_at.get(fid, ()):
+                        run = tasks[task_index]
+                        if getattr(run, "journal_entry", None) is not None:
+                            continue
+                        cid = (
+                            getattr(run, "dedup_class", None)
+                            if dedup_on else None
+                        )
+                        readset = readsets.get(cid)
+                        if readset is not None:
+                            digest = digests.get(cid)
+                            if digest is None:
+                                digest = shadow.region_digest(readset)
+                                digests[cid] = digest
+                            source = replay_seen.get((cid, digest))
+                            if source is not None:
+                                clone_of[task_index] = source
+                                continue
+                            replay_seen[(cid, digest)] = task_index
+                        need_live = True
+                    if need_live:
+                        checkpoints.capture(fid, shadow)
+                    else:
+                        checkpoints.note_skipped(fid)
+                pre_replayer.process(event)
+            pre_bugs = list(report.bugs)
+            if checkpoints.skipped:
+                tel.metrics.inc(
+                    "replay_checkpoints_skipped", checkpoints.skipped
+                )
+
+            results, replays_deduped = self._replay_tasks(
+                tasks, checkpoints, executor, incident_log, clone_of
+            )
+            stats.replays_deduped = replays_deduped
             stats.post_runs_analyzed = sum(
                 1 for result in results if result is not None
             )
@@ -308,13 +367,39 @@ class XFDetector:
 
         stats.backend_seconds = backend_span.duration
 
+    def _checkpoint_rebuilder(self, frontend_result, pre_has_roi):
+        """The cache's slow path: rebuild the shadow state at one
+        skipped marker by replaying the pre-failure trace prefix into
+        a scratch shadow (fresh counter and report — the live
+        pre-replay already accounted for these events)."""
+
+        def rebuild(fid):
+            shadow = ShadowPM(platform=self.config.platform)
+            replayer = TraceReplayer(
+                shadow, self.config, "pre", DetectionReport(),
+                has_roi=pre_has_roi,
+            )
+            for event in frontend_result.pre_recorder:
+                if (
+                    event.kind is EventKind.FAILURE_POINT
+                    and int(event.info) == fid
+                ):
+                    return shadow.checkpoint()
+                replayer.process(event)
+            raise KeyError(fid)
+
+        return rebuild
+
     def _replay_tasks(self, tasks, checkpoints, executor,
-                      incident_log):
+                      incident_log, clone_of=None):
         """Run every post-failure replay task; returns one
         ``(bugs, benign_races)`` pair per task, in task order —
-        rebuilt straight from the journal for resumed runs, None for
-        quarantined ones."""
+        rebuilt straight from the journal for resumed runs, cloned
+        from the source replay for deduped runs (with per-member
+        failure-point provenance rewritten), None for quarantined
+        ones — plus the number of replays deduped."""
         tel = self.telemetry
+        clone_of = clone_of or {}
         keys = []
         runs_map = {}
         journaled = {}
@@ -331,7 +416,10 @@ class XFDetector:
             runs_map[key] = (
                 tuple(run.recorder), _has_roi(run.recorder)
             )
-        live_keys = [key for key in keys if key not in journaled]
+        live_keys = [
+            key for key in keys
+            if key not in journaled and key[2] not in clone_of
+        ]
         completed = {}
         if live_keys:
             resilience = ResilienceContext.from_config(
@@ -353,16 +441,57 @@ class XFDetector:
                 )
                 submit = self._replay_submit_serial(ctx)
             completed = supervisor.run(submit, live_keys)
+            if clone_of:
+                # A quarantined source replay speaks for nobody: its
+                # clones replay live (rebuilding their checkpoint if
+                # the marker's was skipped) in a fallback wave.
+                fallback = [
+                    key for key in keys
+                    if key[2] in clone_of
+                    and keys[clone_of[key[2]]] not in completed
+                ]
+                if fallback:
+                    tel.metrics.inc(
+                        "dedup_fallback_replays", len(fallback)
+                    )
+                    completed.update(supervisor.run(submit, fallback))
         results = []
+        replays_deduped = 0
         for key in keys:
             if key in journaled:
                 results.append(journaled[key])
-            elif key in completed:
+                continue
+            if key in completed:
                 value = completed[key].value
                 results.append((value.bugs, value.benign_races))
-            else:
-                results.append(None)
-        return results
+                continue
+            source_index = clone_of.get(key[2])
+            source = (
+                completed.get(keys[source_index])
+                if source_index is not None else None
+            )
+            if source is None:
+                results.append(None)  # quarantined: outcome lost
+                continue
+            value = source.value
+            fid = key[0]
+            bugs = [
+                dataclasses.replace(bug, failure_point=fid)
+                if bug.failure_point is not None else bug
+                for bug in value.bugs
+            ]
+            results.append((bugs, value.benign_races))
+            # The clone's own replay would have produced the same
+            # task-local counters event for event; merging the
+            # source's registry once per clone keeps run totals
+            # identical to a dedup-off run.
+            tel.metrics.merge(value.metrics)
+            tel.metrics.inc("replays_deduped")
+            tel.metrics.inc(
+                "replay_events_skipped", len(runs_map[key][0])
+            )
+            replays_deduped += 1
+        return results, replays_deduped
 
     def _replay_submit_serial(self, ctx):
         """Inline replay under real ``post_replay`` spans."""
@@ -426,6 +555,38 @@ class XFDetector:
             writer_ip=UNKNOWN_LOCATION,
         )
         (report.bugs if into is None else into).append(bug)
+
+
+def _class_readsets(tasks):
+    """Merged pre-fork shadow read sets per exec-dedup class.
+
+    Two replays with the same crash image and the same post-failure
+    trace can still differ through the pre-fork shadow state they read
+    (``LOAD`` events consult commit variables, persistence state, and
+    writer provenance at the forked checkpoint).  Replay-level dedup
+    therefore keys on a digest of exactly those shadow regions — the
+    union of every LOAD range in the class's traces.  Classes with a
+    single live member never amortize anything, so they get no read
+    set and replay live.
+    """
+    by_class = {}
+    for run in tasks:
+        cid = getattr(run, "dedup_class", None)
+        if cid is None or getattr(run, "journal_entry", None) is not None:
+            continue
+        by_class.setdefault(cid, []).append(run)
+    readsets = {}
+    for cid, runs in by_class.items():
+        if len(runs) < 2:
+            continue
+        ranges = set()
+        # Deduped members carry their representative's recorder, so
+        # the first member's LOAD set covers the class.
+        for event in runs[0].recorder:
+            if event.kind is EventKind.LOAD:
+                ranges.add((event.addr, event.addr + event.size))
+        readsets[cid] = tuple(sorted(ranges))
+    return readsets
 
 
 def _has_roi(recorder):

@@ -76,6 +76,12 @@ class DetectionStats:
     #: early (``post_trace_events`` still counts every produced run —
     #: the orphan count surfaces as the ``orphaned_post_runs`` metric).
     post_runs_analyzed: int = 0
+    #: Post-failure executions skipped by crash-image dedup (their
+    #: findings were cloned from a class representative).
+    post_runs_deduped: int = 0
+    #: Backend replays skipped by replay-prefix memoization (their
+    #: bugs were cloned from an identical earlier replay).
+    replays_deduped: int = 0
     benign_races: int = 0
     pre_failure_seconds: float = 0.0
     post_failure_seconds: float = 0.0
@@ -219,6 +225,8 @@ class DetectionReport:
                 "pre_trace_events": self.stats.pre_trace_events,
                 "post_trace_events": self.stats.post_trace_events,
                 "post_runs_analyzed": self.stats.post_runs_analyzed,
+                "post_runs_deduped": self.stats.post_runs_deduped,
+                "replays_deduped": self.stats.replays_deduped,
                 "benign_races": self.stats.benign_races,
                 "pre_failure_seconds": self.stats.pre_failure_seconds,
                 "post_failure_seconds":

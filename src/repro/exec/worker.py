@@ -135,6 +135,7 @@ def run_post_task(ctx, key):
     """
     from repro.core.frontend import ExecutionContext
     from repro.core.interface import DetectionComplete, XFInterface
+    from repro.pm.image import CrashImageMode
     from repro.pm.memory import PersistentMemory
     from repro.pm.pool import PMPool
     from repro.trace.recorder import TraceRecorder
@@ -152,20 +153,36 @@ def run_post_task(ctx, key):
             recorder, config.capture_ips, platform=config.platform
         )
         memory.deadline = deadline
-        images = ctx.store.materialize(fid)
-        bit_offset = 0
-        for image in images:
-            if mask is None:
-                data = image.bytes_for(config.crash_image_mode)
-            else:
-                bits = len(image.volatile_lines)
-                sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
-                bit_offset += bits
-                data = image.variant_bytes(sub_mask)
-            memory.map_pool(
-                PMPool(image.pool_name, image.size, image.base,
-                       data=data)
-            )
+        # Replay-prefix memo: reuse this worker's rolling image buffers
+        # (O(delta) per task instead of three O(pool) copies).  The
+        # persisted-only ablation mode keeps the legacy materialize
+        # path — its base image is the strict view, which the memo's
+        # working buffer does not model.
+        use_memo = (
+            getattr(config, "replay_memo", False)
+            and config.crash_image_mode is CrashImageMode.AS_WRITTEN
+            and hasattr(ctx.store, "deltas")
+        )
+        if use_memo:
+            from repro.dedup.memo import memo_for
+
+            for pool in memo_for(ctx.store).task_pools(fid, mask):
+                memory.map_pool(pool)
+        else:
+            images = ctx.store.materialize(fid)
+            bit_offset = 0
+            for image in images:
+                if mask is None:
+                    data = image.bytes_for(config.crash_image_mode)
+                else:
+                    bits = len(image.volatile_lines)
+                    sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
+                    bit_offset += bits
+                    data = image.variant_bytes(sub_mask)
+                memory.map_pool(
+                    PMPool(image.pool_name, image.size, image.base,
+                           data=data)
+                )
         memory.roi_active = not ctx.uses_roi
         context = ExecutionContext(
             memory=memory,

@@ -64,21 +64,87 @@ class PoolDelta:
         return f"PoolDelta({self.pool_name!r}, {shape})"
 
 
+class SnapshotCursor:
+    """Incremental replayer of a store's deltas.
+
+    Holds each pool's program-view and persisted contents as of
+    failure point ``fid`` and advances them delta-by-delta, so walking
+    failure points in order costs O(delta) per step.  The store's own
+    materialization cursor is one of these; ``repro.dedup.memo`` keeps
+    a private one per worker.
+    """
+
+    __slots__ = ("_store", "fid", "pools")
+
+    def __init__(self, store):
+        self._store = store
+        self.fid = -1
+        #: pool name -> [bytearray data, bytearray persisted].
+        self.pools = {}
+
+    def advance(self, fid):
+        """Move to failure point ``fid``; going backwards rebuilds from
+        the base images.
+
+        Returns ``{pool_name: [(start, end), ...]}`` — the byte ranges
+        that changed since the previous position (the whole pool after
+        a base-image reset), which is exactly what a caller caching
+        derived per-pool state needs to invalidate.
+        """
+        snapshots = self._store._snapshots
+        if not 0 <= fid < len(snapshots):
+            raise IndexError(
+                f"no snapshot for failure point #{fid} "
+                f"({len(snapshots)} recorded)"
+            )
+        changed = {}
+        if fid < self.fid:
+            self.fid = -1
+            self.pools = {}
+        for index in range(self.fid + 1, fid + 1):
+            for delta in snapshots[index]:
+                name = delta.pool_name
+                if delta.full is not None:
+                    self.pools[name] = [
+                        bytearray(delta.full.data),
+                        bytearray(delta.full.persisted_data),
+                    ]
+                    changed[name] = [(0, delta.size)]
+                    continue
+                data, persisted = self.pools[name]
+                ranges = changed.setdefault(name, [])
+                for offset, line_data, line_persisted in delta.lines:
+                    data[offset:offset + len(line_data)] = line_data
+                    persisted[offset:offset + len(line_persisted)] = \
+                        line_persisted
+                    ranges.append((offset, offset + len(line_data)))
+        self.fid = fid
+        return changed
+
+
 class SnapshotStore:
     """Append-only store of per-failure-point pool deltas."""
 
-    def __init__(self):
+    def __init__(self, fingerprints=False):
         self._snapshots = []  # fid -> [PoolDelta, ...]
         self._known_pools = set()
         #: Image bytes actually recorded across all snapshots.
         self.recorded_bytes = 0
         #: Image bytes the legacy full-copy scheme would have recorded.
         self.full_equivalent_bytes = 0
+        #: Maintain incremental crash-image fingerprints per capture
+        #: (``repro.dedup``): O(dirty lines) extra hashing per failure
+        #: point, enabling crash-state deduplication.
+        self.fingerprints = fingerprints
+        #: Bytes fed to the fingerprint hash so far (the
+        #: ``dedup_bytes_hashed`` metric).
+        self.hashed_bytes = 0
+        self._folds = {}  # pool name -> repro.dedup.PoolFold
+        self._records = []  # fid -> per-pool fingerprint tuple | None
         self._lock = threading.Lock()
-        # Incremental materialization cursor: pool contents as of
-        # ``_cursor_fid`` so sequential fids replay only their delta.
-        self._cursor_fid = -1
-        self._cursor = {}  # pool_name -> [bytearray data, bytearray persisted]
+        # Incremental materialization cursor so sequential fids replay
+        # only their delta.
+        self._cursor = SnapshotCursor(self)
 
     def __len__(self):
         return len(self._snapshots)
@@ -123,6 +189,7 @@ class SnapshotStore:
             self.full_equivalent_bytes += 2 * pool.size
         fid = len(self._snapshots)
         self._snapshots.append(deltas)
+        self._fingerprint_capture(deltas)
         return fid
 
     def capture_full(self, images):
@@ -139,7 +206,35 @@ class SnapshotStore:
             self.full_equivalent_bytes += 2 * image.size
         fid = len(self._snapshots)
         self._snapshots.append(deltas)
+        self._fingerprint_capture(deltas)
         return fid
+
+    def _fingerprint_capture(self, deltas):
+        """Fold the just-captured deltas into the per-pool fingerprints
+        and record the new failure point's fingerprint tuple."""
+        if not self.fingerprints:
+            self._records.append(None)
+            return
+        from repro.dedup.fingerprint import PoolFold
+
+        record = []
+        for delta in deltas:
+            fold = self._folds.get(delta.pool_name)
+            if fold is None:
+                fold = self._folds[delta.pool_name] = PoolFold()
+            if delta.full is not None:
+                self.hashed_bytes += fold.reset_full(
+                    delta.full.data, delta.full.persisted_data
+                )
+            else:
+                for offset, data, persisted in delta.lines:
+                    self.hashed_bytes += fold.update_line(
+                        offset, data, persisted
+                    )
+            record.append(
+                (delta.pool_name,) + fold.record(delta.volatile_lines)
+            )
+        self._records.append(tuple(record))
 
     # -- queries --------------------------------------------------------
 
@@ -150,6 +245,20 @@ class SnapshotStore:
             len(delta.volatile_lines) for delta in self._snapshots[fid]
         )
 
+    def deltas(self, fid):
+        """The per-pool delta records at failure point ``fid``."""
+        return self._snapshots[fid]
+
+    def fingerprint(self, fid):
+        """The crash-image fingerprint at ``fid``: one
+        ``(pool_name, data_fold, persist_fold, volatile_lines)`` tuple
+        per pool, or None when fingerprints are off (or the store
+        crossed a pickle boundary, which drops them — only the parent
+        builds dedup classes)."""
+        if fid >= len(self._records):
+            return None
+        return self._records[fid]
+
     # -- materialization (post-failure / inspection) --------------------
 
     def materialize(self, fid):
@@ -159,34 +268,13 @@ class SnapshotStore:
         failure point.  Sequential access is O(delta) thanks to the
         cursor; going backwards rebuilds from the base images.
         """
-        if not 0 <= fid < len(self._snapshots):
-            raise IndexError(
-                f"no snapshot for failure point #{fid} "
-                f"({len(self._snapshots)} recorded)"
-            )
         with self._lock:
-            if fid < self._cursor_fid:
-                self._cursor_fid = -1
-                self._cursor = {}
-            for index in range(self._cursor_fid + 1, fid + 1):
-                for delta in self._snapshots[index]:
-                    if delta.full is not None:
-                        self._cursor[delta.pool_name] = [
-                            bytearray(delta.full.data),
-                            bytearray(delta.full.persisted_data),
-                        ]
-                        continue
-                    data, persisted = self._cursor[delta.pool_name]
-                    for offset, line_data, line_persisted in delta.lines:
-                        data[offset:offset + len(line_data)] = line_data
-                        persisted[offset:offset + len(line_persisted)] = \
-                            line_persisted
-            self._cursor_fid = max(self._cursor_fid, fid)
+            self._cursor.advance(fid)
             return [
                 PMImage(
                     delta.pool_name, delta.base,
-                    bytes(self._cursor[delta.pool_name][0]),
-                    bytes(self._cursor[delta.pool_name][1]),
+                    bytes(self._cursor.pools[delta.pool_name][0]),
+                    bytes(self._cursor.pools[delta.pool_name][1]),
                     delta.volatile_lines,
                 )
                 for delta in self._snapshots[fid]
@@ -195,6 +283,9 @@ class SnapshotStore:
     # -- pickling (the store crosses into forked workers) ---------------
 
     def __getstate__(self):
+        # Fingerprint folds and records stay behind: dedup classes are
+        # built in the parent before any fan-out, and the folds' line
+        # dictionaries would bloat every worker.
         return {
             "snapshots": self._snapshots,
             "known_pools": sorted(self._known_pools),
@@ -207,6 +298,9 @@ class SnapshotStore:
         self._known_pools = set(state["known_pools"])
         self.recorded_bytes = state["recorded_bytes"]
         self.full_equivalent_bytes = state["full_equivalent_bytes"]
+        self.fingerprints = False
+        self.hashed_bytes = 0
+        self._folds = {}
+        self._records = []
         self._lock = threading.Lock()
-        self._cursor_fid = -1
-        self._cursor = {}
+        self._cursor = SnapshotCursor(self)

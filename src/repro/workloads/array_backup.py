@@ -112,7 +112,8 @@ class ArrayBackupWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "array_backup", LAYOUT, root_cls=BackupRoot
+            ctx.memory, "array_backup", LAYOUT, size=self.pool_size,
+            root_cls=BackupRoot,
         )
         root = pool.root
         root.backup_idx = 0

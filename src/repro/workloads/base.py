@@ -85,6 +85,15 @@ class Workload:
     def has_fault(self, flag):
         return flag in self.faults
 
+    @property
+    def pool_size(self):
+        """Pool size in bytes (``pool_size=`` option), or None for the
+        platform default.  Real PMDK pools are routinely far larger
+        than the test default, which is what makes crash-image
+        copy-elision measurable — benchmarks size the pool explicitly
+        instead of patching constants."""
+        return self.options.get("pool_size")
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------

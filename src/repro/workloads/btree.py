@@ -361,7 +361,8 @@ class BTreeWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "btree", LAYOUT, root_cls=BTreeRoot
+            ctx.memory, "btree", LAYOUT, size=self.pool_size,
+            root_cls=BTreeRoot,
         )
         root = pool.root
         root.root_ptr = 0

@@ -293,7 +293,8 @@ class CTreeWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "ctree", LAYOUT, root_cls=CTreeRoot
+            ctx.memory, "ctree", LAYOUT, size=self.pool_size,
+            root_cls=CTreeRoot,
         )
         root = pool.root
         root.root_ptr = 0

@@ -419,7 +419,8 @@ class HashmapAtomicWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "hashmap_atomic", LAYOUT, root_cls=AtomicRoot
+            ctx.memory, "hashmap_atomic", LAYOUT, size=self.pool_size,
+            root_cls=AtomicRoot,
         )
         hashmap = HashmapAtomic(pool, self.faults)
         if self._creates_in_pre():

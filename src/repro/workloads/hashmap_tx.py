@@ -263,7 +263,8 @@ class HashmapTxWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "hashmap_tx", LAYOUT, root_cls=TxRoot
+            ctx.memory, "hashmap_tx", LAYOUT, size=self.pool_size,
+            root_cls=TxRoot,
         )
         if self.has_fault("unpersisted_create_seed"):
             # Creation happens in the pre-failure RoI instead.

@@ -131,7 +131,8 @@ class LinkedListWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "linkedlist", LAYOUT, root_cls=ListRoot
+            ctx.memory, "linkedlist", LAYOUT, size=self.pool_size,
+            root_cls=ListRoot,
         )
         root = pool.root
         root.head = 0

@@ -362,7 +362,8 @@ class PMCacheWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "pmcache", LAYOUT, root_cls=CacheRoot
+            ctx.memory, "pmcache", LAYOUT, size=self.pool_size,
+            root_cls=CacheRoot,
         )
         cache = PMCache(pool, self.faults).create(self.nbuckets)
         for key, value in self._pairs(self.init_size):

@@ -308,7 +308,8 @@ class PMKVWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "pmkv", LAYOUT, root_cls=KVRoot
+            ctx.memory, "pmkv", LAYOUT, size=self.pool_size,
+            root_cls=KVRoot,
         )
         root = pool.root
         root.initialized = 0

@@ -145,7 +145,8 @@ class QueueWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "queue", LAYOUT, root_cls=QueueRoot
+            ctx.memory, "queue", LAYOUT, size=self.pool_size,
+            root_cls=QueueRoot,
         )
         queue = PersistentQueue(pool, self.faults).create(self.capacity)
         for value in range(self.init_size):

@@ -330,7 +330,8 @@ class RBTreeWorkload(Workload):
 
     def setup(self, ctx):
         pool = ObjectPool.create(
-            ctx.memory, "rbtree", LAYOUT, root_cls=RBRoot
+            ctx.memory, "rbtree", LAYOUT, size=self.pool_size,
+            root_cls=RBRoot,
         )
         root = pool.root
         root.root_ptr = 0

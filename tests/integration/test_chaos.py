@@ -29,6 +29,29 @@ def _run(**config_kwargs):
     return XFDetector(config).run(_workload())
 
 
+def _break_image_access(monkeypatch, broken_fid):
+    """Make every crash-image access path for ``broken_fid`` raise a
+    deterministic harness fault — ``materialize`` for the legacy copy
+    path and ``deltas`` for the memoized one."""
+    originals = {
+        name: getattr(SnapshotStore, name)
+        for name in ("materialize", "deltas")
+    }
+
+    def flaky(name):
+        def accessor(self, fid):
+            if fid == broken_fid:
+                raise HarnessError(
+                    "snapshot store corrupted", phase="post_exec"
+                )
+            return originals[name](self, fid)
+
+        return accessor
+
+    for name in originals:
+        monkeypatch.setattr(SnapshotStore, name, flaky(name))
+
+
 def _bugs_by_point(report):
     """(failure_point -> bug dict list), timings-free."""
     by_point = {}
@@ -158,18 +181,7 @@ class TestHarnessErrorQuarantine:
         point; the other points' findings are untouched and nothing
         masquerades as a POST_FAILURE_CRASH bug."""
         broken_fid = 1
-        original = SnapshotStore.materialize
-
-        def flaky_materialize(self, fid):
-            if fid == broken_fid:
-                raise HarnessError(
-                    "snapshot store corrupted", phase="post_exec"
-                )
-            return original(self, fid)
-
-        monkeypatch.setattr(
-            SnapshotStore, "materialize", flaky_materialize
-        )
+        _break_image_access(monkeypatch, broken_fid)
         report = _run(max_retries=2)
         assert report.degraded
         incidents = report.incidents
@@ -201,18 +213,7 @@ class TestCombinedAcceptance:
         with all three incident kinds, ``degraded: true``, and every
         unaffected point byte-identical to the fault-free run."""
         broken_fid = 2
-        original = SnapshotStore.materialize
-
-        def flaky_materialize(self, fid):
-            if fid == broken_fid:
-                raise HarnessError(
-                    "snapshot store corrupted", phase="post_exec"
-                )
-            return original(self, fid)
-
-        monkeypatch.setattr(
-            SnapshotStore, "materialize", flaky_materialize
-        )
+        _break_image_access(monkeypatch, broken_fid)
         report = _run(
             chaos="crash:0.1,hang:0.04",
             exec_deadline=0.1,

@@ -168,21 +168,27 @@ class TestQuarantineInteraction:
         report."""
         reference = _report_dict(_run())
         broken_fid = 1
-        original = SnapshotStore.materialize
+        originals = {
+            name: getattr(SnapshotStore, name)
+            for name in ("materialize", "deltas")
+        }
 
-        def flaky_materialize(self, fid):
-            if fid == broken_fid:
-                raise HarnessError(
-                    "snapshot store corrupted", phase="post_exec"
-                )
-            return original(self, fid)
+        def flaky(name):
+            def accessor(self, fid):
+                if fid == broken_fid:
+                    raise HarnessError(
+                        "snapshot store corrupted", phase="post_exec"
+                    )
+                return originals[name](self, fid)
+
+            return accessor
 
         journal_path = str(tmp_path / "degraded.ndjson")
-        monkeypatch.setattr(
-            SnapshotStore, "materialize", flaky_materialize
-        )
+        for name in originals:
+            monkeypatch.setattr(SnapshotStore, name, flaky(name))
         degraded = _run(journal=journal_path)
-        monkeypatch.setattr(SnapshotStore, "materialize", original)
+        for name, method in originals.items():
+            monkeypatch.setattr(SnapshotStore, name, method)
         assert degraded.degraded
         journaled_fids = {
             record["fid"]
