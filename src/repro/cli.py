@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core import DetectorConfig, XFDetector
@@ -142,6 +143,22 @@ def _build_parser():
                           "default: XFD_DEDUP or on)")
     run.add_argument("--json", action="store_true",
                      help="print the report as JSON")
+    run.add_argument("--events", default=None, metavar="PATH",
+                     help="append the run's live event stream "
+                          "(repro.obs.live NDJSON) to PATH")
+    run.add_argument("--prom-textfile", default=None, metavar="PATH",
+                     help="write Prometheus textfile-collector "
+                          "exposition to PATH, atomically rewritten "
+                          "on every heartbeat")
+    run.add_argument("--progress", action="store_true",
+                     help="force the live progress line on stderr "
+                          "even when it is not a TTY")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the live progress line even on "
+                          "a TTY")
+    run.add_argument("--heartbeat-interval", type=float, default=None,
+                     metavar="SECONDS",
+                     help="live-bus heartbeat cadence (default 1.0)")
     _add_telemetry_args(run)
 
     lint = sub.add_parser(
@@ -183,6 +200,34 @@ def _build_parser():
     )
     _add_workload_args(profile)
     _add_telemetry_args(profile)
+    profile.add_argument("--top", type=int, default=None, metavar="N",
+                         help="print the N span names with the "
+                              "largest aggregate self time instead "
+                              "of the full tree")
+    profile.add_argument("--folded", action="store_true",
+                         help="print folded stacks "
+                              "(name;child microseconds) for "
+                              "flamegraph tooling instead of the "
+                              "tree")
+
+    report_cmd = sub.add_parser(
+        "report", help="render a recorded run (--events stream, "
+                       "optionally joined with --ndjson span "
+                       "records) as a self-contained HTML report"
+    )
+    report_cmd.add_argument("events", metavar="EVENTS",
+                            help="live event-stream file written by "
+                                 "run --events")
+    report_cmd.add_argument("--ndjson", default=None, metavar="PATH",
+                            help="the same run's --ndjson records; "
+                                 "its spans become the report's "
+                                 "flamegraph")
+    report_cmd.add_argument("--out", default=None, metavar="PATH",
+                            help="output HTML path (default: the "
+                                 "events path with a .html suffix)")
+    report_cmd.add_argument("--title", default=None,
+                            help="report heading (default: workload "
+                                 "name)")
 
     faults = sub.add_parser(
         "list-faults", help="show a workload's fault flags"
@@ -276,6 +321,18 @@ def _cmd_run(args):
     if args.no_dedup:
         overrides["dedup"] = False
         overrides["replay_memo"] = False
+    if args.events is not None:
+        overrides["events"] = args.events
+    if args.prom_textfile is not None:
+        overrides["prom_textfile"] = args.prom_textfile
+    if args.quiet:
+        overrides["progress"] = False
+    elif args.progress:
+        overrides["progress"] = True
+    if args.heartbeat_interval is not None:
+        overrides["heartbeat_interval"] = max(
+            0.0, args.heartbeat_interval
+        )
     config = DetectorConfig(
         crash_image_mode=(
             CrashImageMode.PERSISTED_ONLY if args.strict_image
@@ -290,11 +347,16 @@ def _cmd_run(args):
     )
     from repro.errors import JournalError
 
+    detector = XFDetector(config)
     try:
-        report = XFDetector(config).run(workload)
+        report = detector.run(workload)
     except JournalError as exc:
         print(f"xfdetector: error: {exc}", file=sys.stderr)
         raise SystemExit(2)
+    finally:
+        # Flush and close the live sinks (event stream, Prometheus
+        # textfile, progress line) whether or not the run completed.
+        detector.telemetry.close()
     telemetry = report.telemetry
     # Exit status reflects what was *reported*: any bug in the printed
     # report (performance bugs included) is a non-zero exit, so shell
@@ -480,12 +542,93 @@ def _cmd_profile(args):
     name = _resolve_workload_name(args)
     workload = _make_workload(name, args)
     config = DetectorConfig(audit=args.audit)
-    report = XFDetector(config).run(workload)
+    detector = XFDetector(config)
+    try:
+        report = detector.run(workload)
+    finally:
+        detector.telemetry.close()
+    spans = report.telemetry.spans
+    if args.folded:
+        # Machine format on stdout, nothing else: pipe straight into
+        # flamegraph.pl / speedscope.
+        for line in spans.folded():
+            print(line)
+        if args.ndjson:
+            _write_run_ndjson(args.ndjson, report)
+        return 0
     print(report.summary())
     print()
-    print(report.telemetry.format())
+    if args.top is not None:
+        rows = spans.aggregate()[: max(0, args.top)]
+        width = max((len(row["name"]) for row in rows), default=4)
+        print(
+            f"{'span':<{width}}  {'calls':>6}  {'self':>10}  "
+            f"{'total':>10}  {'max':>10}"
+        )
+        for row in rows:
+            print(
+                f"{row['name']:<{width}}  {row['count']:>6}  "
+                f"{row['self_seconds']:>9.4f}s  "
+                f"{row['total_seconds']:>9.4f}s  "
+                f"{row['max_seconds']:>9.4f}s"
+            )
+    else:
+        print(report.telemetry.format())
     if args.ndjson:
         _write_run_ndjson(args.ndjson, report)
+    return 0
+
+
+def _cmd_report(args):
+    from repro.obs.live import SchemaVersionError, read_events
+    from repro.obs.live.report_html import render_report
+
+    try:
+        events = read_events(args.events)
+    except (OSError, ValueError, SchemaVersionError) as exc:
+        print(f"xfdetector: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not events:
+        print(
+            f"xfdetector: error: {args.events} contains no events",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    span_records = []
+    if args.ndjson:
+        from repro.obs import read_ndjson
+
+        try:
+            span_records = [
+                record for record in read_ndjson(args.ndjson)
+                if record.get("type") == "span"
+            ]
+        except (OSError, ValueError) as exc:
+            print(
+                f"xfdetector: error: cannot read NDJSON "
+                f"{args.ndjson}: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    out = args.out
+    if out is None:
+        base = args.events
+        if base.endswith(".ndjson"):
+            base = base[: -len(".ndjson")]
+        out = base + ".html"
+    html_text = render_report(
+        events, span_records=span_records, title=args.title
+    )
+    try:
+        with open(out, "w") as handle:
+            handle.write(html_text)
+    except OSError as exc:
+        print(
+            f"xfdetector: error: cannot write {out}: {exc}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    print(f"-- HTML report written to {out}")
     return 0
 
 
@@ -610,6 +753,7 @@ def main(argv=None):
         "run": _cmd_run,
         "lint": _cmd_lint,
         "profile": _cmd_profile,
+        "report": _cmd_report,
         "list-workloads": _cmd_list_workloads,
         "list-faults": _cmd_list_faults,
         "new-bugs": _cmd_new_bugs,
@@ -617,7 +761,15 @@ def main(argv=None):
         "trace": _cmd_trace,
         "inspect": _cmd_inspect,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (head, a flamegraph pipeline) closed
+        # the pipe; detach stdout so the interpreter's shutdown flush
+        # does not traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

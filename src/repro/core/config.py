@@ -166,6 +166,26 @@ class DetectorConfig:
     #: creates a fresh per-run instance honoring ``audit``).
     telemetry: object | None = None
 
+    #: Path of the live NDJSON event stream (``repro.obs.live``):
+    #: every bus event is appended as one flushed JSON line.  None
+    #: (the default) writes no stream.  CLI: ``run --events PATH``.
+    events: str | None = None
+
+    #: Path of a Prometheus textfile-collector exposition file,
+    #: atomically rewritten on every heartbeat and phase boundary.
+    #: None (the default) writes none.  CLI: ``run --prom-textfile``.
+    prom_textfile: str | None = None
+
+    #: TTY progress line on stderr: True forces it on, False forces it
+    #: off, None (the default) enables it only when stderr is a
+    #: terminal.  CLI: ``run --progress`` / ``run --quiet``.
+    progress: bool | None = None
+
+    #: Seconds between live-bus heartbeats (progress repaints and
+    #: Prometheus rewrites ride on them).  A final heartbeat always
+    #: precedes ``run_finished`` regardless of the interval.
+    heartbeat_interval: float = 1.0
+
     #: Wall-clock budget (seconds) for each post-failure execution and
     #: replay task, enforced cooperatively on every traced operation
     #: plus a hard watchdog in forked process workers.  None = no

@@ -57,18 +57,29 @@ class XFDetector:
 
     def run(self, workload):
         executor = resolve_executor(self.config, self.telemetry)
+        tel = self.telemetry
+        workload_name = getattr(
+            workload, "name", type(workload).__name__
+        )
+        tel.emit(
+            "run_started", workload=workload_name,
+            jobs=self.config.jobs, executor=executor.kind,
+        )
         try:
-            with self.telemetry.span(
-                "run",
-                workload=getattr(
-                    workload, "name", type(workload).__name__
-                ),
-            ):
+            with tel.span("run", workload=workload_name):
                 frontend_result = Frontend(
                     self.config, telemetry=self.telemetry,
                     executor=executor,
                 ).run(workload)
-                return self.analyze(frontend_result, executor=executor)
+                report = self.analyze(
+                    frontend_result, executor=executor
+                )
+            tel.emit(
+                "run_finished", workload=workload_name,
+                findings=len(report.bugs),
+                stats=_deterministic_stats(report.stats),
+            )
+            return report
         finally:
             executor.close()
 
@@ -144,6 +155,9 @@ class XFDetector:
         for run in ordered_runs:
             post_by_fid.setdefault(run.failure_point.fid, []).append(run)
 
+        tel.emit(
+            "phase_started", phase="backend", points=len(ordered_runs)
+        )
         with tel.span("backend") as backend_span:
             audit = (
                 tel.audit.scoped(stage="pre")
@@ -170,13 +184,28 @@ class XFDetector:
                     if event.kind is EventKind.FAILURE_POINT:
                         for run in post_by_fid.get(int(event.info), []):
                             stats.post_runs_analyzed += 1
+                            cursor = len(report.bugs)
                             self._analyze_failure_point(
                                 shadow, report, run
+                            )
+                            for bug in report.bugs[cursor:]:
+                                _emit_finding(tel, bug)
+                            tel.emit(
+                                "point_completed", phase="backend",
+                                fid=run.failure_point.fid,
+                                variant=run.variant,
                             )
                     pre_replayer.process(event)
             except StopAnalysis:
                 pass
 
+        # The per-point deltas above covered every bug carrying a
+        # failure point; pre-failure findings (perf bugs found between
+        # markers, which carry none) are emitted here.
+        for bug in report.bugs:
+            if bug.failure_point is None:
+                _emit_finding(tel, bug)
+        tel.emit("phase_finished", phase="backend")
         stats.backend_seconds = backend_span.duration
         tel.metrics.gauge("orphaned_post_runs").set(
             len(ordered_runs) - stats.post_runs_analyzed
@@ -241,6 +270,25 @@ class XFDetector:
         dedup_on = getattr(self.config, "dedup", False)
         memo_on = getattr(self.config, "replay_memo", False)
 
+        # Tasks are fixed before the pre-replay so replay-level
+        # dedup can decide, at each marker, which runs need a live
+        # checkpoint and which clone an earlier identical replay.
+        marker_fids = {
+            int(event.info)
+            for event in frontend_result.pre_recorder
+            if event.kind is EventKind.FAILURE_POINT
+        }
+        tasks = [
+            run for run in ordered_runs
+            if run.failure_point.fid in marker_fids
+        ]
+        tel.emit(
+            "phase_started", phase="backend",
+            points=sum(
+                1 for run in tasks
+                if getattr(run, "journal_entry", None) is None
+            ),
+        )
         with tel.span("backend") as backend_span:
             shadow = ShadowPM(
                 platform=self.config.platform,
@@ -257,19 +305,6 @@ class XFDetector:
                 shadow, self.config, "pre", report,
                 has_roi=pre_has_roi, metrics=tel.metrics,
             )
-
-            # Tasks are fixed before the pre-replay so replay-level
-            # dedup can decide, at each marker, which runs need a live
-            # checkpoint and which clone an earlier identical replay.
-            marker_fids = {
-                int(event.info)
-                for event in frontend_result.pre_recorder
-                if event.kind is EventKind.FAILURE_POINT
-            }
-            tasks = [
-                run for run in ordered_runs
-                if run.failure_point.fid in marker_fids
-            ]
             tel.metrics.gauge("orphaned_post_runs").set(
                 len(ordered_runs) - len(tasks)
             )
@@ -320,6 +355,8 @@ class XFDetector:
                         checkpoints.note_skipped(fid)
                 pre_replayer.process(event)
             pre_bugs = list(report.bugs)
+            for bug in pre_bugs:
+                _emit_finding(tel, bug)
             if checkpoints.skipped:
                 tel.metrics.inc(
                     "replay_checkpoints_skipped", checkpoints.skipped
@@ -347,9 +384,12 @@ class XFDetector:
                     cursor = offset
                     current_fid = fid
                 merged.extend(bugs)
+                for bug in bugs:
+                    _emit_finding(tel, bug)
                 stats.benign_races += benign_races
                 if run.crash is not None:
                     self._append_crash_bug(report, run, into=merged)
+                    _emit_finding(tel, merged[-1])
                 if journal is not None:
                     journal.record_post(
                         fid, run.variant,
@@ -366,6 +406,10 @@ class XFDetector:
             report.bugs = merged
 
         stats.backend_seconds = backend_span.duration
+        tel.emit(
+            "phase_finished", phase="backend",
+            seconds=backend_span.duration,
+        )
 
     def _checkpoint_rebuilder(self, frontend_result, pre_has_roi):
         """The cache's slow path: rebuild the shadow state at one
@@ -490,28 +534,27 @@ class XFDetector:
             tel.metrics.inc(
                 "replay_events_skipped", len(runs_map[key][0])
             )
+            tel.emit(
+                "dedup_hit", stage="post_replay",
+                fid=fid, variant=key[1],
+            )
             replays_deduped += 1
         return results, replays_deduped
 
     def _replay_submit_serial(self, ctx):
-        """Inline replay under real ``post_replay`` spans."""
+        """Inline replay; each task records its own ``post_replay``
+        span tree (fork/replay children) and it is grafted here."""
         tel = self.telemetry
 
         def submit(wave):
             outcomes = []
             for key in wave:
-                attrs = {"fid": key[0]}
-                if key[1] is not None:
-                    attrs["variant"] = key[1]
-                error = None
-                with tel.span("post_replay", **attrs):
-                    try:
-                        value = run_replay_task(ctx, key)
-                    except Exception as exc:
-                        error = exc
-                if error is not None:
-                    outcomes.append(TaskOutcome(None, error=error))
+                try:
+                    value = run_replay_task(ctx, key)
+                except Exception as exc:
+                    outcomes.append(TaskOutcome(None, error=exc))
                 else:
+                    tel.spans.graft(value.spans)
                     tel.metrics.merge(value.metrics)
                     outcomes.append(TaskOutcome(value))
             return outcomes
@@ -520,7 +563,8 @@ class XFDetector:
 
     def _replay_submit_pool(self, executor, ctx):
         """Fan replay out over a pool; merge worker-local telemetry
-        for completed tasks only (a retried task merges once)."""
+        for completed tasks only (a retried task merges once) and
+        graft each shipped span tree, tagged with its worker."""
         tel = self.telemetry
 
         def submit(wave):
@@ -530,12 +574,7 @@ class XFDetector:
                 value = outcome.value
                 if value is None:
                     continue
-                attrs = {"fid": value.fid, "worker": outcome.worker}
-                if value.variant is not None:
-                    attrs["variant"] = value.variant
-                tel.spans.add_completed(
-                    "post_replay", value.seconds, **attrs
-                )
+                tel.spans.graft(value.spans, worker=outcome.worker)
                 wait_timer.observe(outcome.queue_wait)
                 tel.metrics.merge(value.metrics)
             return outcomes
@@ -555,6 +594,38 @@ class XFDetector:
             writer_ip=UNKNOWN_LOCATION,
         )
         (report.bugs if into is None else into).append(bug)
+
+
+def _emit_finding(telemetry, bug):
+    """Publish one bug as a live ``finding`` event.
+
+    Payload is restricted to deterministic content (kind, failure
+    point, detail, source locations) so the event stream's normalized
+    projection is identical at any pool width.
+    """
+    telemetry.emit(
+        "finding",
+        bug_kind=bug.kind.name,
+        fid=bug.failure_point,
+        detail=bug.detail,
+        reader=str(bug.reader_ip),
+        writer=str(bug.writer_ip),
+    )
+
+
+def _deterministic_stats(stats):
+    """The run-stats payload of ``run_finished``: every counter, no
+    timings (wall-clock fields would break the event stream's
+    determinism projection, which only scrubs envelope-level keys)."""
+    return {
+        "failure_points": stats.failure_points,
+        "pre_trace_events": stats.pre_trace_events,
+        "post_trace_events": stats.post_trace_events,
+        "post_runs_analyzed": stats.post_runs_analyzed,
+        "post_runs_deduped": stats.post_runs_deduped,
+        "replays_deduped": stats.replays_deduped,
+        "benign_races": stats.benign_races,
+    }
 
 
 def _class_readsets(tasks):

@@ -228,18 +228,28 @@ class Frontend:
         # failure injection and detection are suppressed, mirroring the
         # paper's scripts that populate the PM image before testing
         # starts.  Shadow-PM state is still built from the setup trace.
+        tel.emit("phase_started", phase="setup")
         with tel.span("setup") as setup_span:
             memory.skip_failure_depth += 1
             context.interface.skip_detection_begin()
             workload.setup(context)
             context.interface.skip_detection_end()
             memory.skip_failure_depth -= 1
+        tel.emit(
+            "phase_finished", phase="setup",
+            seconds=setup_span.duration,
+        )
 
+        tel.emit("phase_started", phase="pre_failure")
         with tel.span("pre_failure") as pre_span:
             try:
                 workload.pre_failure(context)
             except DetectionComplete:
                 pass
+        tel.emit(
+            "phase_finished", phase="pre_failure",
+            seconds=pre_span.duration,
+        )
         # Image copying belongs to spawning the post-failure runs
         # (Figure 8a step 3), not to the pre-failure execution.
         pre_seconds = (
@@ -368,6 +378,10 @@ class Frontend:
                     "journal.points_resumed", len(journaled)
                 )
 
+        tel.emit(
+            "phase_started", phase="post_exec", points=len(keys)
+        )
+
         # Crash-state dedup: bucket the live keys by (mask, crash-image
         # fingerprint); only class representatives execute, in plan
         # order, and members clone their outcome below.
@@ -472,6 +486,11 @@ class Frontend:
                         deduped = True
                         deduped_count += 1
                         tel.metrics.inc("post_runs_deduped")
+                        tel.emit(
+                            "dedup_hit", stage="post_exec",
+                            fid=key[0], variant=key[1],
+                            dedup_class=dedup_class,
+                        )
                 if value is None:
                     continue  # quarantined: outcome lost, incident logged
             crash = None
@@ -500,30 +519,27 @@ class Frontend:
                 )
             )
         dedup_classes = index.dedup_classes if index is not None else None
+        tel.emit("phase_finished", phase="post_exec")
         return post_runs, post_seconds, deduped_count, dedup_classes
 
     def _submit_serial(self, ctx):
-        """A supervisor submit callable running tasks inline under
-        real ``post_run`` spans (the span tree is the serial
-        schedule's profile — see test_observability)."""
+        """A supervisor submit callable running tasks inline.
+
+        The task body records its own ``post_run`` span tree
+        (materialize/recovery children); grafting it keeps the serial
+        profile shape test_observability asserts, with ``seconds``
+        equal to the grafted root's duration by construction."""
         tel = self.telemetry
 
         def submit(wave):
             outcomes = []
             for key in wave:
-                attrs = {"fid": key[0]}
-                if key[1] is not None:
-                    attrs["variant"] = key[1]
-                error = None
-                with tel.span("post_run", **attrs) as span:
-                    try:
-                        value = run_post_task(ctx, key)
-                    except Exception as exc:
-                        error = exc
-                if error is not None:
-                    outcomes.append(TaskOutcome(None, error=error))
+                try:
+                    value = run_post_task(ctx, key)
+                except Exception as exc:
+                    outcomes.append(TaskOutcome(None, error=exc))
                 else:
-                    value.seconds = span.duration
+                    tel.spans.graft(value.spans)
                     outcomes.append(TaskOutcome(value))
             return outcomes
 
@@ -531,7 +547,9 @@ class Frontend:
 
     def _submit_pool(self, executor, ctx):
         """A supervisor submit callable fanning tasks out over a pool
-        executor; completed tasks get back-dated spans."""
+        executor; each completed task ships its span tree back in the
+        outcome and it is grafted here, tagged with the worker that
+        ran it — pool runs profile exactly like serial ones."""
         tel = self.telemetry
 
         def submit(wave):
@@ -541,12 +559,7 @@ class Frontend:
                 value = outcome.value
                 if value is None:
                     continue
-                attrs = {"fid": value.fid, "worker": outcome.worker}
-                if value.variant is not None:
-                    attrs["variant"] = value.variant
-                tel.spans.add_completed(
-                    "post_run", value.seconds, **attrs
-                )
+                tel.spans.graft(value.spans, worker=outcome.worker)
                 wait_timer.observe(outcome.queue_wait)
             return outcomes
 

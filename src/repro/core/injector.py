@@ -173,5 +173,8 @@ class FailureInjector:
                 store=self.store,
             )
         )
+        emit = getattr(self.telemetry, "emit", None)
+        if emit is not None:
+            emit("point_injected", fid=fid, reason=reason)
         self._ops_pending = False
         self._uncertified_pending = False

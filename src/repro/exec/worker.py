@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import time
 
 from repro.errors import DeadlineExceeded, HarnessError, ReproError
 
@@ -113,18 +112,23 @@ class PostTaskOutcome:
     The crash (if any) travels as ``repr(exc)`` — exception instances
     do not pickle reliably and the report only needs the message; the
     parent rebuilds a ``PostFailureCrash`` whose text is byte-identical
-    to the serial executor's.  ``seconds`` is writable: the serial path
-    overrides it with the enclosing ``post_run`` span's duration.
+    to the serial executor's.  ``spans`` carries the task's own span
+    tree (one ``post_run`` root with ``materialize_image`` /
+    ``recovery`` children) so the coordinator can graft the worker's
+    profile into the run's; ``seconds`` is that root's duration.
     """
 
-    __slots__ = ("fid", "variant", "recorder", "crash_repr", "seconds")
+    __slots__ = ("fid", "variant", "recorder", "crash_repr", "seconds",
+                 "spans")
 
-    def __init__(self, fid, variant, recorder, crash_repr, seconds):
+    def __init__(self, fid, variant, recorder, crash_repr, seconds,
+                 spans=()):
         self.fid = fid
         self.variant = variant
         self.recorder = recorder
         self.crash_repr = crash_repr
         self.seconds = seconds
+        self.spans = list(spans)
 
 
 def run_post_task(ctx, key):
@@ -135,6 +139,7 @@ def run_post_task(ctx, key):
     """
     from repro.core.frontend import ExecutionContext
     from repro.core.interface import DetectionComplete, XFInterface
+    from repro.obs.spans import SpanRecorder
     from repro.pm.image import CrashImageMode
     from repro.pm.memory import PersistentMemory
     from repro.pm.pool import PMPool
@@ -146,75 +151,94 @@ def run_post_task(ctx, key):
     deadline = watchdog = None
     if resilience is not None:
         deadline, watchdog = resilience.guard_task(key)
-    started = time.perf_counter()
+    # The task profiles itself into a local recorder; the root tree
+    # ships back in the outcome and the coordinator grafts it into the
+    # run profile.  ``seconds`` is the root's duration so derived stats
+    # match the grafted span exactly.
+    spans = SpanRecorder()
+    root_attrs = {"fid": fid}
+    if variant is not None:
+        root_attrs["variant"] = variant
     try:
-        recorder = TraceRecorder("post")
-        memory = PersistentMemory(
-            recorder, config.capture_ips, platform=config.platform
-        )
-        memory.deadline = deadline
-        # Replay-prefix memo: reuse this worker's rolling image buffers
-        # (O(delta) per task instead of three O(pool) copies).  The
-        # persisted-only ablation mode keeps the legacy materialize
-        # path — its base image is the strict view, which the memo's
-        # working buffer does not model.
-        use_memo = (
-            getattr(config, "replay_memo", False)
-            and config.crash_image_mode is CrashImageMode.AS_WRITTEN
-            and hasattr(ctx.store, "deltas")
-        )
-        if use_memo:
-            from repro.dedup.memo import memo_for
+        with spans.span("post_run", **root_attrs) as root:
+            recorder = TraceRecorder("post")
+            memory = PersistentMemory(
+                recorder, config.capture_ips, platform=config.platform
+            )
+            memory.deadline = deadline
+            # Replay-prefix memo: reuse this worker's rolling image
+            # buffers (O(delta) per task instead of three O(pool)
+            # copies).  The persisted-only ablation mode keeps the
+            # legacy materialize path — its base image is the strict
+            # view, which the memo's working buffer does not model.
+            use_memo = (
+                getattr(config, "replay_memo", False)
+                and config.crash_image_mode is CrashImageMode.AS_WRITTEN
+                and hasattr(ctx.store, "deltas")
+            )
+            with spans.span("materialize_image"):
+                if use_memo:
+                    from repro.dedup.memo import memo_for
 
-            for pool in memo_for(ctx.store).task_pools(fid, mask):
-                memory.map_pool(pool)
-        else:
-            images = ctx.store.materialize(fid)
-            bit_offset = 0
-            for image in images:
-                if mask is None:
-                    data = image.bytes_for(config.crash_image_mode)
+                    memo_pools = memo_for(ctx.store).task_pools(
+                        fid, mask
+                    )
+                    for pool in memo_pools:
+                        memory.map_pool(pool)
                 else:
-                    bits = len(image.volatile_lines)
-                    sub_mask = (mask >> bit_offset) & ((1 << bits) - 1)
-                    bit_offset += bits
-                    data = image.variant_bytes(sub_mask)
-                memory.map_pool(
-                    PMPool(image.pool_name, image.size, image.base,
-                           data=data)
-                )
-        memory.roi_active = not ctx.uses_roi
-        context = ExecutionContext(
-            memory=memory,
-            interface=XFInterface(memory, stage="post"),
-            stage="post",
-            options=dict(config.workload_options),
-        )
-        crash_repr = None
-        try:
-            ctx.workload.post_failure(context)
-        except DetectionComplete:
-            pass
-        except (DeadlineExceeded, HarnessError):
-            # Livelocked or harness-broken recovery: the supervisor's
-            # problem (a typed incident), never a finding.
-            raise
-        except ReproError as exc:
-            # Library errors the workload provoked (bad persistent
-            # pointer, pool corruption, traversal limit, ...):
-            # recovery crashed — a finding.
-            crash_repr = repr(exc)
-        except Exception as exc:
-            if _is_harness_fault(exc):
-                raise HarnessError(
-                    f"harness fault during post-failure execution: "
-                    f"{type(exc).__name__}: {exc}",
-                    phase="post_exec",
-                ) from exc
-            crash_repr = repr(exc)  # recovery crashed: a finding
+                    images = ctx.store.materialize(fid)
+                    bit_offset = 0
+                    for image in images:
+                        if mask is None:
+                            data = image.bytes_for(
+                                config.crash_image_mode
+                            )
+                        else:
+                            bits = len(image.volatile_lines)
+                            sub_mask = (
+                                (mask >> bit_offset) & ((1 << bits) - 1)
+                            )
+                            bit_offset += bits
+                            data = image.variant_bytes(sub_mask)
+                        memory.map_pool(
+                            PMPool(image.pool_name, image.size,
+                                   image.base, data=data)
+                        )
+            memory.roi_active = not ctx.uses_roi
+            context = ExecutionContext(
+                memory=memory,
+                interface=XFInterface(memory, stage="post"),
+                stage="post",
+                options=dict(config.workload_options),
+            )
+            crash_repr = None
+            with spans.span("recovery"):
+                try:
+                    ctx.workload.post_failure(context)
+                except DetectionComplete:
+                    pass
+                except (DeadlineExceeded, HarnessError):
+                    # Livelocked or harness-broken recovery: the
+                    # supervisor's problem (a typed incident), never a
+                    # finding.
+                    raise
+                except ReproError as exc:
+                    # Library errors the workload provoked (bad
+                    # persistent pointer, pool corruption, traversal
+                    # limit, ...): recovery crashed — a finding.
+                    crash_repr = repr(exc)
+                except Exception as exc:
+                    if _is_harness_fault(exc):
+                        raise HarnessError(
+                            f"harness fault during post-failure "
+                            f"execution: "
+                            f"{type(exc).__name__}: {exc}",
+                            phase="post_exec",
+                        ) from exc
+                    crash_repr = repr(exc)  # recovery crashed: a finding
         return PostTaskOutcome(
-            fid, variant, recorder, crash_repr,
-            time.perf_counter() - started,
+            fid, variant, recorder, crash_repr, root.duration,
+            spans=spans.roots,
         )
     finally:
         if watchdog is not None:
@@ -249,10 +273,10 @@ class ReplayTaskOutcome:
     """One post-failure replay's findings, in picklable form."""
 
     __slots__ = ("fid", "variant", "bugs", "benign_races", "metrics",
-                 "seconds")
+                 "seconds", "spans")
 
     def __init__(self, fid, variant, bugs, benign_races, metrics,
-                 seconds):
+                 seconds, spans=()):
         self.fid = fid
         self.variant = variant
         self.bugs = bugs
@@ -261,6 +285,9 @@ class ReplayTaskOutcome:
         #: run's counters are identical to the serial schedule's.
         self.metrics = metrics
         self.seconds = seconds
+        #: The task's own span tree (a ``post_replay`` root), grafted
+        #: into the run profile by the coordinator.
+        self.spans = list(spans)
 
 
 def run_replay_task(ctx, key):
@@ -268,6 +295,7 @@ def run_replay_task(ctx, key):
     from repro.core.replay import TraceReplayer
     from repro.core.report import DetectionReport
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
 
     fid, variant, _index = key
     resilience = ctx.resilience
@@ -275,30 +303,37 @@ def run_replay_task(ctx, key):
     if resilience is not None:
         deadline, watchdog = resilience.guard_task(key)
     events, has_roi = ctx.runs[key]
-    started = time.perf_counter()
+    spans = SpanRecorder()
+    root_attrs = {"fid": fid}
+    if variant is not None:
+        root_attrs["variant"] = variant
     try:
         metrics = MetricsRegistry()
-        fork = ctx.checkpoints[fid].fork_for_replay(
-            metrics.counter("shadow_transitions_total")
-        )
-        metrics.inc(
-            "replays_roi_scoped" if has_roi else "replays_whole_trace"
-        )
-        shell = DetectionReport()
-        replayer = TraceReplayer(
-            fork, ctx.config, "post", shell,
-            failure_point=fid, has_roi=has_roi, metrics=metrics,
-        )
-        if deadline is None:
-            for event in events:
-                replayer.process(event)
-        else:
-            for event in events:
-                deadline.tick()
-                replayer.process(event)
+        with spans.span("post_replay", **root_attrs) as root:
+            with spans.span("fork_checkpoint"):
+                fork = ctx.checkpoints[fid].fork_for_replay(
+                    metrics.counter("shadow_transitions_total")
+                )
+            metrics.inc(
+                "replays_roi_scoped" if has_roi
+                else "replays_whole_trace"
+            )
+            shell = DetectionReport()
+            replayer = TraceReplayer(
+                fork, ctx.config, "post", shell,
+                failure_point=fid, has_roi=has_roi, metrics=metrics,
+            )
+            with spans.span("replay_events"):
+                if deadline is None:
+                    for event in events:
+                        replayer.process(event)
+                else:
+                    for event in events:
+                        deadline.tick()
+                        replayer.process(event)
         return ReplayTaskOutcome(
             fid, variant, shell.bugs, shell.stats.benign_races, metrics,
-            time.perf_counter() - started,
+            root.duration, spans=spans.roots,
         )
     finally:
         if watchdog is not None:

@@ -1,0 +1,98 @@
+"""``repro.obs.live`` — the live run-telemetry pipeline.
+
+Layers of the detection pipeline publish typed, versioned
+:class:`LiveEvent` records through ``telemetry.emit(...)``; a
+run-scoped :class:`LiveBus` stamps the envelope and fans each event
+out to pluggable sinks:
+
+* :class:`ProgressRenderer` — self-overwriting TTY status line;
+* :class:`EventStreamSink` — append-only NDJSON stream file;
+* :class:`PromFileSink` — atomically rewritten Prometheus textfile;
+* :func:`render_report` — after the fact, a self-contained HTML run
+  report built from the recorded stream.
+
+The bus only exists when at least one sink is configured — a default
+run constructs nothing and ``emit`` is a no-op attribute check.  See
+``docs/observability.md`` for the event taxonomy and sink matrix.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.live.bus import LiveBus, RunProgress
+from repro.obs.live.events import (
+    EVENT_KINDS,
+    NONDETERMINISTIC_FIELDS,
+    NONDETERMINISTIC_KINDS,
+    SCHEMA_VERSION,
+    LiveEvent,
+    SchemaVersionError,
+    event_from_dict,
+    normalized_stream,
+    read_events,
+)
+from repro.obs.live.progress import ProgressRenderer
+from repro.obs.live.prometheus import (
+    PromFileSink,
+    metric_name,
+    parse_exposition,
+    render_exposition,
+    write_textfile,
+)
+from repro.obs.live.report_html import render_report, split_runs
+from repro.obs.live.stream import EventStreamSink
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventStreamSink",
+    "LiveBus",
+    "LiveEvent",
+    "NONDETERMINISTIC_FIELDS",
+    "NONDETERMINISTIC_KINDS",
+    "ProgressRenderer",
+    "PromFileSink",
+    "RunProgress",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "bus_from_config",
+    "event_from_dict",
+    "metric_name",
+    "normalized_stream",
+    "parse_exposition",
+    "read_events",
+    "render_exposition",
+    "render_report",
+    "split_runs",
+    "write_textfile",
+]
+
+
+def bus_from_config(config, telemetry):
+    """Build the run's :class:`LiveBus` from ``DetectorConfig`` sink
+    fields, or ``None`` when no sink is configured.
+
+    ``progress=None`` (the default) auto-enables the TTY renderer only
+    when stderr is a terminal; ``--events`` / ``--prom-textfile`` add
+    their sinks unconditionally.  A ``None`` return keeps the default
+    path allocation-free.
+    """
+    events_path = getattr(config, "events", None)
+    prom_path = getattr(config, "prom_textfile", None)
+    progress = getattr(config, "progress", None)
+    if progress is None:
+        isatty = getattr(sys.stderr, "isatty", None)
+        progress = bool(isatty and isatty())
+    if not (events_path or prom_path or progress):
+        return None
+    sinks = []
+    if progress:
+        sinks.append(ProgressRenderer(enabled=True))
+    if events_path:
+        sinks.append(EventStreamSink(events_path))
+    if prom_path:
+        sinks.append(PromFileSink(prom_path, telemetry))
+    return LiveBus(
+        sinks,
+        heartbeat_interval=getattr(config, "heartbeat_interval", 1.0),
+    )

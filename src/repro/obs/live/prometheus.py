@@ -1,0 +1,228 @@
+"""Prometheus textfile exposition of the run's metrics.
+
+Maps a :class:`repro.obs.metrics.MetricsRegistry` onto the Prometheus
+text exposition format (one ``# TYPE``-declared family per metric,
+``xfd_`` prefix, dots mangled to underscores):
+
+* ``Counter`` -> ``counter``;
+* ``Gauge`` -> ``gauge``;
+* ``Timer`` -> ``summary`` (``_count`` / ``_sum``);
+* ``Histogram`` -> ``histogram`` (cumulative ``_bucket{le=...}``
+  series ending in ``le="+Inf"``, plus ``_count`` / ``_sum``).
+
+Run-progress gauges (``xfd_run_points_done``, ``xfd_run_findings``,
+...) ride along so a dashboard needs nothing but this file.  The
+:class:`PromFileSink` rewrites the file atomically (tmp +
+``os.replace``) on every heartbeat and phase boundary — a scraper
+using the node-exporter textfile collector never sees a torn write.
+
+:func:`parse_exposition` is the format validator the tests and the CI
+smoke job use; it is intentionally strict about the subset we emit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Timer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{([^{}]*)\})?"                     # optional labels
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+
+
+def metric_name(name, prefix="xfd_"):
+    """The exposition-legal name for a registry metric."""
+    mangled = _NAME_RE.sub("_", name)
+    if mangled[:1].isdigit():
+        mangled = "_" + mangled
+    return prefix + mangled
+
+
+def _fmt(value):
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_exposition(registry, extra_gauges=None):
+    """The full exposition document for one registry snapshot.
+
+    ``extra_gauges`` is an ordered ``{name: value}`` of pre-mangled
+    gauge names (the run-progress block).  Families are emitted in
+    sorted registry order, so two snapshots of the same run diff
+    cleanly.
+    """
+    lines = []
+
+    def family(name, kind, help_text=None):
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for raw in registry.names():
+        metric = registry.get(raw)
+        name = metric_name(raw)
+        if isinstance(metric, Counter):
+            family(name, "counter")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            family(name, "gauge")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        elif isinstance(metric, Timer):
+            family(name, "summary")
+            lines.append(f"{name}_count {_fmt(metric.count)}")
+            lines.append(f"{name}_sum {_fmt(metric.total)}")
+        elif isinstance(metric, Histogram):
+            family(name, "histogram")
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(float(bound))}"}} '
+                    f"{_fmt(cumulative)}"
+                )
+            cumulative += metric.counts[-1]
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {_fmt(cumulative)}'
+            )
+            lines.append(f"{name}_count {_fmt(metric.count)}")
+            lines.append(f"{name}_sum {_fmt(metric.total)}")
+    for name, value in (extra_gauges or {}).items():
+        family(name, "gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_textfile(path, text):
+    """Atomically replace ``path`` with ``text`` (tmp + rename)."""
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def parse_exposition(text):
+    """Validate exposition text; returns ``{family: info}``.
+
+    ``info`` is ``{"type": kind, "samples": [(name, labels, value)]}``.
+    Raises ``ValueError`` on anything malformed: an untyped sample, a
+    sample not matching the line grammar, a type redeclaration, or a
+    histogram without its ``+Inf`` bucket.
+    """
+    families = {}
+
+    def family_of(sample_name):
+        for suffix in ("_bucket", "_count", "_sum"):
+            base = sample_name[: -len(suffix)] \
+                if sample_name.endswith(suffix) else None
+            if base and base in families:
+                return base
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE line")
+            name = parts[2]
+            if name in families:
+                raise ValueError(
+                    f"line {lineno}: duplicate TYPE for {name}"
+                )
+            families[name] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {lineno}: malformed sample {line!r}"
+            )
+        name, labels, value = match.groups()
+        base = family_of(name)
+        if base not in families:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no TYPE "
+                f"declaration"
+            )
+        families[base]["samples"].append(
+            (name, labels or "", float(value))
+        )
+    for name, info in families.items():
+        if not info["samples"]:
+            raise ValueError(f"family {name} declared but empty")
+        if info["type"] == "histogram" and not any(
+            'le="+Inf"' in labels
+            for _s, labels, _v in info["samples"]
+        ):
+            raise ValueError(f"histogram {name} missing +Inf bucket")
+    return families
+
+
+class PromFileSink:
+    """Rewrites the textfile on heartbeats and phase boundaries."""
+
+    #: Event kinds that trigger a rewrite.  Heartbeats carry the
+    #: cadence; phase/run boundaries make short runs visible too.
+    TRIGGERS = frozenset({
+        "heartbeat", "run_started", "phase_started",
+        "phase_finished", "run_finished",
+    })
+
+    def __init__(self, path, telemetry):
+        self.path = path
+        self.telemetry = telemetry
+        self._bus = None
+        self.writes = 0
+
+    def attach(self, bus):
+        self._bus = bus
+
+    def _progress_gauges(self):
+        if self._bus is None:
+            return {}
+        snapshot = self._bus.progress.snapshot()
+        gauges = {
+            f"xfd_run_{key}": value
+            for key, value in snapshot.items()
+            if isinstance(value, (int, float)) and not
+            isinstance(value, bool)
+        }
+        gauges["xfd_run_finished"] = int(self._bus.progress.finished)
+        return gauges
+
+    def handle(self, event):
+        if event.kind not in self.TRIGGERS:
+            return
+        write_textfile(self.path, render_exposition(
+            self.telemetry.metrics, self._progress_gauges()
+        ))
+        self.writes += 1
+
+    def close(self):
+        # One last rewrite so the file reflects the final counters
+        # even if the run ended without a run_finished event.
+        try:
+            write_textfile(self.path, render_exposition(
+                self.telemetry.metrics, self._progress_gauges()
+            ))
+        except OSError:
+            pass

@@ -1,0 +1,37 @@
+"""The NDJSON event-stream sink (``xfdetector run --events PATH``).
+
+Append-only by design: the file is opened in append mode, every event
+is one flushed JSON line, and nothing is ever rewritten — the same
+discipline as the resume journal (``repro.resilience.journal``), so a
+killed run leaves a readable prefix and a resumed or subsequent run
+simply appends its own ``run_started`` segment.  Consumers segment the
+file by ``run_id``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class EventStreamSink:
+    """Writes each event as one NDJSON line, flushed immediately."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "a")
+        self.written = 0
+
+    def handle(self, event):
+        self._handle.write(
+            json.dumps(event.to_dict(), default=str) + "\n"
+        )
+        self._handle.flush()
+        self.written += 1
+
+    def flush(self):
+        if not self._handle.closed:
+            self._handle.flush()
+
+    def close(self):
+        if not self._handle.closed:
+            self._handle.close()

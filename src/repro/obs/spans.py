@@ -104,6 +104,32 @@ class SpanRecorder:
             self.roots.append(span)
         return span
 
+    def graft(self, roots, worker=None):
+        """Attach span trees recorded in another process.
+
+        Executor workers record their own span trees against their own
+        ``perf_counter`` origin; the coordinator grafts the shipped
+        trees under its currently open span.  Timestamps are
+        re-anchored so each tree *ends* at the coordinator's "now"
+        (durations are preserved exactly — they are the measurement;
+        absolute placement is only presentation).  ``worker`` tags each
+        grafted root so the profile shows where the work ran.
+        """
+        roots = [root for root in roots if root is not None]
+        if not roots:
+            return []
+        delta = self._clock() - max(root.ended for root in roots)
+        for root in roots:
+            _shift(root, delta)
+            if worker is not None:
+                root.attrs = dict(root.attrs)
+                root.attrs.setdefault("worker", worker)
+            if self._stack:
+                self._stack[-1].children.append(root)
+            else:
+                self.roots.append(root)
+        return roots
+
     # -- queries ----------------------------------------------------------
 
     def walk(self):
@@ -179,3 +205,57 @@ class SpanRecorder:
 
         for root in self.roots:
             yield from emit(root, 0)
+
+    def folded(self):
+        """Folded-stack lines (``a;b;c <microseconds>``).
+
+        The classic flamegraph-tooling input format: one line per
+        unique root-to-span path, the value being the path's aggregate
+        *self* time in integer microseconds (so child time is never
+        double-counted).  Feed the output straight to
+        ``flamegraph.pl`` or speedscope.
+        """
+        totals = {}
+
+        def fold(span, prefix):
+            path = prefix + (span.name,)
+            micros = int(round(span.self_seconds * 1e6))
+            totals[path] = totals.get(path, 0) + micros
+            for child in span.children:
+                fold(child, path)
+
+        for root in self.roots:
+            fold(root, ())
+        return [
+            f"{';'.join(path)} {value}"
+            for path, value in sorted(totals.items())
+        ]
+
+    def aggregate(self):
+        """Per-name rollup: calls, total, self, max duration.
+
+        Sorted by aggregate self time (descending) — the "where does
+        the wall-clock actually go" view behind ``profile --top``.
+        """
+        rows = {}
+        for span, _depth in self.walk():
+            row = rows.setdefault(span.name, {
+                "name": span.name, "count": 0,
+                "total_seconds": 0.0, "self_seconds": 0.0,
+                "max_seconds": 0.0,
+            })
+            row["count"] += 1
+            row["total_seconds"] += span.duration
+            row["self_seconds"] += span.self_seconds
+            row["max_seconds"] = max(row["max_seconds"], span.duration)
+        return sorted(
+            rows.values(),
+            key=lambda row: (-row["self_seconds"], row["name"]),
+        )
+
+
+def _shift(span, delta):
+    span.started += delta
+    span.ended += delta
+    for child in span.children:
+        _shift(child, delta)

@@ -8,7 +8,11 @@ a shared instance for cross-run aggregation).  It owns:
   ``repro.obs.metrics.default_registry()`` to accumulate globally);
 * a :class:`~repro.obs.spans.SpanRecorder` for the wall-clock profile;
 * optionally an :class:`~repro.obs.audit.AuditLog` of shadow-PM FSM
-  transitions (strictly opt-in — it is the one costly piece).
+  transitions (strictly opt-in — it is the one costly piece);
+* optionally a :class:`~repro.obs.live.LiveBus` fanning typed live
+  events (``repro.obs.live.events``) out to progress/stream/Prometheus
+  sinks.  ``emit()`` is the pipeline's single publication point and a
+  no-op attribute check when no sink is configured.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.obs.spans import SpanRecorder
 class Telemetry:
     """Metrics, spans, and (optionally) the shadow-PM audit log."""
 
-    def __init__(self, metrics=None, audit=False):
+    def __init__(self, metrics=None, audit=False, bus=None):
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry()
         )
@@ -30,6 +34,8 @@ class Telemetry:
             self.audit = audit
         else:
             self.audit = AuditLog() if audit else None
+        #: The run's ``repro.obs.live.LiveBus``, or None (no sinks).
+        self.bus = bus
 
     @property
     def audit_enabled(self):
@@ -38,6 +44,26 @@ class Telemetry:
     def span(self, name, **attrs):
         """Open a span: ``with telemetry.span("backend"): ...``."""
         return self.spans.span(name, **attrs)
+
+    def emit(self, kind, **data):
+        """Publish a live event to the run's bus, if one is attached.
+
+        Emission never affects detection: with no bus this is a single
+        attribute check, and a bus failure disables the offending sink
+        rather than propagating (see ``LiveBus._publish``).
+        """
+        bus = self.bus
+        if bus is not None:
+            bus.emit(kind, **data)
+
+    def close(self):
+        """Flush and close the live bus (sinks, heartbeat ticker).
+
+        Idempotent and safe with no bus; runs call it once after the
+        report is produced."""
+        bus = self.bus
+        if bus is not None:
+            bus.close()
 
     # -- export ----------------------------------------------------------
 
@@ -80,8 +106,19 @@ class Telemetry:
 def resolve_telemetry(config):
     """The telemetry a pipeline component should use for one run:
     the config-injected instance, or a fresh one honoring
-    ``config.audit``."""
+    ``config.audit`` and the live-sink fields (``events``,
+    ``prom_textfile``, ``progress``).  The live package is imported
+    only when a sink could actually be configured."""
     injected = getattr(config, "telemetry", None)
     if injected is not None:
         return injected
-    return Telemetry(audit=getattr(config, "audit", False))
+    telemetry = Telemetry(audit=getattr(config, "audit", False))
+    if (
+        getattr(config, "events", None)
+        or getattr(config, "prom_textfile", None)
+        or getattr(config, "progress", None) is not False
+    ):
+        from repro.obs.live import bus_from_config
+
+        telemetry.bus = bus_from_config(config, telemetry)
+    return telemetry

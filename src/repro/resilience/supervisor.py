@@ -188,6 +188,11 @@ class PhaseSupervisor:
         while pending:
             for key in pending:
                 self.attempts[key] = self.attempts.get(key, 0) + 1
+                self._emit(
+                    "point_dispatched", phase=self.phase,
+                    fid=key[0], variant=key[1],
+                    attempt=self.attempts[key],
+                )
             if generation:
                 self._backoff(generation, pending)
             outcomes = submit(pending)
@@ -195,6 +200,14 @@ class PhaseSupervisor:
             for key, outcome in zip(pending, outcomes):
                 if outcome.error is None:
                     completed[key] = outcome
+                    self._emit(
+                        "point_completed", phase=self.phase,
+                        fid=key[0], variant=key[1],
+                        worker=outcome.worker,
+                        seconds=getattr(
+                            outcome.value, "seconds", None
+                        ),
+                    )
                     continue
                 retry_key = self._absorb(key, outcome.error)
                 if retry_key:
@@ -202,6 +215,13 @@ class PhaseSupervisor:
             pending = retry
             generation += 1
         return completed
+
+    def _emit(self, kind, **data):
+        """Publish a live event through the phase's telemetry, if it
+        carries a bus (fakes in tests may not implement ``emit``)."""
+        emit = getattr(self.telemetry, "emit", None)
+        if emit is not None:
+            emit(kind, **data)
 
     def _absorb(self, key, error):
         """Record the incident for one failed key; True to retry it."""
@@ -218,6 +238,14 @@ class PhaseSupervisor:
             detail=_describe(error),
         )
         self.incident_log.record(incident)
+        self._emit(
+            "incident", phase=self.phase,
+            incident_kind=kind.value,
+            fid=key[0], variant=key[1],
+            attempts=attempts,
+            quarantined=not will_retry,
+            detail=_describe(error),
+        )
         tel = self.telemetry
         if tel is not None:
             tel.metrics.inc("resilience.incidents_total")

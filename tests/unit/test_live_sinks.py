@@ -1,0 +1,277 @@
+"""Sink behavior: NDJSON stream, Prometheus exposition, TTY progress,
+and the span profile exports behind ``profile --top`` / ``--folded``."""
+
+import io
+import os
+
+import pytest
+
+from repro.obs.live import (
+    EventStreamSink,
+    LiveBus,
+    LiveEvent,
+    ProgressRenderer,
+    PromFileSink,
+    metric_name,
+    parse_exposition,
+    read_events,
+    render_exposition,
+    split_runs,
+    write_textfile,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.obs.telemetry import Telemetry
+
+
+class TickClock:
+    """A deterministic clock advancing a fixed step per call."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def _event(kind, **data):
+    return LiveEvent(kind, 1, 10.0, "run", data)
+
+
+class TtyStringIO(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestEventStreamSink:
+    def test_appends_across_sessions(self, tmp_path):
+        """Two bus sessions on the same path leave two run segments —
+        the append-only resume discipline."""
+        path = str(tmp_path / "events.ndjson")
+        for round_no in range(2):
+            sink = EventStreamSink(path)
+            bus = LiveBus(
+                [sink], run_id=f"run-{round_no}", ticker=False,
+                heartbeat_interval=0.0,
+            )
+            bus.emit("run_started", workload="w")
+            bus.emit("run_finished")
+            bus.close()
+        events = read_events(path)
+        segments = split_runs(events)
+        assert len(segments) == 2
+        assert {seg[0].run_id for seg in segments} \
+            == {"run-0", "run-1"}
+        # run_started + the forced final heartbeat + run_finished.
+        assert sink.written == 3
+
+    def test_each_line_is_flushed_immediately(self, tmp_path):
+        path = str(tmp_path / "events.ndjson")
+        sink = EventStreamSink(path)
+        sink.handle(_event("point_injected", fid=0))
+        # Readable before close: a killed run leaves a usable prefix.
+        assert len(read_events(path)) == 1
+        sink.close()
+
+
+class TestPrometheus:
+    def test_metric_name_mangling(self):
+        assert metric_name("post.runs_total") == "xfd_post_runs_total"
+        assert metric_name("0weird") == "xfd__0weird"
+
+    def test_render_parse_round_trip_all_types(self):
+        registry = MetricsRegistry()
+        registry.counter("post.runs").inc(3)
+        registry.gauge("pool.workers").set(4)
+        timer = registry.timer("post_failure_seconds")
+        timer.observe(0.5)
+        timer.observe(1.5)
+        histogram = registry.histogram("trace.len", buckets=(10, 100))
+        histogram.observe(5)
+        histogram.observe(50)
+        histogram.observe(5000)  # overflow bucket
+        text = render_exposition(
+            registry, {"xfd_run_points_done": 7}
+        )
+        families = parse_exposition(text)
+        assert families["xfd_post_runs"]["type"] == "counter"
+        assert families["xfd_post_runs"]["samples"] \
+            == [("xfd_post_runs", "", 3.0)]
+        assert families["xfd_pool_workers"]["type"] == "gauge"
+        summary = families["xfd_post_failure_seconds"]
+        assert summary["type"] == "summary"
+        assert ("xfd_post_failure_seconds_count", "", 2.0) \
+            in summary["samples"]
+        assert ("xfd_post_failure_seconds_sum", "", 2.0) \
+            in summary["samples"]
+        hist = families["xfd_trace_len"]
+        assert hist["type"] == "histogram"
+        buckets = {
+            labels: value for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        }
+        # Cumulative: 1 <= 10, 2 <= 100, 3 <= +Inf.
+        assert buckets == {
+            'le="10"': 1.0, 'le="100"': 2.0, 'le="+Inf"': 3.0,
+        }
+        assert families["xfd_run_points_done"]["type"] == "gauge"
+
+    @pytest.mark.parametrize("text", [
+        "orphan_sample 1\n",                       # sample w/o TYPE
+        "# TYPE a counter\n# TYPE a counter\na 1\n",  # dup TYPE
+        "# TYPE a counter\na one\n",               # malformed value
+        "# TYPE a wibble\na 1\n",                  # unknown kind
+        "# TYPE a counter\n",                      # declared but empty
+    ])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_exposition(text)
+
+    def test_write_textfile_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "xfd.prom")
+        write_textfile(path, "# TYPE a counter\na 1\n")
+        write_textfile(path, "# TYPE a counter\na 2\n")
+        assert open(path).read().endswith("a 2\n")
+        assert os.listdir(tmp_path) == ["xfd.prom"]  # no tmp leftovers
+
+    def test_promfile_sink_rewrites_on_triggers(self, tmp_path):
+        path = str(tmp_path / "xfd.prom")
+        telemetry = Telemetry()
+        telemetry.metrics.inc("failure_points_injected", 5)
+        sink = PromFileSink(path, telemetry)
+        bus = LiveBus(
+            [sink], run_id="r", ticker=False, heartbeat_interval=0.0
+        )
+        bus.emit("run_started", workload="w")
+        writes_after_start = sink.writes
+        bus.emit("point_completed", fid=0)   # not a trigger
+        assert sink.writes == writes_after_start
+        bus.heartbeat()
+        assert sink.writes == writes_after_start + 1
+        bus.emit("finding", bug_kind="PERFORMANCE")
+        bus.emit("run_finished")
+        bus.close()
+        families = parse_exposition(open(path).read())
+        assert families["xfd_failure_points_injected"]["samples"] \
+            == [("xfd_failure_points_injected", "", 5.0)]
+        progress = {
+            name: info["samples"][0][2]
+            for name, info in families.items()
+            if name.startswith("xfd_run_")
+        }
+        assert progress["xfd_run_points_done"] == 1.0
+        assert progress["xfd_run_findings"] == 1.0
+        assert progress["xfd_run_finished"] == 1.0
+
+
+class TestProgressRenderer:
+    def _bus(self, renderer):
+        return LiveBus(
+            [renderer], run_id="r", clock=TickClock(step=2.0),
+            heartbeat_interval=1.0, ticker=False,
+        )
+
+    def test_renders_on_tty_and_finishes_with_newline(self):
+        stream = TtyStringIO()
+        renderer = ProgressRenderer(
+            stream=stream, min_interval=0.0, clock=TickClock()
+        )
+        assert renderer.enabled
+        bus = self._bus(renderer)
+        bus.emit("run_started", workload="hashmap_atomic")
+        bus.emit("phase_started", phase="post_exec", points=2)
+        bus.emit("point_completed", phase="post_exec", fid=0)
+        bus.emit("finding", bug_kind="PERFORMANCE")
+        bus.emit("run_finished")
+        bus.close()
+        out = stream.getvalue()
+        assert renderer.heartbeats_rendered >= 1
+        assert renderer.renders >= 3
+        assert "hashmap_atomic" in out
+        assert "post-failure" in out
+        assert "1 finding(s)" in out
+        assert "done" in out  # final render switches the phase label
+        assert out.endswith("\n")
+        assert "\r" in out
+
+    def test_non_tty_stream_stays_silent(self):
+        stream = io.StringIO()  # isatty() is False
+        renderer = ProgressRenderer(stream=stream)
+        assert not renderer.enabled
+        bus = self._bus(renderer)
+        bus.emit("run_started", workload="w")
+        bus.emit("run_finished")
+        bus.close()
+        assert stream.getvalue() == ""
+
+    def test_throttle_skips_fast_point_events(self):
+        stream = TtyStringIO()
+        # Clock step 1.0 < min_interval 10: only forced renders pass.
+        renderer = ProgressRenderer(
+            stream=stream, min_interval=10.0, clock=TickClock(step=1.0)
+        )
+        bus = LiveBus(
+            [renderer], run_id="r", ticker=False,
+            heartbeat_interval=0.0,
+        )
+        bus.emit("phase_started", phase="post_exec", points=50)
+        forced = renderer.renders
+        for fid in range(20):
+            bus.emit("point_completed", fid=fid)
+        assert renderer.renders <= forced + 2
+        bus.close()
+
+
+class TestSpanProfileExports:
+    def _recorder(self):
+        spans = SpanRecorder(clock=TickClock(step=0.0))
+        clock = spans._clock
+        with spans.span("run"):
+            clock.now += 1.0
+            with spans.span("post_run", fid=0):
+                clock.now += 2.0
+            with spans.span("post_run", fid=1):
+                clock.now += 4.0
+        return spans
+
+    def test_folded_lines_are_path_self_micros(self):
+        lines = self._recorder().folded()
+        assert lines == [
+            "run 1000000",
+            "run;post_run 6000000",
+        ]
+
+    def test_aggregate_sorted_by_self_time(self):
+        rows = self._recorder().aggregate()
+        assert [row["name"] for row in rows] == ["post_run", "run"]
+        post = rows[0]
+        assert post["count"] == 2
+        assert post["total_seconds"] == pytest.approx(6.0)
+        assert post["self_seconds"] == pytest.approx(6.0)
+        assert post["max_seconds"] == pytest.approx(4.0)
+        run = rows[1]
+        assert run["count"] == 1
+        assert run["total_seconds"] == pytest.approx(7.0)
+        assert run["self_seconds"] == pytest.approx(1.0)
+
+    def test_graft_preserves_durations_and_tags_worker(self):
+        worker = SpanRecorder(clock=TickClock(start=0.0, step=0.0))
+        wclock = worker._clock
+        with worker.span("post_run", fid=3):
+            wclock.now += 2.5
+        coordinator = SpanRecorder(
+            clock=TickClock(start=100.0, step=0.0)
+        )
+        with coordinator.span("run"):
+            grafted = coordinator.graft(
+                worker.roots, worker="thread-1"
+            )
+        root = coordinator.roots[0]
+        assert root.children == grafted
+        child = root.children[0]
+        assert child.duration == pytest.approx(2.5)
+        assert child.attrs["worker"] == "thread-1"
+        assert child.ended == pytest.approx(100.0)  # ends at graft time
