@@ -1,0 +1,193 @@
+"""Invariant-driven crash plans: executed failure points vs. exhaustive.
+
+Mechanism inference (``repro.analysis.mech``) classifies every traced
+PM store by the crash-consistency mechanism protecting it and emits
+one invariant-driven crash plan per mechanism epoch
+(``repro.analysis.plans``).  With ``DetectorConfig.plan_mode =
+"mechanism"`` the injector executes only each epoch's
+invariant-relevant failure points — first, last-before-commit,
+first-after-commit, last — instead of every ordering point.
+
+Two measurements:
+
+* **Executed-point reduction** — full detection runs, exhaustive vs.
+  mechanism mode, on Table 4 workloads at epoch-dense sizes.  The
+  asserted floor is the issue's acceptance bar: >=3x fewer executed
+  failure points on at least two workloads with *zero* missed bugs
+  (reports content-identical modulo timings and the plan counters).
+
+* **Wall-clock win** — the end-to-end detection-time ratio that the
+  executed-point reduction buys (post-failure executions dominate,
+  paper Section 5.4's O(F · P)).
+"""
+
+import time
+
+from benchmarks._common import (
+    format_table,
+    table_records,
+    write_result,
+    write_trajectory,
+)
+from repro.core import DetectorConfig, XFDetector
+from repro.workloads import MICROBENCHMARKS
+
+#: Epoch-dense parameterizations: one transaction epoch per operation,
+#: enough operations that the four kept points amortize.
+PLAN_WORKLOADS = (
+    ("ctree", dict(init_size=0, test_size=16)),
+    ("rbtree", dict(init_size=0, test_size=12)),
+    ("btree", dict(init_size=0, test_size=20)),
+    ("hashmap_tx", dict(init_size=0, test_size=12)),
+)
+REDUCTION_FLOOR = 3.0
+FLOOR_MIN_WORKLOADS = 2
+
+
+def _config(mode):
+    return DetectorConfig(plan_mode=mode, progress=False)
+
+
+def _content(report):
+    """The report's content: everything but timings and the counters
+    that only say how much work the plan skipped."""
+    data = report.to_dict(unique=False)
+    data["stats"] = {
+        key: value for key, value in data["stats"].items()
+        if not key.endswith("seconds")
+        and key not in (
+            "plan_mode",
+            "failure_points_executed",
+            "failure_points_skipped_by_plan",
+            "post_runs_analyzed",
+            "post_runs_deduped",
+            "replays_deduped",
+            # Skipped points spawn no post-failure run, so the
+            # post-trace volume legitimately shrinks with the plan.
+            "post_trace_events",
+        )
+    }
+    return data
+
+
+def _timed_run(factory, config, repeats=2):
+    best = None
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = XFDetector(config).run(factory())
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, report
+
+
+def test_crash_plan_reduction(benchmark):
+    rows = []
+    ratios = {}
+    trajectory = []
+    for name, params in PLAN_WORKLOADS:
+        cls = MICROBENCHMARKS[name]
+
+        def factory(cls=cls, params=params):
+            return cls(**params)
+
+        XFDetector(_config("exhaustive")).run(factory())  # warm caches
+        ex_time, ex_report = _timed_run(factory, _config("exhaustive"))
+        mech_time, mech_report = _timed_run(
+            factory, _config("mechanism")
+        )
+        assert _content(mech_report) == _content(ex_report), (
+            f"{name}: mechanism-mode report differs from exhaustive"
+        )
+        stats = mech_report.stats
+        executed = stats.failure_points_executed
+        total = stats.failure_points
+        assert executed + stats.failure_points_skipped_by_plan == total
+        ratios[name] = total / executed if executed else 1.0
+        speedup = ex_time / mech_time if mech_time else 1.0
+        rows.append([
+            name, params["test_size"], total, executed,
+            f"{ratios[name]:.2f}", f"{ex_time:.3f}",
+            f"{mech_time:.3f}", f"{speedup:.2f}",
+        ])
+        trajectory.append({
+            "workload": name,
+            "test_size": params["test_size"],
+            "failure_points": total,
+            "executed": executed,
+            "reduction": round(ratios[name], 3),
+            "exhaustive_s": round(ex_time, 4),
+            "mechanism_s": round(mech_time, 4),
+            "speedup": round(speedup, 3),
+            "bugs_equal": True,
+        })
+
+    benchmark.pedantic(
+        lambda: XFDetector(_config("mechanism")).run(
+            MICROBENCHMARKS[PLAN_WORKLOADS[0][0]](
+                **PLAN_WORKLOADS[0][1]
+            )
+        ),
+        rounds=1, iterations=1,
+    )
+
+    headers = ["workload", "test_size", "failure_points", "executed",
+               "reduction", "exhaustive_s", "mechanism_s", "speedup"]
+    text = format_table(
+        headers, rows,
+        title=(
+            "Crash plans — executed failure points and wall clock, "
+            "exhaustive vs. mechanism mode (reports "
+            "content-identical)"
+        ),
+    )
+    text += (
+        "\nshape to check: reduction grows with epoch density "
+        "(4 kept points per clean epoch); the floor is "
+        f">={REDUCTION_FLOOR}x on >={FLOOR_MIN_WORKLOADS} workloads "
+        "with zero missed bugs\n"
+    )
+    write_result(
+        "crash_plans", text,
+        records=table_records("crash_plans", headers, rows),
+    )
+    write_trajectory(
+        "crash_plans",
+        trajectory,
+        summary={
+            "floor": REDUCTION_FLOOR,
+            "floor_min_workloads": FLOOR_MIN_WORKLOADS,
+            "reductions": {
+                name: round(value, 3)
+                for name, value in ratios.items()
+            },
+        },
+    )
+
+    cleared = [v for v in ratios.values() if v >= REDUCTION_FLOOR]
+    assert len(cleared) >= FLOOR_MIN_WORKLOADS, (
+        f"crash-plan reduction below {REDUCTION_FLOOR}x on all but "
+        f"{len(cleared)} workload(s): {ratios}"
+    )
+
+
+def test_crash_plan_soundness_with_seeded_bugs(benchmark):
+    """Mechanism mode must keep every seeded mechanism bug."""
+    from repro.bugsuite import build_workload, mech_bug_entries
+
+    def sweep():
+        missed = []
+        for bug in mech_bug_entries():
+            report = XFDetector(_config("mechanism")).run(
+                build_workload(bug)
+            )
+            if not any(
+                found.kind is bug.expected_kind
+                for found in report.bugs
+            ):
+                missed.append(str(bug))
+        return missed
+
+    missed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert not missed, f"mechanism mode missed: {missed}"

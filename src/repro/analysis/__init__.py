@@ -9,7 +9,14 @@ in the dynamic detector's severity taxonomy, plus:
   (offline mode, ``repro.trace.serialize`` format);
 * :func:`check_module` — lexical RoI/annotation hygiene checks;
 * :func:`build_prune_plan` — Silhouette-style failure-point pruning
-  facts for ``core.injector`` (``DetectorConfig.static_prune``).
+  facts for ``core.injector`` (``DetectorConfig.static_prune``);
+* :func:`infer_mechanisms` / :func:`analyze_mechanisms_workload` —
+  trace-level mechanism inference (``repro.analysis.mech``) behind
+  ``DetectorConfig.plan_mode`` and ``lint --mechanisms``;
+* :func:`build_crash_plans` — invariant-driven crash plans from
+  mechanism epochs (``repro.analysis.plans``);
+* :func:`to_sarif` / :func:`findings_from_sarif` — SARIF 2.1.0
+  export for CI annotation (``lint --sarif``).
 
 :func:`lint_workload` is the front door the CLI uses: interpreter
 findings plus hygiene findings over every interpreted source file.
@@ -20,33 +27,64 @@ from __future__ import annotations
 import inspect
 
 from repro.analysis.findings import AnalysisReport, AnalysisStats, Finding
-from repro.analysis.groundtruth import STATIC_EXPECTATIONS, expected_rules
+from repro.analysis.groundtruth import (
+    MECH_EXPECTATIONS,
+    STATIC_EXPECTATIONS,
+    expected_mech_rules,
+    expected_rules,
+)
 from repro.analysis.hygiene import check_module
 from repro.analysis.interp import AnalysisError, analyze_workload
+from repro.analysis.mech import (
+    MechReport,
+    analyze_mechanisms_workload,
+    infer_mechanisms,
+)
+from repro.analysis.plans import (
+    CrashPlan,
+    CrashPlanSet,
+    build_crash_plans,
+)
 from repro.analysis.pruning import (
     PrunePlan,
     build_prune_plan,
     certified_lines,
 )
 from repro.analysis.rules import RULES, severity_of
+from repro.analysis.sarif import (
+    findings_from_sarif,
+    to_sarif,
+    to_sarif_json,
+)
 from repro.analysis.tracecheck import analyze_trace
 
 __all__ = [
     "AnalysisError",
     "AnalysisReport",
     "AnalysisStats",
+    "CrashPlan",
+    "CrashPlanSet",
     "Finding",
+    "MECH_EXPECTATIONS",
+    "MechReport",
     "PrunePlan",
     "RULES",
     "STATIC_EXPECTATIONS",
+    "analyze_mechanisms_workload",
     "analyze_trace",
     "analyze_workload",
+    "build_crash_plans",
     "build_prune_plan",
     "certified_lines",
     "check_module",
+    "expected_mech_rules",
     "expected_rules",
+    "findings_from_sarif",
+    "infer_mechanisms",
     "lint_workload",
     "severity_of",
+    "to_sarif",
+    "to_sarif_json",
 ]
 
 

@@ -126,11 +126,53 @@ STATIC_EXPECTATIONS = {
 }
 
 
+#: (mechanism workload, flag) -> frozenset of expected XF-M rule ids
+#: from trace-level mechanism inference
+#: (``repro.analysis.mech.analyze_mechanisms_workload``) at the
+#: mechanism suite's canonical size (``test_size=4``).  An empty set
+#: means the violation is *structurally invisible* to inference — the
+#: faulty store lands outside every mechanism window (redo's early
+#: apply and oplog's unlogged branch sit in the logging phase, where an
+#: in-place store is indistinguishable from an unprotected one), or
+#: the bug is recovery-side (reading the stale checkpoint, skipping
+#: verification) and the pre-failure trace is clean.  Only failure
+#: injection catches those.
+MECH_EXPECTATIONS = {
+    # Clean builds: every mechanism classifies with zero findings.
+    ("mech-undo-logging", None): frozenset(),
+    ("mech-redo-logging", None): frozenset(),
+    ("mech-checkpointing", None): frozenset(),
+    ("mech-shadow-paging", None): frozenset(),
+    ("mech-operational-logging", None): frozenset(),
+    ("mech-checksum-recovery", None): frozenset(),
+    # Faulted builds.
+    ("mech-undo-logging", "valid_before_log"): frozenset({"XF-M002"}),
+    ("mech-undo-logging", "inplace_unjournaled_write"):
+        frozenset({"XF-M001"}),
+    ("mech-redo-logging", "apply_before_commit"): frozenset(),
+    ("mech-redo-logging", "commit_before_log"): frozenset({"XF-M002"}),
+    ("mech-checkpointing", "read_old_checkpoint"): frozenset(),
+    ("mech-checkpointing", "write_active_snapshot"):
+        frozenset({"XF-M001"}),
+    ("mech-shadow-paging", "swap_before_persist"):
+        frozenset({"XF-M004"}),
+    ("mech-operational-logging", "apply_without_log"): frozenset(),
+    ("mech-checksum-recovery", "no_verify"): frozenset(),
+}
+
+
 def expected_rules(workload, flag):
     """Expected static rule ids for one seeded fault (empty set when
     the fault is dynamic-only).  Raises KeyError for unknown faults so
     new bugsuite entries must take a position here."""
     return STATIC_EXPECTATIONS[(workload, flag)]
+
+
+def expected_mech_rules(workload, flag):
+    """Expected XF-M rule ids for one mechanism build (``flag=None``
+    for the clean build).  Raises KeyError for unknown builds so new
+    mechanism faults must take a position here."""
+    return MECH_EXPECTATIONS[(workload, flag)]
 
 
 def statically_detectable():

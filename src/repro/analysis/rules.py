@@ -86,6 +86,36 @@ _RULES = [
         "skip-detection region, hiding the commit protocol from the "
         "detector.",
     ),
+    Rule(
+        "XF-M001", "store bypasses its crash-consistency mechanism",
+        RACE,
+        "A traced store sidesteps the mechanism protecting its range: "
+        "an in-transaction store that was never TX_ADDed nor "
+        "transaction-allocated, an in-place store inside an "
+        "undo/operational-log window whose pre-image was never read "
+        "during the logging phase, or a checkpoint epoch that writes "
+        "the snapshot it reads.  Recovery cannot restore what was "
+        "never logged.",
+    ),
+    Rule(
+        "XF-M002", "commit record can persist before its log", RACE,
+        "A commit variable is stored while member data it guards is "
+        "still volatile; a failure after the commit store's persist "
+        "but before the log's leaves recovery trusting a log that "
+        "never reached the media (the valid_before_log family).",
+    ),
+    Rule(
+        "XF-M003", "checksummed data never flushed", RACE,
+        "A store into a checksummed range is never written back; the "
+        "checksum validates data the media does not hold, so "
+        "verification passes on torn state.",
+    ),
+    Rule(
+        "XF-M004", "shadow commit of a volatile copy", RACE,
+        "A shadow/copy-on-write commit pointer is swapped while the "
+        "freshly allocated copy still has volatile bytes; readers "
+        "follow the pointer into non-persisted data.",
+    ),
 ]
 
 RULES = {rule.id: rule for rule in _RULES}

@@ -1,0 +1,139 @@
+"""SARIF 2.1.0 export of static-analysis findings.
+
+``lint --sarif`` writes one SARIF log so CI (GitHub code scanning,
+most SARIF viewers) can annotate PRs with the analyzer's findings.
+The mapping is intentionally lossless for our own model: everything a
+:class:`repro.analysis.findings.Finding` carries that SARIF has no
+first-class slot for (the function name, the inline stack) rides in
+``properties``, and :func:`findings_from_sarif` round-trips a log back
+into findings.
+
+Severity mapping: ``race`` findings are real crash-consistency bugs
+(``error``), ``semantic`` findings are contract violations
+(``warning``), ``performance`` findings are advisory (``note``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.rules import (
+    PERFORMANCE,
+    RACE,
+    RULES,
+    SEMANTIC,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {RACE: "error", SEMANTIC: "warning", PERFORMANCE: "note"}
+_SEVERITIES = {level: sev for sev, level in _LEVELS.items()}
+
+TOOL_NAME = "xfdetector-lint"
+
+
+def _rule_descriptor(rule_id):
+    rule = RULES.get(rule_id)
+    if rule is None:
+        return {"id": rule_id}
+    return {
+        "id": rule.id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+        "properties": {"severity": rule.severity},
+    }
+
+
+def _result(finding, rule_index):
+    result = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.file},
+                "region": {"startLine": max(1, finding.line)},
+            },
+        }],
+        "properties": {
+            "line": finding.line,
+            "function": finding.function,
+            "stack": list(finding.stack),
+        },
+    }
+    index = rule_index.get(finding.rule)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def to_sarif(reports):
+    """One SARIF log (a dict) from one or more analysis reports."""
+    if isinstance(reports, AnalysisReport):
+        reports = [reports]
+    findings = []
+    for report in reports:
+        findings.extend(report.findings)
+    rule_ids = sorted({finding.rule for finding in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri":
+                        "https://github.com/pmem/xfdetector",
+                    "rules": [
+                        _rule_descriptor(rule_id)
+                        for rule_id in rule_ids
+                    ],
+                },
+            },
+            "properties": {
+                "targets": [report.target for report in reports],
+            },
+            "results": [
+                _result(finding, rule_index) for finding in findings
+            ],
+        }],
+    }
+
+
+def to_sarif_json(reports, indent=2):
+    return json.dumps(to_sarif(reports), indent=indent)
+
+
+def findings_from_sarif(log):
+    """Findings parsed back out of a SARIF log (dict or JSON text)."""
+    if isinstance(log, str):
+        log = json.loads(log)
+    findings = []
+    for run in log.get("runs", ()):
+        for result in run.get("results", ()):
+            locations = result.get("locations") or [{}]
+            physical = locations[0].get("physicalLocation", {})
+            uri = physical.get("artifactLocation", {}).get("uri", "")
+            region = physical.get("region", {})
+            props = result.get("properties", {})
+            findings.append(Finding(
+                rule=result.get("ruleId", ""),
+                file=uri,
+                line=int(
+                    props.get("line", region.get("startLine", 0))
+                ),
+                message=result.get("message", {}).get("text", ""),
+                function=props.get("function", ""),
+                stack=tuple(props.get("stack", ())),
+            ))
+    return findings

@@ -4,11 +4,13 @@
 from repro.bugsuite.newbugs import NEW_BUGS, NewBugScenario
 from repro.bugsuite.registry import (
     SUITE_ADDITIONAL,
+    SUITE_MECHANISM,
     SUITE_PMTEST,
     SyntheticBug,
     build_workload,
     bug_entries,
     expected_counts,
+    mech_bug_entries,
     run_bug,
 )
 
@@ -16,10 +18,12 @@ __all__ = [
     "NEW_BUGS",
     "NewBugScenario",
     "SUITE_ADDITIONAL",
+    "SUITE_MECHANISM",
     "SUITE_PMTEST",
     "SyntheticBug",
     "build_workload",
     "bug_entries",
     "expected_counts",
+    "mech_bug_entries",
     "run_bug",
 ]

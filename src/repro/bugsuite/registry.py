@@ -26,6 +26,7 @@ from repro.workloads import MICROBENCHMARKS
 
 SUITE_PMTEST = "pmtest"
 SUITE_ADDITIONAL = "additional"
+SUITE_MECHANISM = "mechanism"
 
 #: Expected bug class per fault-flag code.
 CLASS_TO_KIND = {
@@ -163,14 +164,40 @@ _REGISTRY = [
 ]
 
 
+#: Mechanism-violation bugs (ISSUE 7): faults seeded directly into the
+#: Table 1 mechanism stores so the XF-M invariant rules have dynamic
+#: ground truth.  Kept out of ``_REGISTRY`` so the Table 5 matrix stays
+#: byte-identical; fetch them with ``suite=SUITE_MECHANISM`` or
+#: :func:`mech_bug_entries`.
+_MECH_REGISTRY = [
+    SyntheticBug("mech-undo-logging", "inplace_unjournaled_write", "R",
+                 SUITE_MECHANISM, {"test_size": 4}),
+    SyntheticBug("mech-redo-logging", "commit_before_log", "R",
+                 SUITE_MECHANISM, {"test_size": 4}),
+    SyntheticBug("mech-checkpointing", "write_active_snapshot", "R",
+                 SUITE_MECHANISM, {"test_size": 4}),
+]
+
+
 def bug_entries(workload=None, suite=None, bug_class=None):
-    """Registry entries, optionally filtered."""
+    """Registry entries, optionally filtered.  Mechanism-suite entries
+    are included only when explicitly selected by workload or suite."""
+    pool = list(_REGISTRY)
+    if suite == SUITE_MECHANISM:
+        pool = list(_MECH_REGISTRY)
+    elif workload is not None and workload.startswith("mech-"):
+        pool = list(_MECH_REGISTRY)
     return [
-        bug for bug in _REGISTRY
+        bug for bug in pool
         if (workload is None or bug.workload == workload)
         and (suite is None or bug.suite == suite)
         and (bug_class is None or bug.bug_class == bug_class)
     ]
+
+
+def mech_bug_entries():
+    """The seeded mechanism-violation bugs (ISSUE 7)."""
+    return list(_MECH_REGISTRY)
 
 
 def expected_counts():
@@ -185,6 +212,16 @@ def expected_counts():
 
 def build_workload(bug):
     """Instantiate the workload for one registry entry."""
+    if bug.workload.startswith("mech-"):
+        from repro.mechanisms import MECHANISMS
+        from repro.mechanisms.base import MechanismWorkload
+        mech_name = bug.workload[len("mech-"):]
+        for store_cls in MECHANISMS:
+            if store_cls.mechanism_name == mech_name:
+                return MechanismWorkload(
+                    store_cls, faults=(bug.flag,), **bug.params
+                )
+        raise KeyError(bug.workload)
     cls = MICROBENCHMARKS[bug.workload]
     return cls(faults={bug.flag}, **bug.params)
 

@@ -110,6 +110,14 @@ def _build_parser():
                      help="statically analyze the workload first and "
                           "skip failure points whose interval is "
                           "certified persistence-complete")
+    run.add_argument("--plan-mode", default=None,
+                     choices=("exhaustive", "mechanism", "hybrid"),
+                     help="crash-plan mode: exhaustive injects every "
+                          "failure point; mechanism infers the "
+                          "workload's crash-consistency mechanisms "
+                          "and keeps only each epoch's invariant-"
+                          "relevant points; hybrid collapses only "
+                          "transaction epochs (default: exhaustive)")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="fan post-failure executions and replays "
                           "out over N workers (default: XFD_JOBS or "
@@ -182,6 +190,13 @@ def _build_parser():
                       help="offline mode: check a serialized trace "
                            "(see the trace subcommand's --dump) "
                            "instead of interpreting a workload")
+    lint.add_argument("--mechanisms", action="store_true",
+                      help="also run trace-level mechanism inference "
+                           "over the six Table 1 mechanism workloads "
+                           "and report XF-M invariant violations")
+    lint.add_argument("--sarif", default=None, metavar="PATH",
+                      help="write the findings as a SARIF 2.1.0 log "
+                           "to PATH (for CI code-scanning upload)")
     lint.add_argument("--json", action="store_true",
                       help="print the report as JSON")
     lint.add_argument("--ndjson", default=None, metavar="PATH",
@@ -333,6 +348,8 @@ def _cmd_run(args):
         overrides["heartbeat_interval"] = max(
             0.0, args.heartbeat_interval
         )
+    if args.plan_mode is not None:
+        overrides["plan_mode"] = args.plan_mode
     config = DetectorConfig(
         crash_image_mode=(
             CrashImageMode.PERSISTED_ONLY if args.strict_image
@@ -390,6 +407,17 @@ def _cmd_run(args):
         f"post {stats.post_failure_seconds:.2f}s / "
         f"backend {stats.backend_seconds:.2f}s)"
     )
+    if stats.plan_mode != "exhaustive":
+        executed = stats.failure_points_executed
+        skipped = stats.failure_points_skipped_by_plan
+        ratio = (
+            stats.failure_points / executed if executed else 0.0
+        )
+        print(
+            f"-- crash plans ({stats.plan_mode}): {executed} of "
+            f"{stats.failure_points} failure points executed, "
+            f"{skipped} skipped ({ratio:.1f}x fewer than exhaustive)"
+        )
     if stats.post_runs_deduped or stats.replays_deduped:
         skipped_events = telemetry.metrics.value(
             "replay_events_skipped"
@@ -435,10 +463,10 @@ def _cmd_lint(args):
 
     root = os.getcwd()
     if args.trace:
-        if args.workload or args.all:
+        if args.workload or args.all or args.mechanisms:
             print(
                 "xfdetector: error: --trace is exclusive with a "
-                "workload / --all",
+                "workload / --all / --mechanisms",
                 file=sys.stderr,
             )
             raise SystemExit(2)
@@ -458,10 +486,12 @@ def _cmd_lint(args):
             names = sorted(ALL_WORKLOADS)
         elif args.workload:
             names = [args.workload]
+        elif args.mechanisms:
+            names = []
         else:
             print(
-                "xfdetector: error: a workload, --all, or --trace "
-                "is required",
+                "xfdetector: error: a workload, --all, --mechanisms, "
+                "or --trace is required",
                 file=sys.stderr,
             )
             raise SystemExit(2)
@@ -472,6 +502,22 @@ def _cmd_lint(args):
                 test_size=args.test,
             )
             reports.append(lint_workload(workload))
+        if args.mechanisms:
+            from repro.analysis import analyze_mechanisms_workload
+            from repro.mechanisms import MECHANISMS
+            from repro.mechanisms.base import MechanismWorkload
+
+            for store_cls in MECHANISMS:
+                # Each store validates its flags; only forward the
+                # ones it documents.
+                flags = tuple(
+                    flag for flag in args.fault
+                    if flag in store_cls.FAULTS
+                )
+                workload = MechanismWorkload(
+                    store_cls, faults=flags, test_size=4
+                )
+                reports.append(analyze_mechanisms_workload(workload))
 
     findings = [f for rep in reports for f in rep.findings]
     if args.write_baseline:
@@ -535,6 +581,20 @@ def _cmd_lint(args):
             )
             raise SystemExit(2)
         print(f"-- {count} NDJSON records written to {args.ndjson}")
+    if args.sarif:
+        from repro.analysis import to_sarif_json
+
+        try:
+            with open(args.sarif, "w") as handle:
+                handle.write(to_sarif_json(reports))
+        except OSError as exc:
+            print(
+                f"xfdetector: error: cannot write SARIF to "
+                f"{args.sarif}: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        print(f"-- SARIF log written to {args.sarif}")
     return 1 if new else 0
 
 

@@ -112,6 +112,18 @@ class DetectorConfig:
     #: the ``injector.pruned_static`` metric.
     static_prune: bool = False
 
+    #: How the post-failure stage picks which failure points to
+    #: execute.  ``exhaustive`` (the paper's schedule) runs every
+    #: injected point; ``mechanism`` runs mechanism inference
+    #: (``repro.analysis.mech``) over the pre-failure trace and
+    #: collapses each clean mechanism epoch to its invariant-driven
+    #: crash plan (first / pre-commit / post-commit / last);
+    #: ``hybrid`` collapses only library-witnessed transaction epochs
+    #: and leaves annotation-derived epochs exhaustive.  Epochs with
+    #: XF-M* invariant violations never collapse, and points outside
+    #: any epoch always run.
+    plan_mode: str = "exhaustive"
+
     #: Extra pmreorder-style crash states sampled per failure point
     #: (0 = only the configured crash-image mode, the paper's setup).
     #: Each variant independently keeps or loses the volatile cache

@@ -95,6 +95,17 @@ class XFDetector:
         )
         stats = report.stats
         stats.failure_points = len(frontend_result.failure_points)
+        stats.plan_mode = getattr(
+            self.config, "plan_mode", "exhaustive"
+        )
+        planned = [
+            fp for fp in frontend_result.failure_points
+            if getattr(fp, "planned", True)
+        ]
+        stats.failure_points_executed = len(planned)
+        stats.failure_points_skipped_by_plan = (
+            stats.failure_points - len(planned)
+        )
         stats.pre_trace_events = len(frontend_result.pre_recorder)
         stats.post_trace_events = sum(
             len(run.recorder) for run in frontend_result.post_runs
@@ -625,6 +636,10 @@ def _deterministic_stats(stats):
         "post_runs_deduped": stats.post_runs_deduped,
         "replays_deduped": stats.replays_deduped,
         "benign_races": stats.benign_races,
+        "plan_mode": stats.plan_mode,
+        "failure_points_executed": stats.failure_points_executed,
+        "failure_points_skipped_by_plan":
+            stats.failure_points_skipped_by_plan,
     }
 
 

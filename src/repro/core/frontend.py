@@ -123,6 +123,11 @@ class FrontendResult:
     post_runs_deduped: int = 0
     #: Number of distinct crash-state classes, or None with dedup off.
     dedup_classes: int | None = None
+    #: The applied ``repro.analysis.plans.CrashPlanSet``, or None in
+    #: exhaustive mode / when inference degraded.
+    plan_set: object | None = None
+    #: The ``repro.analysis.mech.MechReport`` behind the plan set.
+    mech_report: object | None = None
 
     def __repr__(self):
         return f"FrontendResult({self.describe()})"
@@ -260,6 +265,9 @@ class Frontend:
         workload_name = getattr(
             workload, "name", type(workload).__name__
         )
+        plan_set, mech_report = self._build_crash_plans(
+            workload_name, pre_recorder, injector, tel
+        )
         if journal is not None:
             # The checksum needs the pre-failure trace, so a resume
             # journal is validated (and refused on mismatch) here,
@@ -285,6 +293,8 @@ class Frontend:
             journal=journal,
             post_runs_deduped=deduped,
             dedup_classes=dedup_classes,
+            plan_set=plan_set,
+            mech_report=mech_report,
         )
 
     def _build_prune_plan(self, workload, tel):
@@ -311,6 +321,48 @@ class Frontend:
             )
         return plan
 
+    def _build_crash_plans(self, workload_name, pre_recorder,
+                           injector, tel):
+        """Mechanism inference + crash plans for this run, or
+        ``(None, None)`` in exhaustive mode.
+
+        An unknown ``plan_mode`` is a configuration error; an
+        inference *failure* on a valid mode degrades to exhaustive
+        (plans are an optimization, never a correctness dependency).
+        """
+        mode = getattr(self.config, "plan_mode", "exhaustive")
+        if mode == "exhaustive":
+            return None, None
+        from repro.analysis.plans import PLAN_MODES
+
+        if mode not in PLAN_MODES:
+            raise DetectorError(
+                f"unknown plan_mode {mode!r} (one of {PLAN_MODES})"
+            )
+        with tel.span("mech_inference"):
+            try:
+                from repro.analysis.mech import infer_mechanisms
+                from repro.analysis.plans import build_crash_plans
+
+                mech_report = infer_mechanisms(
+                    pre_recorder, target=f"mech:{workload_name}"
+                )
+                plan_set = build_crash_plans(
+                    mech_report, injector.failure_points, mode
+                )
+            except Exception:
+                return None, None
+        injector.apply_crash_plan(plan_set)
+        metrics = tel.metrics
+        metrics.gauge("plans_emitted").set(plan_set.plans_emitted)
+        metrics.gauge("plans_pruned_vs_exhaustive").set(
+            plan_set.skipped
+        )
+        metrics.gauge("invariant_violations").set(
+            len(mech_report.violations)
+        )
+        return plan_set, mech_report
+
     # ------------------------------------------------------------------
     # Post-failure stage
     # ------------------------------------------------------------------
@@ -328,6 +380,8 @@ class Frontend:
         count = getattr(self.config, "crash_state_variants", 0)
         skipped_total = 0
         for failure_point in injector.failure_points:
+            if not getattr(failure_point, "planned", True):
+                continue  # collapsed by the run's crash plan
             fid = failure_point.fid
             keys.append((fid, None, None))
             if not count:

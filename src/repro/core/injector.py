@@ -32,7 +32,7 @@ class FailurePoint:
     O(dirty lines) resident memory instead of O(F · pool size).
     """
 
-    __slots__ = ("fid", "reason", "trace_index", "store")
+    __slots__ = ("fid", "reason", "trace_index", "store", "planned")
 
     def __init__(self, fid, reason, trace_index, store):
         self.fid = fid
@@ -40,6 +40,10 @@ class FailurePoint:
         #: Pre-trace length right after the marker.
         self.trace_index = trace_index
         self.store = store
+        #: False when a crash plan (``repro.analysis.plans``) proved
+        #: this point equivalent to a kept one — the post-failure
+        #: stage skips it.
+        self.planned = True
 
     @property
     def images(self):
@@ -93,6 +97,22 @@ class FailureInjector:
         # Pruned points keep accumulating (intervals merge), so the
         # flag only resets when a failure point is actually recorded.
         self._uncertified_pending = False
+
+    def apply_crash_plan(self, plan_set):
+        """Mark failure points a ``CrashPlanSet`` proved skippable.
+
+        Returns how many points were unplanned.  Injection already
+        happened (plans are built from the completed pre-failure
+        trace), so this only flips ``FailurePoint.planned`` — the
+        snapshots stay available for the kept points' replays."""
+        if plan_set is None:
+            return 0
+        skipped = 0
+        for failure_point in self.failure_points:
+            if not plan_set.executes(failure_point.fid):
+                failure_point.planned = False
+                skipped += 1
+        return skipped
 
     # -- trace observer ------------------------------------------------
 

@@ -83,6 +83,15 @@ class DetectionStats:
     #: bugs were cloned from an identical earlier replay).
     replays_deduped: int = 0
     benign_races: int = 0
+    #: How the post-failure schedule was chosen
+    #: (``DetectorConfig.plan_mode``).
+    plan_mode: str = "exhaustive"
+    #: Failure points whose post-failure run actually executed.  Equal
+    #: to ``failure_points`` in exhaustive mode; the exhaustive-vs-plan
+    #: delta (``failure_points_skipped_by_plan``) is what crash plans
+    #: saved.
+    failure_points_executed: int = 0
+    failure_points_skipped_by_plan: int = 0
     pre_failure_seconds: float = 0.0
     post_failure_seconds: float = 0.0
     backend_seconds: float = 0.0
@@ -228,6 +237,11 @@ class DetectionReport:
                 "post_runs_deduped": self.stats.post_runs_deduped,
                 "replays_deduped": self.stats.replays_deduped,
                 "benign_races": self.stats.benign_races,
+                "plan_mode": self.stats.plan_mode,
+                "failure_points_executed":
+                    self.stats.failure_points_executed,
+                "failure_points_skipped_by_plan":
+                    self.stats.failure_points_skipped_by_plan,
                 "pre_failure_seconds": self.stats.pre_failure_seconds,
                 "post_failure_seconds":
                     self.stats.post_failure_seconds,

@@ -36,6 +36,10 @@ class CheckpointStore:
         "read_old_checkpoint": (
             "S", "recovery reads the superseded checkpoint",
         ),
+        "write_active_snapshot": (
+            "R", "new state written over the live checkpoint in "
+                 "place instead of the inactive snapshot",
+        ),
     }
 
     def __init__(self, pool, faults):
@@ -82,11 +86,18 @@ class CheckpointStore:
         active = root.active
         current = self._snapshot(active)
         scratch = self._snapshot(1 - active)
+        written = 1 - active
+        if "write_active_snapshot" in self.faults:
+            # BUG: the new state is written over the *live* checkpoint
+            # in place; until the persist completes, recovery observes
+            # a torn active snapshot.
+            scratch = current
+            written = active
         # Write the complete next state into the inactive snapshot.
         for i in range(SLOTS):
             base = current[i]
             scratch[i] = base + (10 if i == step % SLOTS else 0)
-        field = CkptRoot.FIELDS["snap1" if 1 - active else "snap0"]
+        field = CkptRoot.FIELDS["snap1" if written else "snap0"]
         pmem.persist(memory, root.address + field.offset, field.size)
         # Commit: flip the active index.
         root.active = 1 - active

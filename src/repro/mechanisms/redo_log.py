@@ -39,6 +39,10 @@ class RedoLogStore:
             "R", "in-place update applied before the redo entry "
                  "was committed",
         ),
+        "commit_before_log": (
+            "R", "redo entry committed before its contents were "
+                 "persisted",
+        ),
     }
 
     def __init__(self, pool, faults):
@@ -91,9 +95,14 @@ class RedoLogStore:
 
         root.redo_idx = idx
         root.redo_val = value
-        pmem.persist(memory, root.field_addr("redo_idx"), 16)
+        if "commit_before_log" not in self.faults:
+            pmem.persist(memory, root.field_addr("redo_idx"), 16)
         root.committed = 1
         pmem.persist(memory, root.field_addr("committed"), 8)
+        if "commit_before_log" in self.faults:
+            # BUG: the entry's bytes chase its commit bit; recovery
+            # can replay a redo entry that never reached the media.
+            pmem.persist(memory, root.field_addr("redo_idx"), 16)
 
         if "apply_before_commit" not in self.faults:
             self._apply(idx, value)

@@ -38,6 +38,10 @@ class UndoLogStore:
         "valid_before_log": (
             "R", "commit bit persisted before the backup data",
         ),
+        "inplace_unjournaled_write": (
+            "R", "second in-place store inside the journal window "
+                 "whose pre-image was never backed up",
+        ),
     }
 
     def __init__(self, pool, faults):
@@ -92,6 +96,12 @@ class UndoLogStore:
         root.data[idx] = 1000 + step
         rng = root.data.element_range(idx)
         pmem.persist(memory, rng.start, rng.size)
+
+        if "inplace_unjournaled_write" in self.faults:
+            # BUG: a second slot is updated inside the journal window
+            # without ever being backed up (and without a persist);
+            # recovery rolls back only data[idx], leaving this torn.
+            root.data[(idx + 5) % SLOTS] = 5000 + step
 
         root.valid = 0
         pmem.persist(memory, root.field_addr("valid"), 8)

@@ -95,6 +95,39 @@ class TestLint:
         with pytest.raises(SystemExit):
             main(["lint"])
 
+    def test_mechanisms_mode_lints_all_six(self, capsys):
+        code = main(["lint", "--mechanisms"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in (
+            "undo-logging", "redo-logging", "checkpointing",
+            "shadow-paging", "operational-logging",
+            "checksum-recovery",
+        ):
+            assert f"mech:mech-{name}" in out
+
+    def test_mechanisms_fault_surfaces_xfm_finding(self, capsys):
+        code = main([
+            "lint", "--mechanisms", "--fault", "valid_before_log",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "XF-M002" in out
+
+    def test_sarif_export_round_trips(self, capsys, tmp_path):
+        from repro.analysis import findings_from_sarif
+
+        path = tmp_path / "lint.sarif"
+        main([
+            "lint", "linkedlist", "--fault", "unlogged_length",
+            "--sarif", str(path),
+        ])
+        text = path.read_text()
+        payload = json.loads(text)
+        assert payload["version"] == "2.1.0"
+        findings = findings_from_sarif(text)
+        assert any(f.rule == "XF-T001" for f in findings)
+
 
 class TestRunExitCodes:
     """``run`` exits non-zero iff the printed report has bugs — a

@@ -1,0 +1,87 @@
+"""Mechanism-inference ground truth (MECH_EXPECTATIONS).
+
+Every (mechanism workload, fault) row must produce *exactly* its
+expected XF-M rule set from trace-level inference — clean builds stay
+finding-free, seeded violations surface as invariant findings — and
+every seeded mechanism bug must also be caught dynamically, so the
+static and dynamic views of the suite never drift apart.
+"""
+
+import pytest
+
+from repro.analysis import analyze_mechanisms_workload
+from repro.analysis.groundtruth import (
+    MECH_EXPECTATIONS,
+    expected_mech_rules,
+)
+from repro.bugsuite import build_workload, mech_bug_entries
+from repro.core import DetectorConfig, XFDetector
+from repro.mechanisms import MECHANISMS
+from repro.mechanisms.base import MechanismWorkload
+
+BY_NAME = {
+    f"mech-{cls.mechanism_name}": cls for cls in MECHANISMS
+}
+
+
+def _workload(name, flag):
+    return MechanismWorkload(
+        BY_NAME[name],
+        faults=() if flag is None else (flag,),
+        test_size=4,
+    )
+
+
+class TestStaticExpectations:
+    @pytest.mark.parametrize(
+        "name,flag", sorted(
+            MECH_EXPECTATIONS,
+            key=lambda item: (item[0], item[1] or ""),
+        ),
+        ids=[
+            f"{name}:{flag or 'clean'}" for name, flag in sorted(
+                MECH_EXPECTATIONS,
+                key=lambda item: (item[0], item[1] or ""),
+            )
+        ],
+    )
+    def test_rule_set_is_exact(self, name, flag):
+        report = analyze_mechanisms_workload(_workload(name, flag))
+        rules = {finding.rule for finding in report.findings}
+        assert rules == expected_mech_rules(name, flag)
+
+    def test_every_documented_fault_has_a_row(self):
+        for cls in MECHANISMS:
+            name = f"mech-{cls.mechanism_name}"
+            assert (name, None) in MECH_EXPECTATIONS, name
+            for flag in cls.FAULTS:
+                assert (name, flag) in MECH_EXPECTATIONS, (name, flag)
+
+    def test_unknown_build_raises(self):
+        with pytest.raises(KeyError):
+            expected_mech_rules("mech-undo-logging", "no_such_fault")
+
+
+class TestSeededBugsDynamically:
+    @pytest.mark.parametrize(
+        "bug", mech_bug_entries(), ids=str,
+    )
+    def test_seeded_bug_detected_and_flagged(self, bug):
+        # Dynamic: failure injection reports a bug of the seeded class.
+        report = XFDetector(DetectorConfig()).run(build_workload(bug))
+        assert any(
+            found.kind is bug.expected_kind for found in report.bugs
+        )
+        # Static: the same build carries its XF-M invariant finding.
+        analysis = analyze_mechanisms_workload(build_workload(bug))
+        rules = {finding.rule for finding in analysis.findings}
+        assert rules == expected_mech_rules(bug.workload, bug.flag)
+        assert rules  # a seeded mechanism bug is never invisible
+
+    def test_clean_builds_report_nothing(self):
+        for cls in MECHANISMS:
+            workload = MechanismWorkload(cls, test_size=4)
+            report = XFDetector(
+                DetectorConfig(progress=False)
+            ).run(workload)
+            assert not report.bugs, cls.mechanism_name

@@ -1,0 +1,196 @@
+"""Unit tests for invariant-driven crash plans (repro.analysis.plans).
+
+Plans are built against hand-made mechanism epochs and failure points
+so every conservatism rule is pinned in isolation: keep-sets bracket
+the commit, poisoned epochs keep everything, out-of-epoch points are
+never skipped, overlapping epochs must agree, and hybrid mode only
+collapses library-witnessed transaction epochs.
+"""
+
+import pytest
+
+from repro.analysis.mech import (
+    CHECKSUMMED,
+    MechEpoch,
+    MechReport,
+    UNDO_JOURNALED,
+)
+from repro.analysis.plans import (
+    PLAN_MODES,
+    build_crash_plans,
+)
+from repro.core import DetectorConfig
+from repro.core.injector import FailureInjector, FailurePoint
+
+
+def _fps(seqs):
+    """Failure points whose markers sit at the given trace seqs."""
+    return [
+        FailurePoint(fid, "ordering", seq + 1, store=None)
+        for fid, seq in enumerate(seqs)
+    ]
+
+
+def _report(epochs):
+    return MechReport(target="test", epochs=list(epochs))
+
+
+class TestKeepSets:
+    def test_keep_brackets_the_commit(self):
+        epoch = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo", start=0, end=100,
+            commit=50,
+        )
+        fps = _fps([10, 20, 30, 60, 70, 90])
+        plan_set = build_crash_plans(_report([epoch]), fps)
+        (plan,) = plan_set.plans
+        # first, last before commit, first after commit, last.
+        assert set(plan.keep) == {0, 2, 3, 5}
+        assert plan_set.skipped_fids == {1, 4}
+        assert plan.skipped == 2
+
+    def test_single_point_epoch_keeps_it(self):
+        epoch = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo", start=0, end=100,
+            commit=50,
+        )
+        fps = _fps([10])
+        plan_set = build_crash_plans(_report([epoch]), fps)
+        assert plan_set.skipped_fids == frozenset()
+        assert plan_set.executes(0)
+
+    def test_violated_epoch_keeps_every_point(self):
+        epoch = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo", start=0, end=100,
+            commit=50, violated=True,
+        )
+        fps = _fps([10, 20, 30, 60, 70, 90])
+        plan_set = build_crash_plans(_report([epoch]), fps)
+        (plan,) = plan_set.plans
+        assert plan.poisoned
+        assert plan.keep == plan.fids
+        assert plan_set.skipped_fids == frozenset()
+
+    def test_non_collapsible_kind_keeps_every_point(self):
+        epoch = MechEpoch(
+            kind=CHECKSUMMED, source="ck", start=0, end=100, commit=50,
+        )
+        fps = _fps([10, 20, 30, 60, 70, 90])
+        plan_set = build_crash_plans(_report([epoch]), fps)
+        (plan,) = plan_set.plans
+        assert plan.poisoned
+        assert plan_set.skipped_fids == frozenset()
+
+    def test_out_of_epoch_points_always_execute(self):
+        epoch = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo", start=100, end=200,
+            commit=150,
+        )
+        fps = _fps([10, 20, 300])
+        plan_set = build_crash_plans(_report([epoch]), fps)
+        assert plan_set.skipped_fids == frozenset()
+        assert plan_set.executed_fids == {0, 1, 2}
+
+
+class TestOverlappingEpochs:
+    def test_skip_requires_unanimity(self):
+        collapsible = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo", start=0, end=100,
+            commit=50,
+        )
+        poisoned = MechEpoch(
+            kind=UNDO_JOURNALED, source="tx:1", start=0, end=100,
+            commit=50, violated=True,
+        )
+        fps = _fps([10, 20, 30, 60, 70, 90])
+        alone = build_crash_plans(_report([collapsible]), fps)
+        assert alone.skipped_fids == {1, 4}
+        both = build_crash_plans(
+            _report([collapsible, poisoned]), fps
+        )
+        assert both.skipped_fids == frozenset()
+
+    def test_two_agreeing_epochs_still_skip(self):
+        a = MechEpoch(
+            kind=UNDO_JOURNALED, source="a", start=0, end=100,
+            commit=50,
+        )
+        b = MechEpoch(
+            kind=UNDO_JOURNALED, source="b", start=0, end=100,
+            commit=50,
+        )
+        fps = _fps([10, 20, 30, 60, 70, 90])
+        plan_set = build_crash_plans(_report([a, b]), fps)
+        assert plan_set.skipped_fids == {1, 4}
+
+
+class TestModes:
+    def test_exhaustive_returns_none(self):
+        assert build_crash_plans(
+            _report([]), _fps([1]), mode="exhaustive"
+        ) is None
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            build_crash_plans(_report([]), _fps([1]), mode="bogus")
+        assert "bogus" not in PLAN_MODES
+
+    def test_hybrid_collapses_only_tx_epochs(self):
+        annotation = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo_valid", start=0,
+            end=100, commit=50,
+        )
+        tx = MechEpoch(
+            kind=UNDO_JOURNALED, source="tx:1", start=200, end=300,
+            commit=250,
+        )
+        fps = _fps([10, 20, 30, 60, 90, 210, 220, 230, 260, 290])
+        plan_set = build_crash_plans(
+            _report([annotation, tx]), fps, mode="hybrid"
+        )
+        by_source = {p.source: p for p in plan_set.plans}
+        assert by_source["undo_valid"].poisoned
+        assert not by_source["tx:1"].poisoned
+        # Only the tx epoch's interior points are skipped.
+        assert plan_set.skipped_fids <= {5, 6, 7, 8, 9}
+        assert plan_set.skipped_fids
+
+    def test_mechanism_mode_collapses_annotation_epochs(self):
+        annotation = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo_valid", start=0,
+            end=100, commit=50,
+        )
+        fps = _fps([10, 20, 30, 60, 70, 90])
+        plan_set = build_crash_plans(
+            _report([annotation]), fps, mode="mechanism"
+        )
+        assert plan_set.skipped_fids == {1, 4}
+
+
+class TestInjectorApplication:
+    def test_apply_crash_plan_flips_planned(self):
+        injector = FailureInjector(DetectorConfig())
+        injector.failure_points = _fps([10, 20, 30, 60, 70, 90])
+        epoch = MechEpoch(
+            kind=UNDO_JOURNALED, source="undo", start=0, end=100,
+            commit=50,
+        )
+        plan_set = build_crash_plans(
+            _report([epoch]), injector.failure_points
+        )
+        skipped = injector.apply_crash_plan(plan_set)
+        assert skipped == 2
+        planned = [
+            fp.fid for fp in injector.failure_points if fp.planned
+        ]
+        assert planned == [0, 2, 3, 5]
+
+    def test_apply_none_plan_is_a_noop(self):
+        injector = FailureInjector(DetectorConfig())
+        injector.failure_points = _fps([10, 20])
+        assert injector.apply_crash_plan(None) == 0
+        assert all(fp.planned for fp in injector.failure_points)
+
+    def test_failure_points_default_planned(self):
+        (fp,) = _fps([10])
+        assert fp.planned

@@ -1,0 +1,221 @@
+"""Unit tests for trace-level mechanism inference (repro.analysis.mech).
+
+The six Table 1 mechanism workloads are the classification ground
+truth: each clean build must land on its own mechanism kind with zero
+invariant findings.  Rule mechanics that are awkward to reach through
+a full workload (XF-M003's never-flushed checksummed range, the persist
+tracker's flush/fence lifecycle) are driven by hand-built traces.
+"""
+
+import pytest
+
+from repro.analysis.mech import (
+    CHECKPOINTED,
+    CHECKSUMMED,
+    COLLAPSIBLE_KINDS,
+    OPERATIONAL_LOGGED,
+    REDO_JOURNALED,
+    SHADOW_PAGED,
+    UNDO_JOURNALED,
+    UNPROTECTED,
+    _PersistTracker,
+    analyze_mechanisms_workload,
+    infer_mechanisms,
+)
+from repro.mechanisms import MECHANISMS
+from repro.mechanisms.base import MechanismWorkload
+from repro.trace.events import EventKind, TraceEvent
+
+EXPECTED_KIND = {
+    "undo-logging": UNDO_JOURNALED,
+    "redo-logging": REDO_JOURNALED,
+    "checkpointing": CHECKPOINTED,
+    "shadow-paging": SHADOW_PAGED,
+    "operational-logging": OPERATIONAL_LOGGED,
+    "checksum-recovery": CHECKSUMMED,
+}
+
+
+def _mech_report(store_cls, faults=(), test_size=4):
+    workload = MechanismWorkload(
+        store_cls, faults=faults, test_size=test_size
+    )
+    return analyze_mechanisms_workload(workload).mech
+
+
+class TestCleanClassification:
+    @pytest.mark.parametrize(
+        "store_cls", MECHANISMS,
+        ids=[cls.mechanism_name for cls in MECHANISMS],
+    )
+    def test_clean_build_classifies_as_its_mechanism(self, store_cls):
+        mech = _mech_report(store_cls)
+        kinds = {cv.kind for cv in mech.commit_vars}
+        assert EXPECTED_KIND[store_cls.mechanism_name] in kinds
+
+    @pytest.mark.parametrize(
+        "store_cls", MECHANISMS,
+        ids=[cls.mechanism_name for cls in MECHANISMS],
+    )
+    def test_clean_build_has_no_findings(self, store_cls):
+        mech = _mech_report(store_cls)
+        assert mech.violations == []
+
+    def test_journal_mechanisms_emit_epochs(self):
+        for store_cls in MECHANISMS:
+            name = store_cls.mechanism_name
+            if name == "checksum-recovery":
+                continue  # validated by value: no epochs by design
+            mech = _mech_report(store_cls)
+            assert mech.epochs, name
+            for epoch in mech.epochs:
+                assert epoch.start <= epoch.commit <= epoch.end
+                assert not epoch.violated
+
+    def test_checksummed_never_collapsible(self):
+        assert CHECKSUMMED not in COLLAPSIBLE_KINDS
+        assert UNPROTECTED not in COLLAPSIBLE_KINDS
+
+    def test_store_counts_attribute_mechanism_stores(self):
+        mech = _mech_report(MECHANISMS[0])  # undo logging
+        assert mech.store_counts.get(UNDO_JOURNALED, 0) > 0
+
+
+class TestSyntheticTraces:
+    """Hand-built traces exercising rule corners directly."""
+
+    BASE = 0x10000
+
+    def _events(self, specs):
+        events = []
+        for i, (kind, addr, size, info) in enumerate(specs):
+            events.append(TraceEvent(
+                seq=i, kind=kind, addr=addr, size=size, info=info
+            ))
+        return events
+
+    def test_unflushed_checksummed_range_raises_m003(self):
+        base = self.BASE
+        events = self._events([
+            (EventKind.COMMIT_VAR, base, 40, "ck"),
+            (EventKind.COMMIT_RANGE, base, 40, "ck"),
+            (EventKind.STORE, base, 8, ""),
+        ])
+        mech = infer_mechanisms(events)
+        (cv,) = mech.commit_vars
+        assert cv.kind == CHECKSUMMED
+        assert [v.rule for v in mech.violations] == ["XF-M003"]
+
+    def test_flushed_checksummed_range_is_clean(self):
+        base = self.BASE
+        events = self._events([
+            (EventKind.COMMIT_VAR, base, 40, "ck"),
+            (EventKind.COMMIT_RANGE, base, 40, "ck"),
+            (EventKind.STORE, base, 8, ""),
+            (EventKind.FLUSH, base, 64, "CLWB"),
+            (EventKind.FENCE, 0, 0, "SFENCE"),
+        ])
+        mech = infer_mechanisms(events)
+        (cv,) = mech.commit_vars
+        assert cv.kind == CHECKSUMMED
+        assert mech.violations == []
+
+    def test_small_self_covering_var_is_shadow_paged(self):
+        base = self.BASE
+        events = self._events([
+            (EventKind.COMMIT_VAR, base, 8, "ptr"),
+            (EventKind.COMMIT_RANGE, base, 8, "ptr"),
+            (EventKind.STORE, base, 8, ""),
+            (EventKind.FLUSH, base, 64, "CLWB"),
+            (EventKind.FENCE, 0, 0, "SFENCE"),
+            (EventKind.STORE, base, 8, ""),
+            (EventKind.FLUSH, base, 64, "CLWB"),
+            (EventKind.FENCE, 0, 0, "SFENCE"),
+        ])
+        mech = infer_mechanisms(events)
+        (cv,) = mech.commit_vars
+        assert cv.kind == SHADOW_PAGED
+        # One epoch per swap, committed at the swap itself.
+        assert len(mech.epochs) == 2
+        assert all(e.commit == e.end for e in mech.epochs)
+
+    def test_tx_store_without_tx_add_raises_m001(self):
+        base = self.BASE
+        events = self._events([
+            (EventKind.TX_BEGIN, 0, 0, "1"),
+            (EventKind.TX_ADD, base, 64, "1"),
+            (EventKind.STORE, base, 8, ""),  # journaled: fine
+            (EventKind.STORE, base + 256, 8, ""),  # bypasses the log
+            (EventKind.TX_COMMIT, 0, 0, "1"),
+        ])
+        mech = infer_mechanisms(events)
+        assert [v.rule for v in mech.violations] == ["XF-M001"]
+        (epoch,) = mech.epochs
+        assert epoch.kind == UNDO_JOURNALED
+        assert epoch.violated
+
+    def test_tx_store_to_fresh_alloc_is_clean(self):
+        base = self.BASE
+        events = self._events([
+            (EventKind.TX_BEGIN, 0, 0, "1"),
+            (EventKind.ALLOC, base, 128, "zeroed"),
+            (EventKind.STORE, base, 8, ""),
+            (EventKind.TX_COMMIT, 0, 0, "1"),
+        ])
+        mech = infer_mechanisms(events)
+        assert mech.violations == []
+        (epoch,) = mech.epochs
+        assert not epoch.violated
+
+    def test_setup_region_is_excluded(self):
+        base = self.BASE
+        events = self._events([
+            (EventKind.SKIP_DET_BEGIN, 0, 0, ""),
+            (EventKind.COMMIT_VAR, base, 40, "ck"),
+            (EventKind.COMMIT_RANGE, base, 40, "ck"),
+            (EventKind.STORE, base, 8, ""),
+            (EventKind.SKIP_DET_END, 0, 0, ""),
+        ])
+        mech = infer_mechanisms(events)
+        assert mech.commit_vars == []
+        assert mech.stores_seen == 0
+        assert mech.violations == []
+
+
+class TestPersistTracker:
+    def _store(self, seq, addr, size, nt=False):
+        kind = EventKind.NT_STORE if nt else EventKind.STORE
+        return TraceEvent(seq=seq, kind=kind, addr=addr, size=size)
+
+    def test_clwb_needs_a_fence_to_persist(self):
+        tracker = _PersistTracker()
+        tracker.store(self._store(0, 0x1000, 8), nt=False)
+        tracker.flush(TraceEvent(
+            seq=1, kind=EventKind.FLUSH, addr=0x1000, size=64,
+            info="CLWB",
+        ))
+        assert tracker.unpersisted_in(0x1000, 0x1008)
+        tracker.fence()
+        assert not tracker.unpersisted_in(0x1000, 0x1008)
+
+    def test_clflush_persists_immediately(self):
+        tracker = _PersistTracker()
+        tracker.store(self._store(0, 0x1000, 8), nt=False)
+        tracker.flush(TraceEvent(
+            seq=1, kind=EventKind.FLUSH, addr=0x1000, size=64,
+            info="CLFLUSH",
+        ))
+        assert not tracker.unpersisted_in(0x1000, 0x1008)
+
+    def test_nt_store_drains_on_fence(self):
+        tracker = _PersistTracker()
+        tracker.store(self._store(0, 0x1000, 8), nt=True)
+        assert tracker.unpersisted_in(0x1000, 0x1008)
+        tracker.fence()
+        assert not tracker.unpersisted_in(0x1000, 0x1008)
+
+    def test_unflushed_store_survives_fences(self):
+        tracker = _PersistTracker()
+        tracker.store(self._store(0, 0x1000, 8), nt=False)
+        tracker.fence()
+        assert tracker.unpersisted_in(0x1000, 0x1008)

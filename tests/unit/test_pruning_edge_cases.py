@@ -1,0 +1,135 @@
+"""Conservatism edge cases for static failure-point pruning.
+
+``pruning.py`` documents four conservatism rules; these tests pin the
+ones that only bite in corners — forced failure points, PM operations
+from uncovered lines, analysis-budget exhaustion — plus the
+composition of a ``PrunePlan`` with a mechanism ``CrashPlanSet``
+(``static_prune`` + ``plan_mode``): the two must not double-skip.
+"""
+
+import pytest
+
+from repro.analysis.pruning import PrunePlan, build_prune_plan
+from repro.core import DetectorConfig, XFDetector
+from repro.core.injector import FailureInjector
+from repro.pmdk import pmem
+from repro.workloads import ALL_WORKLOADS
+
+
+def _wire(memory, prune_plan=None, config=None):
+    injector = FailureInjector(
+        config or DetectorConfig(), prune_plan=prune_plan
+    )
+    memory.add_ordering_listener(injector)
+    memory.add_observer(injector)
+    memory.roi_active = True
+    return injector
+
+
+def _certify_everything(memory):
+    """A plan certifying every line this test file executes."""
+
+    class _Everything(frozenset):
+        def __contains__(self, _item):
+            return True
+
+    plan = PrunePlan(())
+    plan.certified = _Everything()
+    return plan
+
+
+class TestForcedPointsNeverPruned:
+    def test_forced_point_survives_a_certifying_plan(self, memory,
+                                                     pool):
+        injector = _wire(memory, prune_plan=_certify_everything(memory))
+        pmem.memcpy_persist(memory, pool.base, b"a")  # first point
+        assert len(injector.failure_points) == 1
+        # Certified interval: an unforced ordering point is pruned...
+        pmem.memcpy_persist(memory, pool.base + 64, b"b")
+        assert len(injector.failure_points) == 1
+        assert injector.pruned_static == 1
+        # ...but a forced one must always fire.
+        memory.store(pool.base + 128, b"c")
+        injector.before_ordering_point(memory, "forced", force=True)
+        assert len(injector.failure_points) == 2
+        assert injector.failure_points[-1].reason == "forced"
+
+    def test_first_point_of_a_run_never_pruned(self, memory, pool):
+        injector = _wire(memory, prune_plan=_certify_everything(memory))
+        pmem.memcpy_persist(memory, pool.base, b"a")
+        assert len(injector.failure_points) == 1
+        assert injector.pruned_static == 0
+
+
+class TestUncoveredLineVeto:
+    def test_uncertified_line_vetoes_the_interval(self, memory, pool):
+        # An empty certified set: every PM operation comes from an
+        # uncovered line, so nothing may be pruned.
+        injector = _wire(memory, prune_plan=PrunePlan(()))
+        pmem.memcpy_persist(memory, pool.base, b"a")
+        pmem.memcpy_persist(memory, pool.base + 64, b"b")
+        assert len(injector.failure_points) == 2
+        assert injector.pruned_static == 0
+
+    def test_veto_accumulates_across_pruned_points(self, memory, pool):
+        # One uncertified op taints the interval until a point fires.
+        plan = _certify_everything(memory)
+        injector = _wire(memory, prune_plan=plan)
+        pmem.memcpy_persist(memory, pool.base, b"a")
+        injector._uncertified_pending = True  # simulated taint
+        pmem.memcpy_persist(memory, pool.base + 64, b"b")
+        assert len(injector.failure_points) == 2
+        assert injector.pruned_static == 0
+
+
+class TestBudgetExhaustion:
+    def test_exhausted_analysis_produces_no_plan(self):
+        workload = ALL_WORKLOADS["btree"](init_size=2, test_size=3)
+        plan = build_prune_plan(workload, max_steps=50)
+        assert plan is None
+
+    def test_flagged_workload_produces_no_plan(self):
+        workload = ALL_WORKLOADS["hashmap_tx"](
+            faults={"unpersisted_create_seed"},
+            init_size=2, test_size=3,
+        )
+        assert build_prune_plan(workload) is None
+
+    def test_complete_clean_analysis_produces_a_plan(self):
+        workload = ALL_WORKLOADS["btree"](init_size=2, test_size=3)
+        plan = build_prune_plan(workload)
+        assert plan is not None
+        assert len(plan) > 0
+
+
+class TestPruneAndPlanCompose:
+    """static_prune=True + plan_mode='mechanism' stack safely."""
+
+    @pytest.mark.parametrize("workload", ["btree", "ctree"])
+    def test_no_double_skipping_and_no_lost_bugs(self, workload):
+        params = dict(init_size=2, test_size=3)
+        cls = ALL_WORKLOADS[workload]
+
+        def bugset(report):
+            return sorted(
+                bug.dedup_key() for bug in report.unique_bugs()
+            )
+
+        baseline = XFDetector(DetectorConfig()).run(cls(**params))
+        combined = XFDetector(DetectorConfig(
+            static_prune=True, plan_mode="mechanism",
+        )).run(cls(**params))
+        assert bugset(combined) == bugset(baseline)
+        stats = combined.stats
+        # The plan partitions the (post-prune) failure points exactly:
+        # every point is either executed or plan-skipped, never both.
+        assert (
+            stats.failure_points_executed
+            + stats.failure_points_skipped_by_plan
+            == stats.failure_points
+        )
+        assert stats.failure_points < baseline.stats.failure_points
+        pruned = combined.telemetry.metrics.value(
+            "injector.pruned_static"
+        )
+        assert pruned > 0
