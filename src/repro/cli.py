@@ -126,6 +126,20 @@ def _build_parser():
                      choices=("auto", "serial", "thread", "process"),
                      help="worker-pool kind for --jobs (default: "
                           "XFD_EXECUTOR or auto)")
+    run.add_argument("--batch-size", type=int, default=None,
+                     metavar="N",
+                     help="failure points per worker dispatch: "
+                          "contiguous points batch so per-task IPC "
+                          "amortizes and the replay-prefix memo "
+                          "advances across the whole batch (default: "
+                          "XFD_BATCH_SIZE or 8; 1 disables batching)")
+    run.add_argument("--warm-pool", dest="warm_pool", default=None,
+                     action=argparse.BooleanOptionalAction,
+                     help="keep one persistent process pool alive "
+                          "across phases, with pool images published "
+                          "via shared memory (default: XFD_WARM_POOL "
+                          "or on; --no-warm-pool forks a fresh pool "
+                          "per phase)")
     run.add_argument("--deadline", type=float, default=None,
                      metavar="SECONDS",
                      help="wall-clock budget per post-failure "
@@ -323,6 +337,10 @@ def _cmd_run(args):
         overrides["jobs"] = max(1, args.jobs)
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.batch_size is not None:
+        overrides["batch_size"] = max(1, args.batch_size)
+    if args.warm_pool is not None:
+        overrides["warm_pool"] = args.warm_pool
     if args.deadline is not None:
         overrides["exec_deadline"] = (
             args.deadline if args.deadline > 0 else None

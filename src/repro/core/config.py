@@ -43,6 +43,28 @@ def _default_deadline():
     return seconds if seconds > 0 else None
 
 
+def _default_batch_size():
+    """Failure points per dispatch: the ``XFD_BATCH_SIZE`` env var,
+    default 8.  Invalid or non-positive values degrade to 1 (no
+    batching) — an ops knob, not an API."""
+    raw = os.environ.get("XFD_BATCH_SIZE", "").strip()
+    if not raw:
+        return 8
+    try:
+        size = int(raw)
+    except ValueError:
+        return 8
+    return max(1, size)
+
+
+def _default_warm_pool():
+    """Warm persistent worker pool switch: the ``XFD_WARM_POOL`` env
+    var, default on.  Only explicit ``0/false/off/no`` disable —
+    mirrors the CLI's ``--no-warm-pool``."""
+    raw = os.environ.get("XFD_WARM_POOL", "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
 def _default_dedup():
     """Crash-state dedup switch: the ``XFD_DEDUP`` env var, default on.
 
@@ -148,6 +170,21 @@ class DetectorConfig:
     #: ``XFD_EXECUTOR`` env var.  Audit and fail-fast runs always use
     #: the serial executor regardless of this setting.
     executor: str = field(default_factory=_default_executor)
+
+    #: Failure points per pool dispatch (``repro.exec``): contiguous
+    #: keys are grouped so a worker's replay-prefix memo cursor
+    #: advances in O(divergence) across the whole batch and per-task
+    #: IPC amortizes.  1 = dispatch each point alone (PR-3 behavior).
+    #: Overridable via the ``XFD_BATCH_SIZE`` env var.
+    batch_size: int = field(default_factory=_default_batch_size)
+
+    #: Keep one persistent fork-process pool alive across phases
+    #: instead of forking a fresh pool per phase, with pool images
+    #: published through ``multiprocessing.shared_memory`` so workers
+    #: attach zero-copy.  Only affects the process executor.
+    #: Overridable via the ``XFD_WARM_POOL`` env var; CLI
+    #: ``--warm-pool/--no-warm-pool``.
+    warm_pool: bool = field(default_factory=_default_warm_pool)
 
     #: Crash-state deduplication (``repro.dedup``): fingerprint every
     #: failure point's crash image incrementally, run only one

@@ -57,6 +57,12 @@ class XFDetector:
 
     def run(self, workload):
         executor = resolve_executor(self.config, self.telemetry)
+        # Spawn warm workers before the pre-failure stage runs: the
+        # forked children stay minimal (no copy-on-write image of the
+        # trace, snapshot store, or checkpoints).
+        prewarm = getattr(executor, "prewarm", None)
+        if prewarm is not None:
+            prewarm()
         tel = self.telemetry
         workload_name = getattr(
             workload, "name", type(workload).__name__

@@ -268,6 +268,10 @@ class Frontend:
         plan_set, mech_report = self._build_crash_plans(
             workload_name, pre_recorder, injector, tel
         )
+        # No failure point can be added past this line; freezing the
+        # store makes publication to shared memory (and the raw byte
+        # offsets workers hold into it) safe.
+        injector.seal()
         if journal is not None:
             # The checksum needs the pre-failure trace, so a resume
             # journal is validated (and refused on mismatch) here,

@@ -98,6 +98,19 @@ class FailureInjector:
         # flag only resets when a failure point is actually recorded.
         self._uncertified_pending = False
 
+    def seal(self):
+        """End the injection window: freeze the snapshot store.
+
+        Called by the frontend once crash plans are built, right
+        before the post-failure fan-out.  From here on the store may
+        be published to ``multiprocessing.shared_memory`` — workers
+        then hold raw byte offsets into the published payload, so any
+        late capture would be a silent divergence; freezing turns it
+        into a loud ``DetectorError`` instead.
+        """
+        if hasattr(self.store, "freeze"):
+            self.store.freeze()
+
     def apply_crash_plan(self, plan_set):
         """Mark failure points a ``CrashPlanSet`` proved skippable.
 

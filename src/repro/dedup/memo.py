@@ -64,13 +64,26 @@ class TrackedPool(PMPool):
 
 
 class ImageMemo:
-    """Rolling crash-image state for one worker."""
+    """Rolling crash-image state for one worker.
+
+    Warm process workers (``repro.exec.pool.WarmProcessExecutor``)
+    keep one attached shared-memory store — and therefore one of these
+    — alive for the *whole run*, so the cursor keeps amortizing across
+    phases, retry waves, and batches instead of restarting with every
+    forked pool.  The counters below measure that amortization.
+    """
 
     def __init__(self, store):
         self.store = store
         self._cursor = SnapshotCursor(store)
         self._working = {}  # pool name -> bytearray handed to tasks
         self._stale = {}  # pool name -> [(start, end)] divergences
+        #: Tasks this memo prepared pools for over its lifetime.
+        self.tasks_served = 0
+        #: Bytes copied back from canonical images across all restores
+        #: (the divergence actually paid, vs O(pool) per task without
+        #: the memo).
+        self.bytes_restored = 0
 
     def task_pools(self, fid, mask):
         """The pools for one post-failure task, ready to map.
@@ -81,6 +94,7 @@ class ImageMemo:
         next ``task_pools`` call on this memo.
         """
         changed = self._cursor.advance(fid)
+        self.tasks_served += 1
         pools = []
         bit_offset = 0
         for delta in self.store.deltas(fid):
@@ -94,7 +108,7 @@ class ImageMemo:
             else:
                 stale = self._stale[name]
                 stale.extend(changed.get(name, ()))
-                _restore(working, data, stale)
+                self.bytes_restored += _restore(working, data, stale)
                 del stale[:]
             if mask is not None:
                 bits = len(delta.volatile_lines)
@@ -115,9 +129,10 @@ class ImageMemo:
 
 def _restore(working, canonical, ranges):
     """Copy the (coalesced) stale ranges back from the canonical image;
-    a heavily-diverged buffer falls back to one full copy."""
+    a heavily-diverged buffer falls back to one full copy.  Returns the
+    bytes copied (the memo's ``bytes_restored`` accounting)."""
     if not ranges:
-        return
+        return 0
     ranges.sort()
     merged = []
     start, end = ranges[0]
@@ -130,9 +145,10 @@ def _restore(working, canonical, ranges):
     merged.append((start, end))
     if sum(e - s for s, e in merged) * 2 >= len(working):
         working[:] = canonical
-        return
+        return len(working)
     for s, e in merged:
         working[s:e] = canonical[s:e]
+    return sum(e - s for s, e in merged)
 
 
 #: One memo per worker thread.  Thread-pool workers each get their own

@@ -11,22 +11,40 @@ worker pool:
 * :class:`~repro.exec.pool.ThreadExecutor` — a thread pool; no
   CPU-bound speedup under the GIL but exercises the parallel result
   plumbing everywhere;
-* :class:`~repro.exec.pool.ProcessExecutor` — a fork-based process
-  pool; phase contexts travel to children by fork inheritance (never
-  pickled), task keys and results cross via pickle.
+* :class:`~repro.exec.pool.ProcessExecutor` — a cold fork-based
+  process pool (fresh per phase); phase contexts travel to children by
+  fork inheritance, task keys and results cross via pickle;
+* :class:`~repro.exec.pool.WarmProcessExecutor` — the default process
+  executor: workers spawned once per run and kept alive across phases,
+  snapshot stores published through ``multiprocessing.shared_memory``
+  (:mod:`repro.exec.shm`) so workers attach zero-copy, and failure
+  points dispatched in contiguous batches
+  (:func:`~repro.exec.base.plan_batches`) so each worker's
+  ``repro.dedup.ImageMemo`` cursor amortizes across the batch.
 
 Task keys are issued in canonical ``(fid, variant)`` order and results
 are consumed in submission order, so reports and metrics are identical
 regardless of scheduling — the executors differ only in wall-clock.
 """
 
-from repro.exec.base import SerialExecutor, TaskOutcome, resolve_executor
-from repro.exec.pool import ProcessExecutor, ThreadExecutor
+from repro.exec.base import (
+    SerialExecutor,
+    TaskOutcome,
+    plan_batches,
+    resolve_executor,
+)
+from repro.exec.pool import (
+    ProcessExecutor,
+    ThreadExecutor,
+    WarmProcessExecutor,
+)
 
 __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "TaskOutcome",
     "ThreadExecutor",
+    "WarmProcessExecutor",
+    "plan_batches",
     "resolve_executor",
 ]

@@ -34,6 +34,37 @@ class TaskOutcome:
         self.error = error
 
 
+def plan_batches(keys, batch_size):
+    """Group task keys into contiguous dispatch batches.
+
+    Keys arrive in canonical order — fid-ascending, dedup
+    representatives before fallback waves — and a batch must preserve
+    that so a worker's memo cursor only ever advances forward within
+    one dispatch.  A batch therefore closes at ``batch_size`` keys or
+    wherever the fid sequence steps backwards (a new dedup fallback
+    wave or a variant sweep restarting), whichever comes first.
+    Non-tuple keys (toy phases in tests) batch purely by size.
+    """
+    batches = []
+    size = max(1, int(batch_size or 1))
+    current = []
+    last_fid = None
+    for key in keys:
+        fid = key[0] if isinstance(key, tuple) and key else None
+        backwards = (
+            fid is not None and last_fid is not None and fid < last_fid
+        )
+        if current and (len(current) >= size or backwards):
+            batches.append(current)
+            current = []
+        current.append(key)
+        if fid is not None:
+            last_fid = fid
+    if current:
+        batches.append(current)
+    return batches
+
+
 class SerialExecutor:
     """Runs every task inline, in order — the reference schedule."""
 
@@ -64,7 +95,11 @@ def resolve_executor(config, telemetry=None):
     cross-failure bug).  ``auto`` prefers processes (real CPU
     parallelism) when fork is available, threads otherwise.
     """
-    from repro.exec.pool import ProcessExecutor, ThreadExecutor
+    from repro.exec.pool import (
+        ProcessExecutor,
+        ThreadExecutor,
+        WarmProcessExecutor,
+    )
 
     jobs = int(getattr(config, "jobs", 1) or 1)
     kind = getattr(config, "executor", "auto") or "auto"
@@ -86,6 +121,11 @@ def resolve_executor(config, telemetry=None):
         if telemetry is not None:
             telemetry.metrics.inc("exec.fallback_to_thread")
         kind = "thread"
+    batch_size = int(getattr(config, "batch_size", 1) or 1)
     if kind == "process":
-        return ProcessExecutor(jobs)
-    return ThreadExecutor(jobs)
+        if getattr(config, "warm_pool", True):
+            return WarmProcessExecutor(
+                jobs, batch_size=batch_size, telemetry=telemetry
+            )
+        return ProcessExecutor(jobs, batch_size=batch_size)
+    return ThreadExecutor(jobs, batch_size=batch_size)

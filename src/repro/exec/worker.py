@@ -105,6 +105,18 @@ class PostPhaseContext:
         #: counts), or None when every resilience knob is off.
         self.resilience = resilience
 
+    def export_for_workers(self, plane):
+        """The warm-pool shipping form: the snapshot store swapped for
+        a shared-memory view (workers attach zero-copy).  A store
+        without delta support ships as-is through the pickle."""
+        store = self.store
+        if hasattr(store, "deltas"):
+            store = plane.publish(store)
+        return PostPhaseContext(
+            self.config, self.workload, store, self.uses_roi,
+            self.resilience,
+        )
+
 
 class PostTaskOutcome:
     """One post-failure execution's result, in picklable form.
@@ -268,6 +280,37 @@ class ReplayPhaseContext:
         #: resilience knob is off.
         self.resilience = resilience
 
+    def export_for_workers(self, plane):
+        """The warm-pool shipping form: checkpoints and run traces are
+        stripped here and travel per batch (:meth:`batch_payload`) —
+        the checkpoint cache holds a rebuild closure and a lock, which
+        must stay parent-side."""
+        return ReplayPhaseContext(
+            self.config, {}, {}, self.resilience
+        )
+
+    def batch_payload(self, keys):
+        """The per-batch slice of this phase's inputs: the shadow
+        checkpoints and recorded post-traces the batch's keys need.
+        Indexing the checkpoint cache here (in the parent) triggers any
+        on-demand rebuild before pickling."""
+        fids = sorted({key[0] for key in keys})
+        return (
+            {fid: self.checkpoints[fid] for fid in fids},
+            {key: self.runs[key] for key in keys},
+        )
+
+    def install_payload(self, payload):
+        checkpoints, runs = payload
+        self.checkpoints.update(checkpoints)
+        self.runs.update(runs)
+
+    def clear_payload(self):
+        """Drop per-batch state so a long-lived worker's memory stays
+        bounded by one batch, not the whole run."""
+        self.checkpoints.clear()
+        self.runs.clear()
+
 
 class ReplayTaskOutcome:
     """One post-failure replay's findings, in picklable form."""
@@ -338,3 +381,120 @@ def run_replay_task(ctx, key):
     finally:
         if watchdog is not None:
             watchdog.cancel()
+
+
+# ----------------------------------------------------------------------
+# Warm persistent workers (repro.exec.pool.WarmProcessExecutor)
+# ----------------------------------------------------------------------
+
+
+def _attach_context(ctx):
+    """Swap a shipped shared-memory store view for the attached store.
+
+    Returns the attach cost in milliseconds (the ``exec.attach_time_ms``
+    gauge), or None when the context carries no view to attach.
+    """
+    import time
+
+    store = getattr(ctx, "store", None)
+    if store is None or not hasattr(store, "attach"):
+        return None
+    started = time.monotonic()
+    ctx.store = store.attach()
+    return (time.monotonic() - started) * 1000.0
+
+
+def _shippable_error(exc):
+    """``exc`` if it survives a pickle round trip, else a
+    :class:`HarnessError` stand-in carrying its repr."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return HarnessError(
+            f"unpicklable worker exception: {exc!r}", phase="exec"
+        )
+
+
+def warm_worker_main(conn):
+    """Body of one persistent warm-pool worker process.
+
+    Protocol (all over one duplex pipe, parent never sends to a busy
+    worker so this loop is always in ``recv`` when a message lands):
+
+    * ``("ctx", generation, blob)`` — adopt a new phase context:
+      unpickle ``(context, func)``, attach any shared-memory store.
+    * ``("batch", index, keys, payload, attempts, submitted)`` — run
+      the batch, reply ``("done", index, shipped, stats)`` where
+      ``shipped`` is one ``("ok", value, queue_wait)`` or
+      ``("err", exc)`` per key.
+    * ``("stop",)`` — exit cleanly.
+
+    The process also exits when the parent disappears (EOF on the pipe
+    or a reparented ppid between polls).
+    """
+    import pickle
+    import time
+
+    parent = os.getppid()
+    ctx = func = None
+    attach_ms = None
+    while True:
+        try:
+            if not conn.poll(0.5):
+                if os.getppid() != parent:
+                    break  # orphaned: the parent died without "stop"
+                continue
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "stop":
+            break
+        if message[0] == "ctx":
+            _tag, _generation, blob = message
+            ctx, func = pickle.loads(blob)
+            attach_ms = _attach_context(ctx)
+            continue
+        _tag, index, keys, payload, attempts, submitted = message
+        shipped = []
+        stats = {"attach_ms": attach_ms}
+        attach_ms = None  # report the attach once, on its first batch
+        install = getattr(ctx, "install_payload", None)
+        if payload is not None and install is not None:
+            install(payload)
+        if attempts:
+            ctx.resilience.attempts.update(attempts)
+        for key in keys:
+            started = time.monotonic()
+            try:
+                value = func(ctx, key)
+            except Exception as exc:
+                shipped.append(("err", _shippable_error(exc)))
+                continue
+            shipped.append(("ok", value, started - submitted))
+        if payload is not None and install is not None:
+            ctx.clear_payload()
+        try:
+            conn.send(("done", index, shipped, stats))
+        except Exception:
+            # Some outcome refused to pickle mid-send; the parent's
+            # recv would hang on a half-message if we just died, so
+            # retry with per-key harness errors (plain strings, always
+            # serializable).
+            fallback = [
+                ("err", HarnessError(
+                    "warm worker could not serialize batch results",
+                    phase="exec",
+                ))
+                for _key in keys
+            ]
+            try:
+                conn.send(("done", index, fallback, stats))
+            except Exception:
+                break
+    try:
+        conn.close()
+    except Exception:
+        pass

@@ -141,6 +141,11 @@ class SnapshotStore:
         self.hashed_bytes = 0
         self._folds = {}  # pool name -> repro.dedup.PoolFold
         self._records = []  # fid -> per-pool fingerprint tuple | None
+        #: Once frozen (after crash plans are built and the store may
+        #: have been published to shared memory), captures are refused:
+        #: workers hold raw byte offsets into the published payload and
+        #: a late capture would silently diverge from them.
+        self.frozen = False
         self._lock = threading.Lock()
         # Incremental materialization cursor so sequential fids replay
         # only their delta.
@@ -156,9 +161,25 @@ class SnapshotStore:
 
     # -- capture (pre-failure stage) -----------------------------------
 
+    def freeze(self):
+        """Mark the pre-failure stage over: any further capture is a
+        pipeline bug (failure points exist only before fan-out)."""
+        self.frozen = True
+
+    def _check_mutable(self):
+        if self.frozen:
+            from repro.errors import DetectorError
+
+            raise DetectorError(
+                "snapshot store is frozen: captures are only legal "
+                "during the pre-failure stage, before publication to "
+                "workers"
+            )
+
     def capture(self, memory):
         """Record the crash-image state of every pool of ``memory`` as
         a delta since the previous capture; returns the snapshot id."""
+        self._check_mutable()
         cache = memory.cache
         touched = sorted(cache.drain_touched())
         deltas = []
@@ -195,6 +216,7 @@ class SnapshotStore:
     def capture_full(self, images):
         """Fallback for memories without delta support: record already-
         captured full ``PMImage``s as-is (saves nothing)."""
+        self._check_mutable()
         deltas = []
         for image in images:
             self._known_pools.add(image.pool_name)
@@ -302,5 +324,8 @@ class SnapshotStore:
         self.hashed_bytes = 0
         self._folds = {}
         self._records = []
+        # A store only crosses a pickle boundary on its way into a
+        # worker, where capturing is never legal.
+        self.frozen = True
         self._lock = threading.Lock()
         self._cursor = SnapshotCursor(self)
