@@ -30,7 +30,12 @@ skipped-work counters (``post_runs_deduped``, ``replays_deduped``).
 
 from repro.dedup.classes import DedupIndex
 from repro.dedup.fingerprint import PoolFold, blob_hash, line_hash
-from repro.dedup.memo import ImageMemo, TrackedPool, memo_for
+from repro.dedup.memo import (
+    ImageMemo,
+    TrackedPool,
+    drop_local_memo,
+    memo_for,
+)
 
 __all__ = [
     "DedupIndex",
@@ -40,4 +45,5 @@ __all__ = [
     "blob_hash",
     "line_hash",
     "memo_for",
+    "drop_local_memo",
 ]

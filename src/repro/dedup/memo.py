@@ -165,3 +165,11 @@ def memo_for(store):
         memo = ImageMemo(store)
         _local.memo = memo
     return memo
+
+
+def drop_local_memo():
+    """Discard the calling thread's memo (and with it its references
+    into any attached shared-memory store).  Warm workers call this on
+    a run-boundary ``reset``; the next task rebuilds from the next
+    run's store."""
+    _local.memo = None

@@ -51,6 +51,22 @@ def live_segments():
         return sorted(_LIVE)
 
 
+def detach_all():
+    """Detach this process's attached stores (worker side).
+
+    Each store drops its delta views and closes its mapping
+    (:meth:`ShmSnapshotStore.detach`); a mapping still pinned by a
+    straggler view elsewhere is left to GC.  Called by warm workers on
+    a run-boundary ``reset`` — after the caller has dropped its own
+    references into the segments — so the next run re-attaches fresh
+    segments instead of serving stale ones.
+    """
+    stores = list(_ATTACHED.values())
+    _ATTACHED.clear()
+    for store in stores:
+        store.detach()
+
+
 def _release(name):
     """Close and unlink one owned segment; idempotent."""
     with _LIVE_LOCK:
@@ -200,6 +216,19 @@ class ShmSnapshotStore(SnapshotStore):
                 self.recorded_bytes += deltas[-1].recorded_bytes
                 self.full_equivalent_bytes += 2 * entry[3]
             self._snapshots.append(deltas)
+
+    def detach(self):
+        """Drop the store's views into the segment and close the
+        mapping.  A view still exported into a live object elsewhere
+        (a crash image the caller has not yet dropped) pins the
+        mapping — that ``BufferError`` is expected, and GC releases
+        the mapping once the last view dies; closing twice is a
+        no-op."""
+        self._snapshots.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
 
 
 def _publish(store):

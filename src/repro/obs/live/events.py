@@ -29,7 +29,10 @@ from dataclasses import dataclass, field
 #: or to an existing kind's payload; consumers refuse other majors.
 SCHEMA_VERSION = 1
 
-#: The closed set of event kinds (schema v1).
+#: The closed set of event kinds (schema v1).  The ``job_*``/
+#: ``shard_*``/``drain_*`` kinds are emitted only by the
+#: ``repro.service`` daemon — detection runs never produce them, but
+#: they share the schema so one consumer reads both streams.
 EVENT_KINDS = frozenset({
     "run_started",
     "run_finished",
@@ -44,13 +47,25 @@ EVENT_KINDS = frozenset({
     "heartbeat",
     "worker_spawned",
     "worker_died",
+    "job_submitted",
+    "job_state",
+    "shard_dispatched",
+    "shard_completed",
+    "shard_reclaimed",
+    "drain_started",
+    "drain_finished",
 })
 
 #: Kinds whose presence/ordering depends on wall-clock or worker
 #: identity rather than the detection schedule.  Determinism
-#: comparisons drop these (everything else must match exactly).
+#: comparisons drop these (everything else must match exactly) —
+#: every service kind lands here because fleet scheduling is
+#: wall-clock-driven by nature.
 NONDETERMINISTIC_KINDS = frozenset({
     "heartbeat", "worker_spawned", "worker_died",
+    "job_submitted", "job_state", "shard_dispatched",
+    "shard_completed", "shard_reclaimed",
+    "drain_started", "drain_finished",
 })
 
 #: Envelope/payload fields that carry wall-clock, worker identity, or

@@ -34,6 +34,7 @@ from repro.resilience.journal import (
     JournaledTrace,
     RunJournal,
     deserialize_bug,
+    read_journal_records,
     run_checksum,
     serialize_bug,
 )
@@ -41,6 +42,7 @@ from repro.resilience.supervisor import (
     PhaseSupervisor,
     ResilienceContext,
     classify_failure,
+    jitter_unit,
 )
 
 __all__ = [
@@ -56,10 +58,12 @@ __all__ = [
     "IncidentLog",
     "JournaledTrace",
     "RunJournal",
+    "read_journal_records",
     "run_checksum",
     "serialize_bug",
     "deserialize_bug",
     "PhaseSupervisor",
     "ResilienceContext",
     "classify_failure",
+    "jitter_unit",
 ]

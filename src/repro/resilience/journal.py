@@ -16,7 +16,12 @@ them, so a transient fault absorbed in run 1 self-heals in run 2.
 
 Record types: one ``{"type": "header", ...}`` line, then
 ``{"type": "post", ...}`` lines.  Every write is flushed so a killed
-process loses at most the record being written.
+process loses at most the record being written; with
+``journal_fsync`` (``XFD_JOURNAL_FSYNC``) the file is also fsync'd —
+every ``journal_fsync_batch`` records — so progress survives host
+power loss.  A torn *final* line (the record being written when the
+writer was killed) is silently dropped on resume; corruption anywhere
+else still raises :class:`JournalError`.
 """
 
 from __future__ import annotations
@@ -32,9 +37,11 @@ from repro.errors import JournalError, JournalMismatchError
 JOURNAL_VERSION = 1
 
 #: Config fields that change what a run detects (and therefore what a
-#: journal entry means).  Scheduling knobs (jobs, executor) and
-#: resilience knobs are deliberately excluded: reports are
-#: byte-identical across them.
+#: journal entry means).  Scheduling knobs (jobs, executor, the
+#: service's ``failure_point_window``) and resilience knobs are
+#: deliberately excluded: reports are byte-identical across them, and
+#: the exclusion is what lets every shard of one service job write
+#: journals that merge into a single resumable run.
 _CHECKSUM_FIELDS = (
     "inject_failures", "crash_image_mode", "platform",
     "trust_allocator_zeroing", "first_read_only",
@@ -43,15 +50,38 @@ _CHECKSUM_FIELDS = (
 )
 
 
+#: Path fragment identifying workload code for the checksum's source-
+#: location digest (see :func:`_digest_ip`).
+_WORKLOAD_FRAGMENT = os.path.join("repro", "workloads") + os.sep
+
+
+def _digest_ip(ip):
+    """The checksum's view of one event's source location.
+
+    Only workload frames are digested: a handful of engine-issued
+    events (pool setup, ROI markers) attribute to the innermost frame
+    *outside* the runtime — the CLI, a test, or the service's shard
+    driver — and hashing those call sites would make the checksum
+    depend on who drove the run, breaking the service's shard/merge
+    journal sharing.  Workload code is what a resume must not silently
+    change, and it is exactly what stays in the digest.
+    """
+    if _WORKLOAD_FRAGMENT in ip.filename:
+        return f"{ip.basename}:{ip.lineno}:{ip.function}"
+    return "<engine>"
+
+
 def run_checksum(config, workload_name, pre_recorder):
     """SHA-256 over the detection-relevant config and the pre-failure
     trace.
 
     The pre-trace digest covers every event's kind, address, size,
-    info, thread, and source location — any change to the workload,
-    its sizing or faults, or the traced code itself lands here, so a
-    stale journal cannot be spliced into a run it no longer
-    describes.
+    info, thread, and workload source location — any change to the
+    workload, its sizing or faults, or the traced code itself lands
+    here, so a stale journal cannot be spliced into a run it no longer
+    describes.  Driver call sites are normalized out
+    (:func:`_digest_ip`): the same job checksums identically whether
+    the CLI, a test, or a service shard ran it.
     """
     digest = hashlib.sha256()
     digest.update(f"journal-v{JOURNAL_VERSION}\n".encode())
@@ -63,9 +93,61 @@ def run_checksum(config, workload_name, pre_recorder):
     for event in pre_recorder:
         digest.update(
             f"{event.kind.name}|{event.addr}|{event.size}|"
-            f"{event.info}|{event.tid}|{event.ip}\n".encode()
+            f"{event.info}|{event.tid}|{_digest_ip(event.ip)}\n"
+            .encode()
         )
     return digest.hexdigest()
+
+
+def read_journal_records(path):
+    """Tolerantly read one journal file: ``(header, posts)``.
+
+    ``header`` is the header record dict and ``posts`` maps
+    ``(fid, variant)`` to post records, later lines winning.  A
+    malformed **final** line is dropped (the writer was killed
+    mid-write — the torn tail of a SIGKILL'd shard); malformed lines
+    anywhere else, a missing header, or an unreadable file raise
+    :class:`JournalError`.  This is the read path shared by resume
+    and by the service's shard-journal merge.
+    """
+    try:
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    if not lines:
+        raise JournalError(f"journal {path} is empty (no header)")
+    records = []
+    for index, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                break  # torn tail: the record being written at kill
+            raise JournalError(
+                f"journal {path} is not valid NDJSON at line "
+                f"{index + 1}: {exc}"
+            ) from exc
+    if not records:
+        raise JournalError(
+            f"journal {path} has no complete records (torn header)"
+        )
+    header = records[0]
+    if header.get("type") != "header":
+        raise JournalError(
+            f"journal {path} does not start with a header record"
+        )
+    if header.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal {path} has version {header.get('version')!r}, "
+            f"expected {JOURNAL_VERSION}"
+        )
+    posts = {}
+    for record in records[1:]:
+        if record.get("type") != "post":
+            continue
+        posts[(record["fid"], record["variant"])] = record
+    return header, posts
 
 
 class JournaledTrace:
@@ -135,14 +217,18 @@ class RunJournal:
     :meth:`close`.
     """
 
-    def __init__(self, path, resume_path=None):
+    def __init__(self, path, resume_path=None, *, fsync=False,
+                 fsync_batch=1):
         self.path = path
         self.resume_path = resume_path
+        self.fsync = fsync
+        self.fsync_batch = max(1, fsync_batch)
         self.checksum = None
         self.workload = None
         #: (fid, variant) -> journal entry dict, loaded at begin().
         self.entries = {}
         self._handle = None
+        self._unsynced = 0
 
     @classmethod
     def from_config(cls, config):
@@ -154,7 +240,11 @@ class RunJournal:
         resume_path = getattr(config, "resume", None)
         if not journal_path and not resume_path:
             return None
-        return cls(journal_path or resume_path, resume_path)
+        return cls(
+            journal_path or resume_path, resume_path,
+            fsync=getattr(config, "journal_fsync", False),
+            fsync_batch=getattr(config, "journal_fsync_batch", 1),
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -192,49 +282,24 @@ class RunJournal:
                 self._write(entry)
 
     def _load_resume(self, checksum):
-        try:
-            with open(self.resume_path) as handle:
-                lines = [line for line in handle if line.strip()]
-        except OSError as exc:
-            raise JournalError(
-                f"cannot read journal {self.resume_path}: {exc}"
-            ) from exc
-        if not lines:
-            raise JournalError(
-                f"journal {self.resume_path} is empty (no header)"
-            )
-        try:
-            records = [json.loads(line) for line in lines]
-        except json.JSONDecodeError as exc:
-            raise JournalError(
-                f"journal {self.resume_path} is not valid NDJSON: {exc}"
-            ) from exc
-        header = records[0]
-        if header.get("type") != "header":
-            raise JournalError(
-                f"journal {self.resume_path} does not start with a "
-                f"header record"
-            )
-        if header.get("version") != JOURNAL_VERSION:
-            raise JournalError(
-                f"journal {self.resume_path} has version "
-                f"{header.get('version')!r}, expected {JOURNAL_VERSION}"
-            )
+        header, posts = read_journal_records(self.resume_path)
         if header.get("checksum") != checksum:
             raise JournalMismatchError(
                 f"journal {self.resume_path} was recorded for a "
                 f"different run (checksum {header.get('checksum')!r} "
                 f"!= {checksum!r}); refusing to splice its outcomes"
             )
-        for record in records[1:]:
-            if record.get("type") != "post":
-                continue
-            key = (record["fid"], record["variant"])
-            self.entries[key] = record
+        self.entries.update(posts)
 
     def _write(self, record):
         self._handle.write(json.dumps(record, default=str) + "\n")
         self._handle.flush()
+        if not self.fsync:
+            return
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_batch:
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
 
     # -- queries ---------------------------------------------------------
 
@@ -272,5 +337,8 @@ class RunJournal:
 
     def close(self):
         if self._handle is not None:
+            if self.fsync and self._unsynced:
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
             self._handle.close()
             self._handle = None

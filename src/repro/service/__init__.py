@@ -1,0 +1,58 @@
+"""repro.service: a crash-safe, sharded detection daemon.
+
+The one-shot CLI becomes a long-running "CI farm for PM bugs": a
+daemon accepts detection jobs over a local REST API
+(:mod:`repro.service.api`), shards each job's failure-point plan into
+contiguous fid ranges (:mod:`repro.service.shard`), and dispatches the
+shards to a fleet of persistent worker processes
+(:mod:`repro.service.fleet`) that keep a warm
+:class:`~repro.exec.pool.WarmProcessExecutor` alive *across* runs.
+
+Robustness is the architecture, not a feature:
+
+* every job is a crash-safe state machine (PENDING → RUNNING →
+  DEGRADED → DONE/FAILED) persisted atomically by
+  :mod:`repro.service.jobstore`;
+* every shard writes a per-shard :class:`~repro.resilience.RunJournal`
+  (all shards of one job share a checksum — the shard window is a
+  scheduling knob, excluded from it — so the journals merge);
+* shards emit heartbeats, and a reaper (:mod:`repro.service.reaper`)
+  reclaims stale ones with exponential backoff + retry budgets,
+  escalating into job-level DEGRADED instead of failure;
+* SIGTERM drains gracefully (in-flight batches finish, the rest is
+  journaled) and a daemon restart recovers every in-flight job from
+  its journals, producing a merged report **byte-identical** to the
+  one-shot CLI.
+
+``repro.cli`` exposes it as ``serve`` / ``submit`` / ``status`` /
+``cancel``, plus ``doctor`` for post-crash hygiene.  See
+``docs/service.md`` for the lifecycle diagram and failure matrix.
+"""
+
+from repro.service.doctor import clean_findings, diagnose
+from repro.service.fleet import Fleet, FleetSettings
+from repro.service.jobstore import (
+    JOB_STATES,
+    JobRecord,
+    JobStore,
+    ShardRecord,
+)
+from repro.service.reaper import Reaper
+from repro.service.scheduler import Scheduler
+from repro.service.shard import merge_shard_journals
+from repro.service.spec import JobSpec
+
+__all__ = [
+    "Fleet",
+    "FleetSettings",
+    "JOB_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "Reaper",
+    "Scheduler",
+    "ShardRecord",
+    "clean_findings",
+    "diagnose",
+    "merge_shard_journals",
+]

@@ -1,0 +1,274 @@
+"""The daemon's local REST API (stdlib ``http.server``).
+
+Bound to loopback on an ephemeral port by default; the bound address
+is advertised in ``<state_dir>/daemon.json`` so the CLI finds it
+without configuration.  Mutations (submit/cancel/drain) go through the
+scheduler's thread-safe command queue; reads (status, reports, event
+streams, metrics) come straight from the atomically-persisted files,
+so a slow client can never stall the scheduler loop.
+
+Routes (all JSON unless noted)::
+
+    GET  /healthz                       liveness + drain state
+    GET  /metrics                       Prometheus exposition (text)
+    GET  /api/v1/jobs                   job summaries
+    POST /api/v1/jobs                   submit a JobSpec -> job_id
+    GET  /api/v1/jobs/<id>              full job record
+    POST /api/v1/jobs/<id>/cancel
+    GET  /api/v1/jobs/<id>/report?format=text|json
+    GET  /api/v1/jobs/<id>/events[?follow=1]   NDJSON stream
+    POST /api/v1/drain                  begin graceful drain
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.spec import SpecError
+
+#: How long ``?follow=1`` keeps polling a finished file for stragglers.
+_FOLLOW_POLL = 0.2
+
+
+class ApiError(Exception):
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+def _job_summary(record):
+    return {
+        "job_id": record.job_id,
+        "state": record.state,
+        "finished": record.finished,
+        "planned_points": record.planned_points,
+        "shards": [
+            {
+                "shard_id": shard.shard_id,
+                "lo": shard.lo, "hi": shard.hi,
+                "points": shard.points,
+                "status": shard.status,
+                "attempts": shard.attempts,
+                "reclaims": shard.reclaims,
+            }
+            for shard in record.shards
+        ],
+        "merged": record.merged,
+        "detail": record.detail,
+        "created_at": record.created_at,
+        "updated_at": record.updated_at,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by make_server:
+    scheduler = None
+    store = None
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, *_args):
+        pass  # the daemon's own telemetry is the log
+
+    def _send_json(self, payload, status=200):
+        body = (json.dumps(payload, indent=2, sort_keys=True)
+                + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text, status=200,
+                   content_type="text/plain; charset=utf-8"):
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"request body is not JSON: {exc}")
+
+    def _load_record(self, job_id):
+        try:
+            return self.store.load(job_id)
+        except (OSError, ValueError):
+            raise ApiError(404, f"no such job {job_id!r}")
+
+    # -- routing --------------------------------------------------------
+
+    def do_GET(self):
+        self._route("GET")
+
+    def do_POST(self):
+        self._route("POST")
+
+    def _route(self, method):
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+        try:
+            self._handle(method, parts, query)
+        except ApiError as exc:
+            self._send_json(
+                {"error": str(exc)}, status=exc.status
+            )
+        except SpecError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            self._send_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+
+    def _handle(self, method, parts, query):
+        if method == "GET" and parts == ["healthz"]:
+            return self._send_json({
+                "ok": True,
+                "pid": os.getpid(),
+                "draining": self.scheduler.draining,
+                "jobs_active": len(self.scheduler._active_jobs()),
+            })
+        if method == "GET" and parts == ["metrics"]:
+            try:
+                with open(self.store.prom_path()) as handle:
+                    text = handle.read()
+            except OSError:
+                raise ApiError(404, "no metrics written yet")
+            return self._send_text(
+                text, content_type="text/plain; version=0.0.4"
+            )
+        if parts[:2] != ["api", "v1"]:
+            raise ApiError(404, f"unknown path {self.path!r}")
+        rest = parts[2:]
+        if rest == ["drain"] and method == "POST":
+            self.scheduler.drain()
+            return self._send_json({"draining": True})
+        if rest == ["jobs"]:
+            if method == "POST":
+                job_id = self.scheduler.submit(self._read_body())
+                return self._send_json({"job_id": job_id}, status=201)
+            return self._send_json({
+                "jobs": [
+                    _job_summary(self.store.load(job_id))
+                    for job_id in self.store.list_jobs()
+                ]
+            })
+        if len(rest) >= 2 and rest[0] == "jobs":
+            job_id = rest[1]
+            action = rest[2] if len(rest) > 2 else None
+            if action is None and method == "GET":
+                return self._send_json(
+                    _job_summary(self._load_record(job_id))
+                )
+            if action == "cancel" and method == "POST":
+                self._load_record(job_id)
+                state = self.scheduler.cancel(job_id)
+                return self._send_json({"state": state})
+            if action == "report" and method == "GET":
+                return self._report(job_id, query)
+            if action == "events" and method == "GET":
+                return self._events(job_id, query)
+        raise ApiError(404, f"unknown path {self.path!r}")
+
+    # -- bodies ---------------------------------------------------------
+
+    def _report(self, job_id, query):
+        fmt = (query.get("format") or ["text"])[0]
+        if fmt not in ("text", "json"):
+            raise ApiError(400, f"unknown report format {fmt!r}")
+        record = self._load_record(job_id)
+        path = self.store.report_path(job_id, fmt)
+        if not os.path.exists(path):
+            raise ApiError(
+                409,
+                f"job {job_id} has no report yet "
+                f"(state {record.state})",
+            )
+        with open(path) as handle:
+            text = handle.read()
+        if fmt == "json":
+            return self._send_text(text, content_type="application/json")
+        return self._send_text(text)
+
+    def _events(self, job_id, query):
+        """The job's NDJSON event stream; ``?follow=1`` tails it
+        (chunked) until the job reaches a terminal state."""
+        self._load_record(job_id)
+        path = self.store.events_path(job_id)
+        follow = (query.get("follow") or ["0"])[0] in ("1", "true")
+        if not follow:
+            try:
+                with open(path) as handle:
+                    text = handle.read()
+            except OSError:
+                text = ""
+            return self._send_text(
+                text, content_type="application/x-ndjson"
+            )
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(data):
+            self.wfile.write(
+                f"{len(data):x}\r\n".encode() + data + b"\r\n"
+            )
+            self.wfile.flush()
+
+        offset = 0
+        while True:
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            except OSError:
+                data = b""
+            if data:
+                # Ship only complete lines; a torn tail waits for the
+                # writer's next flush.
+                cut = data.rfind(b"\n") + 1
+                if cut:
+                    chunk(data[:cut])
+                    offset += cut
+            record = self._load_record(job_id)
+            if record.finished:
+                break
+            time.sleep(_FOLLOW_POLL)
+        chunk(b"")  # terminating chunk
+
+
+def make_server(scheduler, store, host="127.0.0.1", port=0):
+    """A ready-to-serve ThreadingHTTPServer bound to ``host:port``
+    (port 0 = ephemeral).  Caller starts/stops it."""
+    handler = type(
+        "BoundHandler", (_Handler,),
+        {"scheduler": scheduler, "store": store},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_in_thread(server):
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.1},
+        name="xfd-service-api", daemon=True,
+    )
+    thread.start()
+    return thread

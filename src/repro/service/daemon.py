@@ -1,0 +1,105 @@
+"""Daemon assembly: scheduler loop + API server + signal-driven drain.
+
+``ServiceDaemon.serve()`` is the blocking entry point behind
+``xfdetector serve``: it advertises itself in ``daemon.json``, starts
+the API on a background thread, recovers in-flight jobs, and runs the
+scheduler loop on the calling thread until a drain completes — either
+requested over the API or delivered as SIGTERM/SIGINT.  Drain finishes
+in-flight work (up to ``drain_timeout``), journals the remainder, and
+leaves ``daemon.json`` marked ``stopped`` so ``doctor`` can tell a
+clean exit from a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+
+from repro.service.api import make_server, serve_in_thread
+from repro.service.fleet import FleetSettings
+from repro.service.jobstore import JobStore, atomic_write_json, read_json
+from repro.service.reaper import Reaper
+from repro.service.scheduler import Scheduler
+
+
+def read_daemon_info(state_dir):
+    """The advertised daemon record, or None when absent/unreadable."""
+    store = JobStore(state_dir)
+    try:
+        return read_json(store.daemon_path())
+    except (OSError, ValueError):
+        return None
+
+
+def daemon_alive(info):
+    """Is the advertised pid still running?"""
+    if not info or info.get("state") != "serving":
+        return False
+    try:
+        os.kill(int(info["pid"]), 0)
+    except (OSError, ValueError, TypeError):
+        return False
+    return True
+
+
+class ServiceDaemon:
+    def __init__(self, state_dir, settings=None, reaper=None,
+                 host="127.0.0.1", port=0, drain_timeout=30.0):
+        self.store = JobStore(state_dir)
+        self.settings = settings or FleetSettings()
+        self.scheduler = Scheduler(
+            self.store, self.settings,
+            reaper=reaper or Reaper(),
+        )
+        self.scheduler.drain_timeout = drain_timeout
+        self.server = make_server(self.scheduler, self.store,
+                                  host=host, port=port)
+        self.host, self.port = self.server.server_address[:2]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _advertise(self, state):
+        atomic_write_json(self.store.daemon_path(), {
+            "state": state,
+            "pid": os.getpid(),
+            "host": self.host,
+            "port": self.port,
+            "hostname": socket.gethostname(),
+            "url": f"http://{self.host}:{self.port}",
+        })
+
+    def _install_signals(self):
+        def request_drain(_signum, _frame):
+            # Runs on the main thread between scheduler steps; the
+            # command queue makes it loop-safe.
+            self.scheduler.draining = True
+            if self.scheduler._drain_started is None:
+                import time
+
+                self.scheduler._drain_started = time.monotonic()
+                self.scheduler.telemetry.emit(
+                    "drain_started",
+                    busy=len(self.scheduler.fleet.busy_workers()),
+                )
+
+        signal.signal(signal.SIGTERM, request_drain)
+        signal.signal(signal.SIGINT, request_drain)
+
+    def serve(self, install_signals=True):
+        """Run until drained.  Returns the number of jobs still
+        unfinished (they resume on the next start)."""
+        if install_signals:
+            self._install_signals()
+        self.scheduler.start()
+        self._advertise("serving")
+        api_thread = serve_in_thread(self.server)
+        try:
+            self.scheduler.run_forever()
+        finally:
+            self.server.shutdown()
+            api_thread.join(timeout=5.0)
+            self.server.server_close()
+            self.scheduler.close()
+            self._advertise("stopped")
+        return len(self.scheduler._active_jobs())

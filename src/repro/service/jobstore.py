@@ -1,0 +1,270 @@
+"""Crash-safe job state: atomic JSON records under a state directory.
+
+Layout (everything under one ``state_dir``)::
+
+    daemon.json                 pid/host/port of the running daemon
+    service.prom                fleet gauges (Prometheus textfile)
+    jobs/<job_id>/
+        spec.json               the submitted JobSpec, verbatim
+        state.json              JobRecord (states, shards, attempts)
+        events.ndjson           live event stream (shards append)
+        shards/shard-<k>.journal    per-shard RunJournal
+        shards/shard-<k>.hb         shard heartbeat (atomic JSON)
+        merged.journal          concatenated shard journals + merge run
+        report.txt / report.json    final merged report
+
+Every ``state.json`` write is tmp + fsync + ``os.replace`` — a daemon
+killed at any instruction leaves either the old record or the new one,
+never a torn file.  Job progress itself lives in the shard journals;
+``state.json`` only records *scheduling* state, so losing the very
+last write costs at most one redundant re-dispatch, never results.
+
+State machine::
+
+    PENDING ──► RUNNING ──► DONE
+                   │  ▲        ▲
+                   ▼  │        │
+                DEGRADED ──────┘ (merge recovered every point)
+    any non-terminal ──► FAILED / CANCELLED
+
+DEGRADED is entered when a shard exhausts its reclaim budget and is
+*sticky only if the merge run still lost points*: the merge re-executes
+abandoned ranges live, so a job can finish DONE after a degraded
+phase.  ``finished`` marks terminality — a DEGRADED job with
+``finished=False`` is still being merged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+JOB_STATES = ("PENDING", "RUNNING", "DEGRADED", "DONE", "FAILED",
+              "CANCELLED")
+
+_TRANSITIONS = {
+    "PENDING": {"RUNNING", "FAILED", "CANCELLED"},
+    "RUNNING": {"DEGRADED", "DONE", "FAILED", "CANCELLED"},
+    "DEGRADED": {"DONE", "DEGRADED", "FAILED", "CANCELLED"},
+    "DONE": set(),
+    "FAILED": set(),
+    "CANCELLED": set(),
+}
+
+SHARD_STATES = ("pending", "running", "done", "abandoned")
+
+
+class StateError(RuntimeError):
+    """An illegal job state transition was attempted."""
+
+
+def atomic_write_json(path, payload):
+    """tmp + fsync + rename: the file is always one complete record."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def read_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+@dataclasses.dataclass
+class ShardRecord:
+    """One contiguous fid range of a job's plan."""
+
+    shard_id: int
+    lo: int
+    hi: int
+    #: Planned fids in [lo, hi) — the accounting denominator.
+    points: int
+    status: str = "pending"
+    attempts: int = 0
+    reclaims: int = 0
+    #: Monotonic-free wall clock of the next allowed dispatch
+    #: (reaper backoff); 0 = immediately eligible.
+    eligible_at: float = 0.0
+    #: Last completion summary (points journaled, bugs, degraded).
+    summary: dict | None = None
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """Scheduling state of one job; persisted as ``state.json``."""
+
+    job_id: str
+    state: str = "PENDING"
+    finished: bool = False
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    #: Planned fid count from the probe; None until probed.
+    planned_points: int | None = None
+    shards: list = dataclasses.field(default_factory=list)
+    probe_attempts: int = 0
+    merge_attempts: int = 0
+    merged: bool = False
+    #: Human-readable terminal detail (error text, cancel reason).
+    detail: str | None = None
+
+    def advance(self, state, detail=None):
+        """Validated transition; terminal states set ``finished``."""
+        if state not in JOB_STATES:
+            raise StateError(f"unknown job state {state!r}")
+        if self.finished:
+            raise StateError(
+                f"job {self.job_id} is finished ({self.state}); "
+                f"cannot move to {state}"
+            )
+        if state != self.state and \
+                state not in _TRANSITIONS[self.state]:
+            raise StateError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state} -> {state}"
+            )
+        self.state = state
+        if detail is not None:
+            self.detail = detail
+        if state in ("DONE", "FAILED", "CANCELLED"):
+            self.finished = True
+
+    def finalize_degraded(self, detail=None):
+        """Terminal DEGRADED: the merge itself could not recover every
+        point (DEGRADED -> DEGRADED with ``finished`` set)."""
+        self.advance("DEGRADED", detail)
+        self.finished = True
+
+    def shard(self, shard_id):
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(f"job {self.job_id} has no shard {shard_id}")
+
+    def shards_settled(self):
+        return self.shards and all(
+            shard.status in ("done", "abandoned")
+            for shard in self.shards
+        )
+
+    def to_dict(self):
+        payload = dataclasses.asdict(self)
+        payload["shards"] = [shard.to_dict() for shard in self.shards]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data):
+        shards = [
+            ShardRecord.from_dict(entry)
+            for entry in data.get("shards", ())
+        ]
+        fields = {k: v for k, v in data.items() if k != "shards"}
+        record = cls(**fields)
+        record.shards = shards
+        return record
+
+
+class JobStore:
+    """All jobs' on-disk state under one directory."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+        os.makedirs(os.path.join(self.root, "jobs"), exist_ok=True)
+        self._serial = 0
+
+    # -- paths ----------------------------------------------------------
+
+    def job_dir(self, job_id):
+        return os.path.join(self.root, "jobs", job_id)
+
+    def spec_path(self, job_id):
+        return os.path.join(self.job_dir(job_id), "spec.json")
+
+    def state_path(self, job_id):
+        return os.path.join(self.job_dir(job_id), "state.json")
+
+    def events_path(self, job_id):
+        return os.path.join(self.job_dir(job_id), "events.ndjson")
+
+    def shard_journal_path(self, job_id, shard_id):
+        return os.path.join(
+            self.job_dir(job_id), "shards", f"shard-{shard_id}.journal"
+        )
+
+    def heartbeat_path(self, job_id, shard_id):
+        return os.path.join(
+            self.job_dir(job_id), "shards", f"shard-{shard_id}.hb"
+        )
+
+    def merged_journal_path(self, job_id):
+        return os.path.join(self.job_dir(job_id), "merged.journal")
+
+    def report_path(self, job_id, fmt="text"):
+        name = "report.txt" if fmt == "text" else "report.json"
+        return os.path.join(self.job_dir(job_id), name)
+
+    def daemon_path(self):
+        return os.path.join(self.root, "daemon.json")
+
+    def prom_path(self):
+        return os.path.join(self.root, "service.prom")
+
+    # -- lifecycle ------------------------------------------------------
+
+    def new_job_id(self, spec):
+        self._serial += 1
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        base = f"{stamp}-{spec.workload}-{self._serial:03d}"
+        while os.path.exists(self.job_dir(base)):
+            self._serial += 1
+            base = f"{stamp}-{spec.workload}-{self._serial:03d}"
+        return base
+
+    def create(self, spec):
+        """Persist a new PENDING job; the record survives before the
+        scheduler ever sees it (submit is crash-safe)."""
+        job_id = self.new_job_id(spec)
+        os.makedirs(
+            os.path.join(self.job_dir(job_id), "shards"), exist_ok=True
+        )
+        atomic_write_json(self.spec_path(job_id), spec.to_dict())
+        record = JobRecord(
+            job_id=job_id, created_at=time.time(),
+            updated_at=time.time(),
+        )
+        self.save(record)
+        return record
+
+    def save(self, record):
+        record.updated_at = time.time()
+        atomic_write_json(self.state_path(record.job_id),
+                          record.to_dict())
+
+    def load(self, job_id):
+        return JobRecord.from_dict(read_json(self.state_path(job_id)))
+
+    def load_spec(self, job_id):
+        from repro.service.spec import JobSpec
+
+        return JobSpec.from_dict(read_json(self.spec_path(job_id)))
+
+    def list_jobs(self):
+        """All job ids with a readable state record, oldest first."""
+        jobs_dir = os.path.join(self.root, "jobs")
+        found = []
+        for name in sorted(os.listdir(jobs_dir)):
+            if os.path.exists(self.state_path(name)):
+                found.append(name)
+        return found

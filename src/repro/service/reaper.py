@@ -1,0 +1,90 @@
+"""Shard reclamation: heartbeat staleness, backoff, retry budgets.
+
+The reaper is deliberately pure decision logic over the on-disk
+heartbeat files and the shard records — the scheduler feeds it the
+running shards and executes its verdicts (kill the worker, requeue the
+shard, or abandon it).  Separating the policy makes it unit-testable
+without a fleet.
+
+Policy:
+
+* a running shard whose heartbeat file has not been touched for
+  ``heartbeat_timeout`` seconds (measured from the *later* of the
+  file's mtime and the dispatch time, so a shard that never wrote a
+  heartbeat is judged from dispatch) is **stale** → reclaim;
+* a running shard older than ``shard_timeout`` (wall clock since
+  dispatch) is reclaimed regardless of heartbeats — a shard can beat
+  forever while livelocked;
+* a reclaimed shard requeues with ``eligible_at`` pushed out by
+  exponential backoff with the supervisor's deterministic jitter
+  (:func:`repro.resilience.jitter_unit` keyed on the shard id and
+  attempt — a fleet restarting many shards at once spreads out);
+* a shard reclaimed more than ``max_shard_retries`` times is
+  **abandoned**: the job degrades instead of failing, and the merge
+  run re-executes the abandoned range live.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.resilience import jitter_unit
+
+#: Ceiling for one reclaim backoff, whatever the attempt.
+RECLAIM_BACKOFF_CAP = 30.0
+
+
+class Reaper:
+    def __init__(self, heartbeat_timeout=10.0, shard_timeout=None,
+                 max_shard_retries=2, backoff_base=0.5,
+                 clock=None):
+        import time
+
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.shard_timeout = (
+            float(shard_timeout) if shard_timeout else None
+        )
+        self.max_shard_retries = int(max_shard_retries)
+        self.backoff_base = float(backoff_base)
+        self._clock = clock if clock is not None else time.time
+
+    # -- staleness -------------------------------------------------------
+
+    def last_sign_of_life(self, heartbeat_path, dispatched_at):
+        """The freshest liveness evidence for one running shard."""
+        try:
+            mtime = os.stat(heartbeat_path).st_mtime
+        except OSError:
+            mtime = 0.0
+        return max(mtime, dispatched_at)
+
+    def is_stale(self, heartbeat_path, dispatched_at):
+        now = self._clock()
+        if self.shard_timeout is not None and \
+                now - dispatched_at > self.shard_timeout:
+            return True
+        return (
+            now - self.last_sign_of_life(heartbeat_path, dispatched_at)
+            > self.heartbeat_timeout
+        )
+
+    # -- verdicts --------------------------------------------------------
+
+    def reclaim(self, shard):
+        """Apply one reclaim to a shard record: requeue with backoff,
+        or abandon past the budget.  Returns ``"requeued"`` or
+        ``"abandoned"``."""
+        shard.reclaims += 1
+        if shard.reclaims > self.max_shard_retries:
+            shard.status = "abandoned"
+            return "abandoned"
+        shard.status = "pending"
+        delay = min(
+            self.backoff_base * (2 ** (shard.reclaims - 1)),
+            RECLAIM_BACKOFF_CAP,
+        )
+        delay *= 1.0 + jitter_unit(
+            shard.shard_id, shard.reclaims, shard.lo
+        )
+        shard.eligible_at = self._clock() + delay
+        return "requeued"
