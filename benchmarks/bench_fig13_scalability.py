@@ -137,7 +137,17 @@ def test_fig13_jobs_sweep(benchmark):
     )
     speedups[1] = 1.0
     assert speedups[1] >= 1.0  # the single-core floor, trivially
-    rows.append(row(1, "serial", None, serial_time, 1.0))
+    # The serial hot-path row is emitted unconditionally: on a 1-core
+    # runner every parallel leg below is skipped, so this row (plus
+    # its cpu_count and throughput provenance) is what makes the
+    # trajectory usable at all there.
+    total_events = (serial_report.stats.pre_trace_events
+                    + serial_report.stats.post_trace_events)
+    serial_events_per_s = int(total_events / serial_time)
+    rows.append(row(
+        1, "serial", None, serial_time, 1.0,
+        note=f"hot path: {serial_events_per_s} events/s",
+    ))
 
     def sweep_leg(jobs, mode, batch_size, config_kwargs):
         """One parallel leg: skip-with-note when the machine cannot
@@ -210,6 +220,8 @@ def test_fig13_jobs_sweep(benchmark):
             "transactions": tx_count,
             "executor": executor,
             "cpu_count": cpu_count,
+            "serial_time_s": round(serial_time, 3),
+            "serial_events_per_s": serial_events_per_s,
             "speedup_jobs4_warm": (
                 round(speedups[4], 3) if 4 in speedups else "skipped"
             ),

@@ -71,20 +71,67 @@ def _is_runtime_frame(filename):
     return any(fragment in filename for fragment in _RUNTIME_FRAGMENTS)
 
 
+#: code object -> is-runtime flag.  The fragment scan is a substring
+#: search over six path fragments per frame; a workload performs it
+#: once per distinct code object instead of once per traced operation.
+_RUNTIME_CODE = {}
+
+#: (code object, f_lasti) -> interned SourceLocation.  ``f_lineno`` is
+#: derived from the code's line table and the instruction offset, so
+#: the pair pins the location exactly; the cache turns per-operation
+#: location capture into two dict probes.
+_LOCATION_CACHE = {}
+
+#: (filename, lineno, function) -> the one shared SourceLocation.
+#: Interning is what makes downstream per-location memos (the trace
+#: recorder's ip table, the journal's call-site digests) cheap: equal
+#: call sites are the same object.
+_INTERN_TABLE = {}
+
+_CACHE_LIMIT = 1 << 16
+
+
+def intern_location(filename, lineno, function):
+    """The canonical :class:`SourceLocation` for this triple."""
+    key = (filename, lineno, function)
+    location = _INTERN_TABLE.get(key)
+    if location is None:
+        location = _make_location(filename, lineno, function)
+        if len(_INTERN_TABLE) >= _CACHE_LIMIT:
+            _INTERN_TABLE.clear()
+        _INTERN_TABLE[key] = location
+    return location
+
+
 def capture_location(skip=1):
     """Return the :class:`SourceLocation` of the nearest non-runtime frame.
 
     ``skip`` is the number of innermost frames to ignore unconditionally
     (the caller itself, usually).  Returns :data:`UNKNOWN_LOCATION` when
-    the entire stack is runtime frames.
+    the entire stack is runtime frames.  Results are interned: the same
+    call site always yields the same object.
     """
     frame = sys._getframe(skip)
+    runtime_code = _RUNTIME_CODE
     while frame is not None:
-        filename = frame.f_code.co_filename
-        if not _is_runtime_frame(filename):
-            return SourceLocation(
-                filename, frame.f_lineno, frame.f_code.co_name
-            )
+        code = frame.f_code
+        runtime = runtime_code.get(code)
+        if runtime is None:
+            runtime = _is_runtime_frame(code.co_filename)
+            if len(runtime_code) >= _CACHE_LIMIT:
+                runtime_code.clear()
+            runtime_code[code] = runtime
+        if not runtime:
+            key = (code, frame.f_lasti)
+            location = _LOCATION_CACHE.get(key)
+            if location is None:
+                location = intern_location(
+                    code.co_filename, frame.f_lineno, code.co_name
+                )
+                if len(_LOCATION_CACHE) >= _CACHE_LIMIT:
+                    _LOCATION_CACHE.clear()
+                _LOCATION_CACHE[key] = location
+            return location
         frame = frame.f_back
     return UNKNOWN_LOCATION
 

@@ -90,15 +90,51 @@ class RangeMap:
 
     def iter_with_gaps(self, start, end):
         """Like :meth:`iter_ranges` but also yields uncovered gaps in the
-        window as ``(start, end, default)``."""
+        window as ``(start, end, default)``.
+
+        Open-coded rather than delegating to :meth:`iter_ranges`: this
+        is the backend's per-read segmentation primitive and the nested
+        generator dispatch showed up in profiles.
+        """
+        if start >= end:
+            return
+        starts = self._starts
+        ends = self._ends
+        values = self._values
+        default = self._default
         cursor = start
-        for s, e, v in self.iter_ranges(start, end):
+        idx = bisect_right(starts, start) - 1
+        if idx < 0:
+            idx = 0
+        for i in range(idx, len(starts)):
+            s = starts[i]
+            if s >= end:
+                break
+            e = ends[i]
+            if e <= start:
+                continue
+            if s < start:
+                s = start
+            if e > end:
+                e = end
             if s > cursor:
-                yield cursor, s, self._default
-            yield s, e, v
+                yield cursor, s, default
+            yield s, e, values[i]
             cursor = e
         if cursor < end:
-            yield cursor, end, self._default
+            yield cursor, end, default
+
+    def covers_range_with(self, start, end, value):
+        """True if a single stored interval covers all of ``[start,
+        end)`` with a value equal to ``value``.  O(log n); lets hot
+        callers skip a full :meth:`iter_with_gaps` walk when the whole
+        window is known-uniform."""
+        idx = bisect_right(self._starts, start) - 1
+        return (
+            idx >= 0
+            and end <= self._ends[idx]
+            and self._values[idx] == value
+        )
 
     def first_match(self, start, end, predicate):
         """Return the first ``(start, end, value)`` in the window whose
@@ -116,6 +152,18 @@ class RangeMap:
     def set(self, start, end, value):
         """Assign ``value`` to every address in ``[start, end)``."""
         if start >= end:
+            return
+        # No-op fast path: the window lies inside one stored interval
+        # that already carries an equal value (the common shape when a
+        # replay re-applies the same per-byte state, e.g. repeated
+        # epochs, writers, or persistence states).
+        starts = self._starts
+        idx = bisect_right(starts, start) - 1
+        if (
+            idx >= 0
+            and end <= self._ends[idx]
+            and self._values[idx] == value
+        ):
             return
         self._carve(start, end)
         lo = bisect_left(self._starts, start)

@@ -7,7 +7,7 @@ import dataclasses
 from repro._location import UNKNOWN_LOCATION
 from repro.core.config import DetectorConfig
 from repro.core.frontend import Frontend
-from repro.core.replay import StopAnalysis, TraceReplayer
+from repro.core.replay import StopAnalysis, TraceReplayer, lower_trace
 from repro.core.report import Bug, BugKind, DetectionReport
 from repro.core.shadow import ShadowCheckpointCache, ShadowPM
 from repro.exec.base import TaskOutcome, resolve_executor
@@ -23,7 +23,10 @@ from repro.resilience import (
     ResilienceContext,
     deserialize_bug,
 )
-from repro.trace.events import EventKind
+from repro.trace.events import KIND_CODE, EventKind
+
+#: Marker instruction code in compiled replay programs.
+_FP_CODE = KIND_CODE[EventKind.FAILURE_POINT]
 
 
 class XFDetector:
@@ -287,13 +290,18 @@ class XFDetector:
         dedup_on = getattr(self.config, "dedup", False)
         memo_on = getattr(self.config, "replay_memo", False)
 
+        # The pre-failure trace is lowered into a compiled replay
+        # program exactly once; the marker scan below, the pre-replay,
+        # and any checkpoint rebuilds all execute the same program.
+        pre_program = lower_trace(frontend_result.pre_recorder)
+
         # Tasks are fixed before the pre-replay so replay-level
         # dedup can decide, at each marker, which runs need a live
         # checkpoint and which clone an earlier identical replay.
         marker_fids = {
-            int(event.info)
-            for event in frontend_result.pre_recorder
-            if event.kind is EventKind.FAILURE_POINT
+            int(instr[3])
+            for instr in pre_program
+            if instr[0] == _FP_CODE
         }
         tasks = [
             run for run in ordered_runs
@@ -335,14 +343,19 @@ class XFDetector:
             readsets = _class_readsets(tasks) if dedup_on else {}
 
             checkpoints = ShadowCheckpointCache(
-                self._checkpoint_rebuilder(frontend_result, pre_has_roi)
+                self._checkpoint_rebuilder(pre_program, pre_has_roi)
             )
             replay_seen = {}  # (class id, digest) -> source task index
             clone_of = {}  # task index -> source task index
             insert_at = {}
-            for event in frontend_result.pre_recorder:
-                if event.kind is EventKind.FAILURE_POINT:
-                    fid = int(event.info)
+            # Dispatch the compiled program directly (same table
+            # ``run_program`` uses) so the marker handling can stay
+            # inline without re-testing every instruction twice.
+            dispatch = pre_replayer._dispatch
+            for instr in pre_program:
+                code, addr, size, info, ip, tid = instr
+                if code == _FP_CODE:
+                    fid = int(info)
                     insert_at[fid] = len(report.bugs)
                     need_live = not (dedup_on and memo_on)
                     digests = {}
@@ -370,7 +383,7 @@ class XFDetector:
                         checkpoints.capture(fid, shadow)
                     else:
                         checkpoints.note_skipped(fid)
-                pre_replayer.process(event)
+                dispatch[code](addr, size, info, ip, tid)
             pre_bugs = list(report.bugs)
             for bug in pre_bugs:
                 _emit_finding(tel, bug)
@@ -428,10 +441,10 @@ class XFDetector:
             seconds=backend_span.duration,
         )
 
-    def _checkpoint_rebuilder(self, frontend_result, pre_has_roi):
+    def _checkpoint_rebuilder(self, pre_program, pre_has_roi):
         """The cache's slow path: rebuild the shadow state at one
-        skipped marker by replaying the pre-failure trace prefix into
-        a scratch shadow (fresh counter and report — the live
+        skipped marker by replaying the pre-failure program prefix
+        into a scratch shadow (fresh counter and report — the live
         pre-replay already accounted for these events)."""
 
         def rebuild(fid):
@@ -440,13 +453,11 @@ class XFDetector:
                 shadow, self.config, "pre", DetectionReport(),
                 has_roi=pre_has_roi,
             )
-            for event in frontend_result.pre_recorder:
-                if (
-                    event.kind is EventKind.FAILURE_POINT
-                    and int(event.info) == fid
-                ):
+            dispatch = replayer._dispatch
+            for code, addr, size, info, ip, tid in pre_program:
+                if code == _FP_CODE and int(info) == fid:
                     return shadow.checkpoint()
-                replayer.process(event)
+                dispatch[code](addr, size, info, ip, tid)
             raise KeyError(fid)
 
         return rebuild
@@ -474,8 +485,10 @@ class XFDetector:
                     entry["benign_races"],
                 )
                 continue
+            # Post-failure traces ship to workers pre-lowered: the
+            # compilation cost is paid once here, not per retry/fork.
             runs_map[key] = (
-                tuple(run.recorder), _has_roi(run.recorder)
+                lower_trace(run.recorder), _has_roi(run.recorder)
             )
         live_keys = [
             key for key in keys

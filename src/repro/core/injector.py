@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 
 from repro.pm.snapshot import SnapshotStore
-from repro.trace.events import EventKind
+from repro.trace.events import PM_DATA_CODES, EventKind
 
 
 class FailurePoint:
@@ -135,6 +135,19 @@ class FailureInjector:
             if self.prune_plan is not None \
                     and not self.prune_plan.certifies(event.ip):
                 self._uncertified_pending = True
+
+    def on_op(self, kind_code, addr, size, info, ip, tid):
+        """Columnar fast path: same decision as :meth:`on_event`
+        without an event object (see ``PersistentMemory.add_observer``)."""
+        if kind_code in PM_DATA_CODES:
+            self._ops_pending = True
+            if self.prune_plan is not None:
+                if ip is None:
+                    from repro._location import UNKNOWN_LOCATION
+
+                    ip = UNKNOWN_LOCATION
+                if not self.prune_plan.certifies(ip):
+                    self._uncertified_pending = True
 
     # -- ordering listener ----------------------------------------------
 

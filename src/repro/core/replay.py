@@ -19,6 +19,15 @@ During the pre-failure replay the backend also reports performance
 bugs: redundant writebacks (Figure 9's yellow edges), duplicated
 ``TX_ADD`` of an already-added range, and (optionally) fences that
 completed no writeback.
+
+Hot path (ISSUE 10): traces are pre-lowered once by
+:func:`lower_trace` into *compiled replay programs* — flat tuples of
+``(kind_code, addr, size, info, ip, tid)`` scalars — and executed by
+:meth:`TraceReplayer.run_program`, which dispatches each instruction
+through a per-instance handler table indexed by the integer kind code.
+No event objects, enum hashing, or attribute loads per replayed
+operation.  :meth:`TraceReplayer.process` remains as the event-object
+wrapper for the audit/interleaved path and for tests.
 """
 
 from __future__ import annotations
@@ -27,7 +36,9 @@ from repro._rangemap import RangeMap
 from repro.core.report import Bug, BugKind
 from repro.core.shadow import ConsistencyState, PersistenceState
 from repro.pm.cacheline import FlushKind
-from repro.trace.events import EventKind
+from repro.trace.events import KIND_BY_CODE, KIND_CODE, EventKind
+
+_CLFLUSH_INFO = FlushKind.CLFLUSH.value
 
 
 class StopAnalysis(Exception):
@@ -53,6 +64,27 @@ class _ThreadReplayState:
         self.tx_writes = []
 
 
+def lower_trace(source):
+    """Compile a trace into a replay program (a list of instruction
+    tuples ``(kind_code, addr, size, info, ip, tid)``).
+
+    ``source`` is either a :class:`~repro.trace.recorder.TraceRecorder`
+    — whose columns are zipped directly, never materializing events —
+    or any iterable of :class:`~repro.trace.events.TraceEvent`.
+    Instructions map 1:1 to trace rows, so a program can be sliced by
+    trace index exactly like the event list it replaces.
+    """
+    columns = getattr(source, "columns", None)
+    if columns is not None:
+        kinds, addrs, sizes, tids, infos, ips = columns()
+        return list(zip(kinds, addrs, sizes, infos, ips, tids))
+    return [
+        (KIND_CODE[event.kind], event.addr, event.size, event.info,
+         event.ip, event.tid)
+        for event in source
+    ]
+
+
 class TraceReplayer:
     """Replays one trace stream against a shadow PM."""
 
@@ -69,6 +101,8 @@ class TraceReplayer:
         # When the trace contains RoI markers, detection is confined to
         # the marked regions; otherwise the whole trace is of interest.
         self.roi_active = not has_roi
+        self._is_pre = stage == "pre"
+        self._is_post = stage == "post"
         # Per-thread replay state (events carry a tid, Section 7):
         # library/skip-region depths and the active transaction with
         # its added ranges and its writes.  Non-added transaction
@@ -81,6 +115,32 @@ class TraceReplayer:
         self._threads = {}
         # First-read-only optimization state (post stage).
         self._checked = RangeMap(False)
+        # Config is immutable per run; snapshot the per-read flag.
+        self._first_read_only = config.first_read_only
+        # Instruction dispatch table, indexed by kind code.
+        handlers = [self._op_nop] * len(KIND_BY_CODE)
+        handlers[KIND_CODE[EventKind.STORE]] = self._op_store
+        handlers[KIND_CODE[EventKind.NT_STORE]] = self._op_nt_store
+        handlers[KIND_CODE[EventKind.LOAD]] = self._op_load
+        handlers[KIND_CODE[EventKind.FLUSH]] = self._op_flush
+        handlers[KIND_CODE[EventKind.FENCE]] = self._op_fence
+        handlers[KIND_CODE[EventKind.TX_BEGIN]] = self._op_tx_begin
+        handlers[KIND_CODE[EventKind.TX_ADD]] = self._op_tx_add
+        handlers[KIND_CODE[EventKind.TX_COMMIT]] = self._op_tx_commit
+        handlers[KIND_CODE[EventKind.TX_ABORT]] = self._op_tx_abort
+        handlers[KIND_CODE[EventKind.ALLOC]] = self._op_alloc
+        handlers[KIND_CODE[EventKind.FREE]] = self._op_free
+        handlers[KIND_CODE[EventKind.LIB_BEGIN]] = self._op_lib_begin
+        handlers[KIND_CODE[EventKind.LIB_END]] = self._op_lib_end
+        handlers[KIND_CODE[EventKind.SKIP_DET_BEGIN]] = \
+            self._op_skip_begin
+        handlers[KIND_CODE[EventKind.SKIP_DET_END]] = self._op_skip_end
+        handlers[KIND_CODE[EventKind.ROI_BEGIN]] = self._op_roi_begin
+        handlers[KIND_CODE[EventKind.ROI_END]] = self._op_roi_end
+        handlers[KIND_CODE[EventKind.COMMIT_VAR]] = self._op_commit_var
+        handlers[KIND_CODE[EventKind.COMMIT_RANGE]] = \
+            self._op_commit_range
+        self._dispatch = tuple(handlers)
 
     def _thread(self, tid):
         state = self._threads.get(tid)
@@ -125,181 +185,234 @@ class TraceReplayer:
             raise StopAnalysis()
 
     # ------------------------------------------------------------------
-    # Event dispatch
+    # Instruction dispatch
     # ------------------------------------------------------------------
+
+    def run_program(self, program, deadline=None):
+        """Execute a compiled replay program (see :func:`lower_trace`).
+
+        This is the backend's hot loop: one tuple unpack and one table
+        dispatch per instruction."""
+        dispatch = self._dispatch
+        if deadline is None:
+            for code, addr, size, info, ip, tid in program:
+                dispatch[code](addr, size, info, ip, tid)
+        else:
+            for code, addr, size, info, ip, tid in program:
+                deadline.tick()
+                dispatch[code](addr, size, info, ip, tid)
 
     def process(self, event):
-        kind = event.kind
-        thread = self._thread(event.tid)
-        if kind is EventKind.STORE:
-            if thread.tx_active:
-                thread.tx_writes.append((event.addr, event.size))
-            self.shadow.record_store(
-                event.addr, event.size, event.ip, self.stage,
-                thread.tx_added, thread.tx_active,
-            )
-        elif kind is EventKind.NT_STORE:
-            if thread.tx_active:
-                thread.tx_writes.append((event.addr, event.size))
-            self.shadow.record_nt_store(
-                event.addr, event.size, event.ip, self.stage,
-                thread.tx_added, thread.tx_active,
-            )
-        elif kind is EventKind.LOAD:
-            if self.stage == "post":
-                self._check_read(event)
-        elif kind is EventKind.FLUSH:
-            # Post-failure flushes must not upgrade pre-failure data to
-            # "persisted": the value they write back came from the
-            # crash image, so the read classification has to reflect
-            # the state *at the failure* (post-failure writes are
-            # already exempt through post_written).
-            if self.stage == "pre":
-                self._process_flush(event)
-        elif kind is EventKind.FENCE:
-            if self.stage != "pre":
-                return
-            completed = self.shadow.record_fence(ip=event.ip)
-            if (
-                not completed
-                and not self._suppressed(event.tid)
-                and self.config.report_perf_bugs
-                and getattr(self.config, "report_redundant_fences", False)
-            ):
-                self._bug(
-                    BugKind.PERFORMANCE,
-                    "fence completed no writeback",
-                    reader_ip=event.ip,
-                )
-        elif kind is EventKind.TX_BEGIN:
-            thread.tx_active = True
-            thread.tx_added = []
-            thread.tx_writes = []
-        elif kind is EventKind.TX_ADD:
-            self._process_tx_add(event, thread)
-        elif kind is EventKind.TX_COMMIT:
-            if self.stage == "pre":
-                self.shadow.commit_tx_writes(thread.tx_writes)
-            thread.reset_tx()
-        elif kind is EventKind.TX_ABORT:
-            # Aborted transactions leave their non-added side effects
-            # semantically inconsistent on purpose.
-            thread.reset_tx()
-        elif kind is EventKind.ALLOC:
-            self.shadow.record_alloc(
-                event.addr, event.size, event.info == "zeroed",
-                self.stage, self.config.trust_allocator_zeroing,
-            )
-        elif kind is EventKind.FREE:
-            self.shadow.record_free(event.addr, event.size)
-        elif kind is EventKind.LIB_BEGIN:
-            thread.lib_depth += 1
-        elif kind is EventKind.LIB_END:
-            thread.lib_depth -= 1
-        elif kind is EventKind.SKIP_DET_BEGIN:
-            thread.skip_depth += 1
-        elif kind is EventKind.SKIP_DET_END:
-            thread.skip_depth -= 1
-        elif kind is EventKind.ROI_BEGIN:
-            self.roi_active = True
-        elif kind is EventKind.ROI_END:
-            self.roi_active = False
-        elif kind is EventKind.COMMIT_VAR:
-            self.shadow.register_commit_var(
-                event.info, event.addr, event.size
-            )
-        elif kind is EventKind.COMMIT_RANGE:
-            self.shadow.register_commit_range(
-                event.info, event.addr, event.size
-            )
+        """Apply one :class:`TraceEvent` (event-object wrapper over the
+        instruction handlers; the interleaved/audit path and tests)."""
+        self._dispatch[KIND_CODE[event.kind]](
+            event.addr, event.size, event.info, event.ip, event.tid
+        )
+
+    # -- instruction handlers ------------------------------------------
+
+    def _op_nop(self, addr, size, info, ip, tid):
         # FAILURE_POINT / HINT_FAILURE_POINT markers carry no state.
+        return
 
-    # ------------------------------------------------------------------
-    # Pre-failure side checks
-    # ------------------------------------------------------------------
+    def _op_store(self, addr, size, info, ip, tid):
+        thread = self._threads.get(tid)
+        if thread is None:
+            thread = self._thread(tid)
+        if thread.tx_active:
+            thread.tx_writes.append((addr, size))
+        self.shadow.record_store(
+            addr, size, ip, self.stage, thread.tx_added,
+            thread.tx_active,
+        )
 
-    def _process_flush(self, event):
-        if event.info == FlushKind.CLFLUSH.value:
-            useful = self.shadow.record_clflush(event.addr, ip=event.ip)
+    def _op_nt_store(self, addr, size, info, ip, tid):
+        thread = self._threads.get(tid)
+        if thread is None:
+            thread = self._thread(tid)
+        if thread.tx_active:
+            thread.tx_writes.append((addr, size))
+        self.shadow.record_nt_store(
+            addr, size, ip, self.stage, thread.tx_added,
+            thread.tx_active,
+        )
+
+    def _op_load(self, addr, size, info, ip, tid):
+        if self._is_post:
+            self._check_read(addr, size, ip, tid)
+
+    def _op_flush(self, addr, size, info, ip, tid):
+        # Post-failure flushes must not upgrade pre-failure data to
+        # "persisted": the value they write back came from the
+        # crash image, so the read classification has to reflect
+        # the state *at the failure* (post-failure writes are
+        # already exempt through post_written).
+        if not self._is_pre:
+            return
+        if info == _CLFLUSH_INFO:
+            useful = self.shadow.record_clflush(addr, ip=ip)
         else:
-            useful = self.shadow.record_flush(event.addr, ip=event.ip)
+            useful = self.shadow.record_flush(addr, ip=ip)
         if (
             not useful
-            and self.stage == "pre"
-            and not self._suppressed(event.tid)
+            and not self._suppressed(tid)
             and self.config.report_perf_bugs
         ):
             self._bug(
                 BugKind.PERFORMANCE,
                 "redundant writeback (line already clean or pending)",
-                addr=event.addr,
-                size=event.size,
-                reader_ip=event.ip,
+                addr=addr,
+                size=size,
+                reader_ip=ip,
             )
 
-    def _process_tx_add(self, event, thread):
-        duplicate = _covered(event.addr, event.size, thread.tx_added)
+    def _op_fence(self, addr, size, info, ip, tid):
+        if not self._is_pre:
+            return
+        completed = self.shadow.record_fence(ip=ip)
+        if (
+            not completed
+            and not self._suppressed(tid)
+            and self.config.report_perf_bugs
+            and getattr(self.config, "report_redundant_fences", False)
+        ):
+            self._bug(
+                BugKind.PERFORMANCE,
+                "fence completed no writeback",
+                reader_ip=ip,
+            )
+
+    def _op_tx_begin(self, addr, size, info, ip, tid):
+        thread = self._thread(tid)
+        thread.tx_active = True
+        thread.tx_added = []
+        thread.tx_writes = []
+
+    def _op_tx_add(self, addr, size, info, ip, tid):
+        thread = self._thread(tid)
+        duplicate = _covered(addr, size, thread.tx_added)
         if (
             duplicate
-            and self.stage == "pre"
-            and not self._suppressed(event.tid)
+            and self._is_pre
+            and not self._suppressed(tid)
             and self.config.report_perf_bugs
         ):
             self._bug(
                 BugKind.PERFORMANCE,
                 "duplicate TX_ADD of an already-added range",
-                addr=event.addr,
-                size=event.size,
-                reader_ip=event.ip,
+                addr=addr,
+                size=size,
+                reader_ip=ip,
             )
-        thread.tx_added.append((event.addr, event.size))
-        self.shadow.record_tx_add(event.addr, event.size, event.ip)
+        thread.tx_added.append((addr, size))
+        self.shadow.record_tx_add(addr, size, ip)
+
+    def _op_tx_commit(self, addr, size, info, ip, tid):
+        thread = self._thread(tid)
+        if self._is_pre:
+            self.shadow.commit_tx_writes(thread.tx_writes)
+        thread.reset_tx()
+
+    def _op_tx_abort(self, addr, size, info, ip, tid):
+        # Aborted transactions leave their non-added side effects
+        # semantically inconsistent on purpose.
+        self._thread(tid).reset_tx()
+
+    def _op_alloc(self, addr, size, info, ip, tid):
+        self.shadow.record_alloc(
+            addr, size, info == "zeroed", self.stage,
+            self.config.trust_allocator_zeroing,
+        )
+
+    def _op_free(self, addr, size, info, ip, tid):
+        self.shadow.record_free(addr, size)
+
+    def _op_lib_begin(self, addr, size, info, ip, tid):
+        self._thread(tid).lib_depth += 1
+
+    def _op_lib_end(self, addr, size, info, ip, tid):
+        self._thread(tid).lib_depth -= 1
+
+    def _op_skip_begin(self, addr, size, info, ip, tid):
+        self._thread(tid).skip_depth += 1
+
+    def _op_skip_end(self, addr, size, info, ip, tid):
+        self._thread(tid).skip_depth -= 1
+
+    def _op_roi_begin(self, addr, size, info, ip, tid):
+        self.roi_active = True
+
+    def _op_roi_end(self, addr, size, info, ip, tid):
+        self.roi_active = False
+
+    def _op_commit_var(self, addr, size, info, ip, tid):
+        self.shadow.register_commit_var(info, addr, size)
+
+    def _op_commit_range(self, addr, size, info, ip, tid):
+        self.shadow.register_commit_range(info, addr, size)
 
     # ------------------------------------------------------------------
     # Post-failure read classification
     # ------------------------------------------------------------------
 
-    def _check_read(self, event):
-        if self._suppressed(event.tid):
+    def _check_read(self, addr, size, ip, tid):
+        # Inlined self._suppressed(tid): this runs once per post-failure
+        # load, the hottest check in the backend.
+        state = self._threads.get(tid)
+        if state is None:
+            state = self._thread(tid)
+        if not self.roi_active or state.lib_depth > 0 \
+                or state.skip_depth > 0:
             return
         if self.metrics is not None:
             self.metrics.inc("post_reads_checked")
-        start, end = event.addr, event.addr + event.size
+        start, end = addr, addr + size
         shadow = self.shadow
 
-        benign_var = shadow.commit_var_covering(start, end)
-        if benign_var is not None and benign_var.var_range.contains_range(
-            _as_range(start, end)
-        ):
-            # Reading the commit variable itself: benign race.
-            self.report.stats.benign_races += 1
+        if shadow.commit_vars:
+            benign_var = shadow.commit_var_covering(start, end)
+            if benign_var is not None and \
+                    benign_var.var_range.contains_range(
+                        _as_range(start, end)
+                    ):
+                # Reading the commit variable itself: benign race.
+                self.report.stats.benign_races += 1
+                return
+
+        first_read_only = self._first_read_only
+        checked = self._checked
+        if first_read_only and checked.covers_range_with(start, end, True):
+            # Every byte was classified on its first read already;
+            # nothing to mark or re-check (recovery re-reads the same
+            # words constantly, so this is the common case).
             return
-
         for seg_start, seg_end, already in list(
-            self._checked.iter_with_gaps(start, end)
+            checked.iter_with_gaps(start, end)
         ):
-            if self.config.first_read_only and already:
+            if first_read_only and already:
                 continue
-            self._checked.set(seg_start, seg_end, True)
-            self._classify_segment(seg_start, seg_end, event)
+            checked.set(seg_start, seg_end, True)
+            self._classify_segment(seg_start, seg_end, ip)
 
-    def _classify_segment(self, start, end, event):
+    def _classify_segment(self, start, end, reader_ip):
         shadow = self.shadow
+        have_vars = bool(shadow.commit_vars)
         for s, e, written in shadow.post_written.iter_with_gaps(
             start, end
         ):
             if written:
                 continue
             # Commit-variable bytes inside a larger read are benign.
-            var = shadow.commit_var_covering(s, e)
-            if var is not None:
-                self.report.stats.benign_races += 1
-                for sub_s, sub_e in _outside(s, e, var.var_range):
-                    self._classify_plain(sub_s, sub_e, event)
-                continue
-            self._classify_plain(s, e, event)
+            if have_vars:
+                var = shadow.commit_var_covering(s, e)
+                if var is not None:
+                    self.report.stats.benign_races += 1
+                    for sub_s, sub_e in _outside(s, e, var.var_range):
+                        self._classify_plain(sub_s, sub_e, reader_ip)
+                    continue
+            self._classify_plain(s, e, reader_ip)
 
-    def _classify_plain(self, start, end, event):
+    def _classify_plain(self, start, end, reader_ip):
         shadow = self.shadow
         for s, e, uninit in shadow.uninitialized.iter_with_gaps(
             start, end
@@ -310,13 +423,13 @@ class TraceReplayer:
                     "read of allocated but never-initialized PM",
                     addr=s,
                     size=e - s,
-                    reader_ip=event.ip,
+                    reader_ip=reader_ip,
                     writer_ip=shadow.writer.get(s),
                 )
                 continue
-            self._classify_states(s, e, event)
+            self._classify_states(s, e, reader_ip)
 
-    def _classify_states(self, start, end, event):
+    def _classify_states(self, start, end, reader_ip):
         shadow = self.shadow
         for s, e, pstate in shadow.persistence.iter_with_gaps(
             start, end
@@ -331,7 +444,7 @@ class TraceReplayer:
                     "failure",
                     addr=s,
                     size=e - s,
-                    reader_ip=event.ip,
+                    reader_ip=reader_ip,
                     writer_ip=shadow.writer.get(s),
                 )
                 continue
@@ -348,7 +461,7 @@ class TraceReplayer:
                         f"({cstate.value})",
                         addr=cs,
                         size=ce - cs,
-                        reader_ip=event.ip,
+                        reader_ip=reader_ip,
                         writer_ip=shadow.writer.get(cs),
                     )
 

@@ -44,7 +44,7 @@ class ConsistencyState(enum.Enum):
     STALE = "IC-stale"
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitVariable:
     """A registered commit variable and its associated address set Sx.
 
@@ -89,7 +89,29 @@ class CommitVariable:
 
 
 class ShadowPM:
-    """Per-byte shadow state over the whole PM address space."""
+    """Per-byte shadow state over the whole PM address space.
+
+    Hot-path design notes (ISSUE 10):
+
+    * slotted — the backend forks one shadow per live failure point and
+      replays hundreds of thousands of events through it; attribute
+      access off a fixed layout beats per-instance dicts;
+    * the store FSM's platform branch is flattened into a precomputed
+      target state (``_store_pstate``) chosen once at construction;
+    * consecutive identical stores (same range, writer, and transaction
+      context — the shape tight PM loops produce) coalesce into a
+      single shadow application via ``_last_store``;
+    * ``persistence_at``/``consistency_at`` memoize per address behind
+      a generation counter (``_gen``) that every mutation bumps.
+    """
+
+    __slots__ = (
+        "platform", "audit", "transitions", "persistence",
+        "consistency", "tlast", "writer", "uninitialized",
+        "post_written", "commit_vars", "epoch", "_pending_lines",
+        "_stores_since_fence", "_is_eadr", "_store_pstate",
+        "_last_store", "_gen", "_memo_gen", "_p_memo", "_c_memo",
+    )
 
     def __init__(self, platform=PlatformMode.ADR, audit=None,
                  transition_counter=None):
@@ -119,6 +141,23 @@ class ShadowPM:
         self._pending_lines = set()
         #: eADR: a store happened since the last fence.
         self._stores_since_fence = False
+        #: Flattened store decision: what persistence state a plain
+        #: store lands in on this platform (Figure 9's first edge).
+        self._is_eadr = platform is PlatformMode.EADR
+        self._store_pstate = (
+            PersistenceState.PERSISTED if self._is_eadr
+            else PersistenceState.MODIFIED
+        )
+        #: Coalescing buffer: the signature of the last applied store.
+        #: A store with an identical signature is a repeat of an
+        #: already-applied transition set — only the counter ticks.
+        self._last_store = None
+        #: Mutation generation; bumped by every state change, consulted
+        #: by the memoized point lookups.
+        self._gen = 0
+        self._memo_gen = -1
+        self._p_memo = {}
+        self._c_memo = {}
 
     # ------------------------------------------------------------------
     # Copying (the backend forks the shadow at each failure point)
@@ -148,6 +187,13 @@ class ShadowPM:
         dup.epoch = self.epoch
         dup._pending_lines = set(self._pending_lines)
         dup._stores_since_fence = self._stores_since_fence
+        dup._is_eadr = self._is_eadr
+        dup._store_pstate = self._store_pstate
+        dup._last_store = None
+        dup._gen = 0
+        dup._memo_gen = -1
+        dup._p_memo = {}
+        dup._c_memo = {}
         return dup
 
     def fork_for_replay(self, transition_counter=None):
@@ -235,6 +281,7 @@ class ShadowPM:
     # ------------------------------------------------------------------
 
     def register_commit_var(self, name, start, size):
+        self._last_store = None
         self.commit_vars[name] = CommitVariable(
             name, AddressRange(start, size)
         )
@@ -243,6 +290,7 @@ class ShadowPM:
         var = self.commit_vars.get(name)
         if var is None:
             raise KeyError(f"commit variable {name!r} not registered")
+        self._last_store = None
         var.members.append(AddressRange(start, size))
 
     def commit_var_covering(self, start, end):
@@ -265,25 +313,41 @@ class ShadowPM:
         ``tx_added`` is the list of (addr, size) ranges added to the
         active transaction, when one is active.
         """
-        end = addr + size
         self.transitions.inc()
         audit = self.audit
-        if self.platform is PlatformMode.EADR:
+        # Coalescing fast path: a store whose full decision signature
+        # (range, writer, stage, transaction context, epoch) matches
+        # the previous one applies exactly the transitions already in
+        # place — a repeat is a no-op beyond the counter.  Everything
+        # the outcome depends on is in the signature; every *other*
+        # mutator clears the buffer.  ``id(tx_added)`` pins the
+        # per-thread undo-log list (same length, different thread must
+        # not match); contents can't change without a TX_ADD, which
+        # clears the buffer too.
+        signature = (
+            addr, size, ip, stage, in_tx,
+            id(tx_added) if tx_added is not None else 0,
+            len(tx_added) if tx_added else 0,
+            _op, self.epoch,
+        )
+        if signature == self._last_store and audit is None:
+            return
+        end = addr + size
+        self._gen += 1
+        if self._is_eadr:
             # Persistent caches: durable on retire.
             if audit is not None:
                 self._audit_transition(
                     self.persistence, "persistence", _op, addr, end,
                     PersistenceState.PERSISTED, ip,
                 )
-            self.persistence.set(addr, end, PersistenceState.PERSISTED)
             self._stores_since_fence = True
-        else:
-            if audit is not None:
-                self._audit_transition(
-                    self.persistence, "persistence", _op, addr, end,
-                    PersistenceState.MODIFIED, ip,
-                )
-            self.persistence.set(addr, end, PersistenceState.MODIFIED)
+        elif audit is not None:
+            self._audit_transition(
+                self.persistence, "persistence", _op, addr, end,
+                PersistenceState.MODIFIED, ip,
+            )
+        self.persistence.set(addr, end, self._store_pstate)
         self.tlast.set(addr, end, self.epoch)
         self.writer.set(addr, end, ip)
         self.uninitialized.set(addr, end, False)
@@ -296,15 +360,20 @@ class ShadowPM:
                 addr, end, ConsistencyState.CONSISTENT, _op, ip
             )
             self.post_written.set(addr, end, True)
+            self._last_store = signature
             return
 
-        committing = self.commit_var_covering(addr, end)
-        if committing is not None:
-            self._apply_commit_write(committing, ip=ip)
-            self._set_consistency(
-                addr, end, ConsistencyState.CONSISTENT, _op, ip
-            )
-            return
+        if self.commit_vars:
+            committing = self.commit_var_covering(addr, end)
+            if committing is not None:
+                # Commit writes advance the variable's epoch pair —
+                # never idempotent, so never coalesced.
+                self._last_store = None
+                self._apply_commit_write(committing, ip=ip)
+                self._set_consistency(
+                    addr, end, ConsistencyState.CONSISTENT, _op, ip
+                )
+                return
 
         if in_tx and tx_added and _covered_by(addr, end, tx_added):
             # Writes to ranges added to the transaction stay consistent:
@@ -312,14 +381,19 @@ class ShadowPM:
             self._set_consistency(
                 addr, end, ConsistencyState.CONSISTENT, _op, ip
             )
+            self._last_store = signature
             return
 
-        if in_tx or self._member_of_any_commit_var(addr, end):
+        if in_tx or (
+            self.commit_vars
+            and self._member_of_any_commit_var(addr, end)
+        ):
             self._set_consistency(
                 addr, end, ConsistencyState.UNCOMMITTED, _op, ip
             )
         # Otherwise the location is not governed by any declared crash
         # consistency mechanism: only race detection applies.
+        self._last_store = signature
 
     def _set_consistency(self, start, end, state, op, ip=None):
         if self.audit is not None:
@@ -327,6 +401,7 @@ class ShadowPM:
                 self.consistency, "consistency", op, start, end,
                 state, ip,
             )
+        self._gen += 1
         self.consistency.set(start, end, state)
 
     def record_nt_store(self, addr, size, ip, stage, tx_added=None,
@@ -337,13 +412,14 @@ class ShadowPM:
         self.record_store(
             addr, size, ip, stage, tx_added, in_tx, _op="NT_STORE"
         )
-        if self.platform is PlatformMode.EADR:
+        if self._is_eadr:
             return
         if self.audit is not None:
             self._audit_transition(
                 self.persistence, "persistence", "NT_STORE", addr,
                 addr + size, PersistenceState.WRITEBACK_PENDING, ip,
             )
+        self._gen += 1
         self.persistence.set(
             addr, addr + size, PersistenceState.WRITEBACK_PENDING
         )
@@ -357,7 +433,7 @@ class ShadowPM:
         writeback-pending), False if redundant (a Figure 9 yellow edge;
         on eADR *every* flush is redundant).
         """
-        if self.platform is PlatformMode.EADR:
+        if self._is_eadr:
             return False
         start = line_addr
         end = line_addr + CACHE_LINE_SIZE
@@ -377,12 +453,14 @@ class ShadowPM:
                 useful = True
         if useful:
             self.transitions.inc()
+            self._gen += 1
+            self._last_store = None
             self._pending_lines.add(line_addr)
         return useful
 
     def record_clflush(self, line_addr, ip=None):
         """A synchronous CLFLUSH: modified/pending bytes persist now."""
-        if self.platform is PlatformMode.EADR:
+        if self._is_eadr:
             return False
         start = line_addr
         end = line_addr + CACHE_LINE_SIZE
@@ -403,6 +481,8 @@ class ShadowPM:
         self._pending_lines.discard(line_addr)
         if useful:
             self.transitions.inc()
+            self._gen += 1
+            self._last_store = None
             self.epoch += 1
         return useful
 
@@ -413,11 +493,13 @@ class ShadowPM:
         least one writeback; on eADR: ordered at least one store); the
         global epoch then increments.
         """
-        if self.platform is PlatformMode.EADR:
+        if self._is_eadr:
             ordered = self._stores_since_fence
             self._stores_since_fence = False
             if ordered:
                 self.transitions.inc()
+                self._gen += 1
+                self._last_store = None
                 self.epoch += 1
             return ordered
         completed = False
@@ -441,6 +523,8 @@ class ShadowPM:
         self._pending_lines.clear()
         if completed:
             self.transitions.inc()
+            self._gen += 1
+            self._last_store = None
             self.epoch += 1
         return completed
 
@@ -449,6 +533,8 @@ class ShadowPM:
         recoverable (PMTest-like handling, Section 5.4)."""
         end = addr + size
         self.transitions.inc()
+        self._gen += 1
+        self._last_store = None
         if self.audit is not None:
             self._audit_transition(
                 self.persistence, "persistence", "TX_ADD", addr, end,
@@ -472,6 +558,8 @@ class ShadowPM:
         """
         end = addr + size
         self.transitions.inc()
+        self._gen += 1
+        self._last_store = None
         if self.audit is not None:
             self._audit_transition(
                 self.persistence, "persistence", "ALLOC", addr, end,
@@ -496,12 +584,14 @@ class ShadowPM:
         untouched — an unflushed in-transaction write to a non-added
         range remains a cross-failure race."""
         audit = self.audit
+        self._last_store = None
         for addr, size in ranges:
             for s, e, state in list(
                 self.consistency.iter_ranges(addr, addr + size)
             ):
                 if state is ConsistencyState.UNCOMMITTED:
                     self.transitions.inc()
+                    self._gen += 1
                     if audit is not None:
                         audit.record(
                             "TX_COMMIT", "consistency", s, e - s,
@@ -515,6 +605,8 @@ class ShadowPM:
     def record_free(self, addr, size):
         end = addr + size
         self.transitions.inc()
+        self._gen += 1
+        self._last_store = None
         if self.audit is not None:
             self._audit_transition(
                 self.persistence, "persistence", "FREE", addr, end,
@@ -586,10 +678,26 @@ class ShadowPM:
     # ------------------------------------------------------------------
 
     def persistence_at(self, addr):
-        return self.persistence.get(addr)
+        if self._memo_gen != self._gen:
+            self._p_memo = {}
+            self._c_memo = {}
+            self._memo_gen = self._gen
+        memo = self._p_memo
+        state = memo.get(addr)
+        if state is None:
+            state = memo[addr] = self.persistence.get(addr)
+        return state
 
     def consistency_at(self, addr):
-        return self.consistency.get(addr)
+        if self._memo_gen != self._gen:
+            self._p_memo = {}
+            self._c_memo = {}
+            self._memo_gen = self._gen
+        memo = self._c_memo
+        state = memo.get(addr)
+        if state is None:
+            state = memo[addr] = self.consistency.get(addr)
+        return state
 
 
 class ShadowCheckpointCache:

@@ -50,6 +50,7 @@ class TrackedPool(PMPool):
         self.name = name
         self.base = base
         self.size = size
+        self.end = base + size
         self._data = buffer
         self._stale = stale
 

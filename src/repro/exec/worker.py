@@ -345,7 +345,7 @@ def run_replay_task(ctx, key):
     deadline = watchdog = None
     if resilience is not None:
         deadline, watchdog = resilience.guard_task(key)
-    events, has_roi = ctx.runs[key]
+    program, has_roi = ctx.runs[key]
     spans = SpanRecorder()
     root_attrs = {"fid": fid}
     if variant is not None:
@@ -367,13 +367,10 @@ def run_replay_task(ctx, key):
                 failure_point=fid, has_roi=has_roi, metrics=metrics,
             )
             with spans.span("replay_events"):
-                if deadline is None:
-                    for event in events:
-                        replayer.process(event)
-                else:
-                    for event in events:
-                        deadline.tick()
-                        replayer.process(event)
+                # ``ctx.runs`` ships compiled replay programs (see
+                # ``repro.core.replay.lower_trace``), lowered once by
+                # the coordinator and reused across retries and forks.
+                replayer.run_program(program, deadline)
         return ReplayTaskOutcome(
             fid, variant, shell.bugs, shell.stats.benign_races, metrics,
             root.duration, spans=spans.roots,

@@ -25,8 +25,15 @@ from repro.pm.address import AddressRange
 from repro.pm.cacheline import CacheModel, FenceKind, FlushKind
 from repro.pm.constants import MAX_ACCESS_SIZE
 from repro.pm.image import capture_image
-from repro.trace.events import EventKind
+from repro.trace.events import KIND_CODE, EventKind
 from repro.trace.recorder import TraceRecorder
+
+_STORE_CODE = KIND_CODE[EventKind.STORE]
+_NT_STORE_CODE = KIND_CODE[EventKind.NT_STORE]
+_LOAD_CODE = KIND_CODE[EventKind.LOAD]
+_FLUSH_CODE = KIND_CODE[EventKind.FLUSH]
+_FENCE_CODE = KIND_CODE[EventKind.FENCE]
+_KIND_BY_CODE = tuple(EventKind)
 
 
 class _ThreadState(threading.local):
@@ -35,6 +42,8 @@ class _ThreadState(threading.local):
     def __init__(self):
         self.skip_failure_depth = 0
         self.skip_detection_depth = 0
+        #: Cached small thread index (``current_tid`` fills it in).
+        self.tid = None
 
 
 class PersistentMemory:
@@ -67,9 +76,15 @@ class PersistentMemory:
         # in the paper's evaluation.
         self._lock = threading.RLock()
         self._pools = []
+        self._last_pool = None
         self._cache = CacheModel(self._read_line_raw)
         self._ordering_listeners = []
         self._observers = []
+        # True while every attached observer implements the columnar
+        # ``on_op`` protocol: events then stay un-materialized and the
+        # recorder appends bare scalars.  Any legacy ``on_event``-only
+        # observer flips the runtime back to per-op event objects.
+        self._fast_observe = True
         # Annotation state consulted by the failure injector and set by
         # the Table 2 interface and by library internals.  Failure
         # points are only injected while roi_active is true, the
@@ -111,13 +126,13 @@ class PersistentMemory:
 
     def current_tid(self):
         """Small stable index of the calling thread (0 = first/main)."""
-        ident = threading.get_ident()
-        tid = self._thread_ids.get(ident)
+        tid = self._tls.tid
         if tid is None:
             with self._lock:
                 tid = self._thread_ids.setdefault(
-                    ident, len(self._thread_ids)
+                    threading.get_ident(), len(self._thread_ids)
                 )
+            self._tls.tid = tid
         return tid
 
     # ------------------------------------------------------------------
@@ -142,8 +157,14 @@ class PersistentMemory:
         raise KeyError(f"no pool named {name!r}")
 
     def pool_at(self, address, size=1):
+        # Most workloads touch one pool; remember the last hit so the
+        # per-op lookup is one ``contains`` check instead of a scan.
+        pool = self._last_pool
+        if pool is not None and pool.contains(address, size):
+            return pool
         for pool in self._pools:
             if pool.contains(address, size):
+                self._last_pool = pool
                 return pool
         raise PMAddressError(address, size, "address not in any mapped pool")
 
@@ -175,25 +196,54 @@ class PersistentMemory:
         self._ordering_listeners.append(listener)
 
     def add_observer(self, observer):
-        """``observer.on_event(event)`` sees every emitted trace event."""
-        self._observers.append(observer)
+        """Observers see every emitted trace operation.
 
-    def _emit(self, kind, addr=0, size=0, info="", ip=None):
+        Observers implementing ``on_op(kind_code, addr, size, info,
+        ip, tid)`` ride the columnar fast path (no event object is
+        built); legacy ``on_event(event)`` observers force per-op
+        event materialization for everyone.
+        """
+        self._observers.append(observer)
+        self._fast_observe = all(
+            hasattr(obs, "on_op") for obs in self._observers
+        )
+
+    def _emit_op(self, code, addr=0, size=0, info="", ip=None):
+        """Emit one operation by integer kind code (the hot path).
+
+        The location walk starts at our caller's caller: the direct
+        caller (``load``/``store``/``_emit``/...) is always a runtime
+        frame, so skipping it outright saves one walk step per op.
+        """
         if self.deadline is not None:
             self.deadline.tick()
         if ip is None and self.capture_ips:
-            ip = capture_location(skip=2)
+            ip = capture_location(skip=3)
+        tid = self._tls.tid
+        if tid is None:
+            tid = self.current_tid()
+        if self._fast_observe:
+            self.recorder.append_op(code, addr, size, info, ip, tid)
+            for observer in self._observers:
+                observer.on_op(code, addr, size, info, ip, tid)
+            return None
         event = self.recorder.append(
-            kind, addr, size, info, ip, tid=self.current_tid()
+            _KIND_BY_CODE[code], addr, size, info, ip, tid=tid
         )
         for observer in self._observers:
             observer.on_event(event)
         return event
 
+    def _emit(self, kind, addr=0, size=0, info="", ip=None):
+        return self._emit_op(KIND_CODE[kind], addr, size, info, ip)
+
     def emit_marker(self, kind, addr=0, size=0, info=""):
         """Emit an annotation/marker event (used by the Table 2 API and
-        the failure injector)."""
-        return self._emit(kind, addr, size, info)
+        the failure injector).  Held under the runtime lock: columnar
+        appends span several arrays and must stay atomic with respect
+        to other threads' data operations."""
+        with self._lock:
+            return self._emit(kind, addr, size, info)
 
     def _notify_ordering_point(self, reason, force=False):
         for listener in self._ordering_listeners:
@@ -202,8 +252,9 @@ class PersistentMemory:
     def force_failure_point(self, reason="user-requested"):
         """The ``addFailurePoint`` annotation (Table 2): request a
         failure point here regardless of pending PM operations."""
-        self._notify_ordering_point(reason, force=True)
-        self._emit(EventKind.HINT_FAILURE_POINT, info=reason)
+        with self._lock:
+            self._notify_ordering_point(reason, force=True)
+            self._emit(EventKind.HINT_FAILURE_POINT, info=reason)
 
     # ------------------------------------------------------------------
     # Data operations
@@ -214,32 +265,117 @@ class PersistentMemory:
             raise PMAddressError(address, size, f"bad access size {size}")
 
     def store(self, address, data, ip=None):
-        """Ordinary store of ``data`` (bytes) at ``address``."""
+        """Ordinary store of ``data`` (bytes) at ``address``.
+
+        The bounds check, pool write, and event emit are inlined (see
+        :meth:`load`): data operations dominate traced runs.
+        """
         data = bytes(data)
-        self._check_access(address, len(data))
+        size = len(data)
+        if size <= 0 or size > MAX_ACCESS_SIZE:
+            raise PMAddressError(address, size, f"bad access size {size}")
         with self._lock:
-            pool = self.pool_at(address, len(data))
+            pool = self._last_pool
+            if pool is None or not (
+                pool.base <= address and address + size <= pool.end
+            ):
+                pool = self.pool_at(address, size)
+            # Writes go through pool.write — TrackedPool overrides it
+            # to record dirtied ranges for the crash-image memo.
             pool.write(address, data)
-            self._cache.store(address, len(data))
-            self._emit(EventKind.STORE, address, len(data), ip=ip)
+            self._cache.store(address, size)
+            if self.deadline is not None:
+                self.deadline.tick()
+            if ip is None and self.capture_ips:
+                ip = capture_location(skip=2)
+            tid = self._tls.tid
+            if tid is None:
+                tid = self.current_tid()
+            if self._fast_observe:
+                self.recorder.append_op(_STORE_CODE, address, size, "", ip,
+                                        tid)
+                for observer in self._observers:
+                    observer.on_op(_STORE_CODE, address, size, "", ip, tid)
+            else:
+                event = self.recorder.append(
+                    EventKind.STORE, address, size, "", ip, tid=tid
+                )
+                for observer in self._observers:
+                    observer.on_event(event)
 
     def nt_store(self, address, data, ip=None):
         """Non-temporal store: bypasses the cache, pending until fence."""
         data = bytes(data)
-        self._check_access(address, len(data))
+        size = len(data)
+        if size <= 0 or size > MAX_ACCESS_SIZE:
+            raise PMAddressError(address, size, f"bad access size {size}")
         with self._lock:
-            pool = self.pool_at(address, len(data))
+            pool = self._last_pool
+            if pool is None or not (
+                pool.base <= address and address + size <= pool.end
+            ):
+                pool = self.pool_at(address, size)
             pool.write(address, data)
-            self._cache.nt_store(address, len(data))
-            self._emit(EventKind.NT_STORE, address, len(data), ip=ip)
+            self._cache.nt_store(address, size)
+            if self.deadline is not None:
+                self.deadline.tick()
+            if ip is None and self.capture_ips:
+                ip = capture_location(skip=2)
+            tid = self._tls.tid
+            if tid is None:
+                tid = self.current_tid()
+            if self._fast_observe:
+                self.recorder.append_op(_NT_STORE_CODE, address, size, "",
+                                        ip, tid)
+                for observer in self._observers:
+                    observer.on_op(_NT_STORE_CODE, address, size, "", ip,
+                                   tid)
+            else:
+                event = self.recorder.append(
+                    EventKind.NT_STORE, address, size, "", ip, tid=tid
+                )
+                for observer in self._observers:
+                    observer.on_event(event)
 
     def load(self, address, size, ip=None):
-        """Load ``size`` bytes from ``address``."""
-        self._check_access(address, size)
+        """Load ``size`` bytes from ``address``.
+
+        Loads are the single hottest traced operation (recovery code is
+        read-heavy), so the pool lookup, the raw byte read, and the body
+        of :meth:`_emit_op` are inlined: one locked block, no further
+        Python calls on the happy path.  ``pool._data`` is touched
+        directly — :class:`~repro.pm.pool.PMPool` is a dumb byte store
+        owned by this module's subsystem, and the containment check
+        above replaces ``pool.read``'s own.
+        """
+        if size <= 0 or size > MAX_ACCESS_SIZE:
+            raise PMAddressError(address, size, f"bad access size {size}")
         with self._lock:
-            pool = self.pool_at(address, size)
-            data = pool.read(address, size)
-            self._emit(EventKind.LOAD, address, size, ip=ip)
+            pool = self._last_pool
+            if pool is None or not (
+                pool.base <= address and address + size <= pool.end
+            ):
+                pool = self.pool_at(address, size)
+            offset = address - pool.base
+            data = bytes(pool._data[offset:offset + size])
+            if self.deadline is not None:
+                self.deadline.tick()
+            if ip is None and self.capture_ips:
+                ip = capture_location(skip=2)
+            tid = self._tls.tid
+            if tid is None:
+                tid = self.current_tid()
+            if self._fast_observe:
+                self.recorder.append_op(_LOAD_CODE, address, size, "", ip,
+                                        tid)
+                for observer in self._observers:
+                    observer.on_op(_LOAD_CODE, address, size, "", ip, tid)
+            else:
+                event = self.recorder.append(
+                    EventKind.LOAD, address, size, "", ip, tid=tid
+                )
+                for observer in self._observers:
+                    observer.on_event(event)
             return data
 
     def flush(self, address, size=1, kind=FlushKind.CLWB, ip=None):
@@ -268,7 +404,7 @@ class PersistentMemory:
                 self._notify_ordering_point(f"CLFLUSH@{address:#x}")
         for line in AddressRange(address, size).lines():
             self._cache.flush(line, kind)
-            self._emit(EventKind.FLUSH, line, 64, info=kind.value, ip=ip)
+            self._emit_op(_FLUSH_CODE, line, 64, info=kind.value, ip=ip)
 
     def fence(self, kind=FenceKind.SFENCE, ip=None):
         """Ordering fence; completes pending writebacks.
@@ -286,7 +422,7 @@ class PersistentMemory:
             # the listener snapshots PM in its pre-fence state.
             self._notify_ordering_point(f"{kind.value}")
         self._cache.fence(kind)
-        self._emit(EventKind.FENCE, info=kind.value, ip=ip)
+        self._emit_op(_FENCE_CODE, info=kind.value, ip=ip)
         return is_ordering_point
 
     @contextmanager

@@ -31,11 +31,10 @@ class PMPool:
         self.name = name
         self.base = base
         self.size = size
+        #: Plain attribute on purpose: ``end`` is consulted on every
+        #: bounds check and pools never move or resize once created.
+        self.end = base + size
         self._data = bytearray(data) if data is not None else bytearray(size)
-
-    @property
-    def end(self):
-        return self.base + self.size
 
     def contains(self, address, size=1):
         return self.base <= address and address + size <= self.end

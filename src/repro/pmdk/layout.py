@@ -50,22 +50,33 @@ class Field:
     def __get__(self, instance, owner):
         if instance is None:
             return self
-        raw = instance.memory.load(self.addr_in(instance), self.size)
+        # addr_in() inlined: field reads sit on the recovery hot path
+        # (undo-log walks read thousands of struct fields).
+        raw = instance.memory.load(
+            instance.address + self.offset, self.size
+        )
         return self.decode(raw)
 
     def __set__(self, instance, value):
         instance.memory.store(self.addr_in(instance), self.encode(value))
 
     def decode(self, raw):
-        return _struct.unpack("<" + self.fmt, raw)[0]
+        return self._packer.unpack(raw)[0]
 
     def encode(self, value):
-        return _struct.pack("<" + self.fmt, value)
+        return self._packer.pack(value)
 
 
 def _scalar(name, fmt, size):
-    """Build a scalar Field subclass for one struct-module format."""
-    return type(name, (Field,), {"fmt": fmt, "size": size, "align": size})
+    """Build a scalar Field subclass for one struct-module format.
+
+    The precompiled ``Struct`` skips the per-call format parse/lookup
+    in decode/encode.
+    """
+    return type(name, (Field,), {
+        "fmt": fmt, "size": size, "align": size,
+        "_packer": _struct.Struct("<" + fmt),
+    })
 
 
 U8 = _scalar("U8", "B", 1)

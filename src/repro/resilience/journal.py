@@ -55,6 +55,14 @@ _CHECKSUM_FIELDS = (
 _WORKLOAD_FRAGMENT = os.path.join("repro", "workloads") + os.sep
 
 
+#: SourceLocation -> digest string.  Locations are interned (one object
+#: per distinct call site, see ``repro._location.intern_location``), so
+#: a trace with tens of thousands of events hits a handful of entries;
+#: keying by the location object keeps it alive, which keeps the memo
+#: valid even if the intern table is ever cleared.
+_DIGEST_MEMO = {}
+
+
 def _digest_ip(ip):
     """The checksum's view of one event's source location.
 
@@ -66,9 +74,14 @@ def _digest_ip(ip):
     journal sharing.  Workload code is what a resume must not silently
     change, and it is exactly what stays in the digest.
     """
-    if _WORKLOAD_FRAGMENT in ip.filename:
-        return f"{ip.basename}:{ip.lineno}:{ip.function}"
-    return "<engine>"
+    digest = _DIGEST_MEMO.get(ip)
+    if digest is None:
+        if _WORKLOAD_FRAGMENT in ip.filename:
+            digest = f"{ip.basename}:{ip.lineno}:{ip.function}"
+        else:
+            digest = "<engine>"
+        _DIGEST_MEMO[ip] = digest
+    return digest
 
 
 def run_checksum(config, workload_name, pre_recorder):

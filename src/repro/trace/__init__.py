@@ -11,8 +11,12 @@ backend; they can also be serialized to text for offline analysis.
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.recorder import TraceRecorder
 from repro.trace.serialize import (
+    dump_packed,
     format_event,
     format_trace,
+    is_packed,
+    load_packed,
+    load_trace,
     parse_event,
     parse_trace,
 )
@@ -21,8 +25,12 @@ __all__ = [
     "EventKind",
     "TraceEvent",
     "TraceRecorder",
+    "dump_packed",
     "format_event",
     "format_trace",
+    "is_packed",
+    "load_packed",
+    "load_trace",
     "parse_event",
     "parse_trace",
 ]

@@ -59,6 +59,18 @@ PM_DATA_KINDS = frozenset({
     EventKind.FREE,
 })
 
+#: Dense integer codes for the columnar trace representation and the
+#: replayer's flattened dispatch: enum members cost a hash + identity
+#: chain per comparison, small ints cost one ``==``.  Codes follow
+#: declaration order, so they are stable as long as new kinds append.
+KIND_CODE = {kind: code for code, kind in enumerate(EventKind)}
+
+#: Inverse mapping; ``KIND_BY_CODE[code]`` is O(1).
+KIND_BY_CODE = tuple(EventKind)
+
+#: Integer-coded :data:`PM_DATA_KINDS` for the fast observer path.
+PM_DATA_CODES = frozenset(KIND_CODE[kind] for kind in PM_DATA_KINDS)
+
 
 @dataclass(frozen=True)
 class TraceEvent:

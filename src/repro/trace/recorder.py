@@ -1,38 +1,152 @@
-"""Trace recording."""
+"""Trace recording.
+
+The recorder is **columnar**: instead of constructing one
+:class:`~repro.trace.events.TraceEvent` object per PM operation, it
+appends scalars to parallel arrays — kind codes, addresses, sizes,
+thread ids, plus indices into interned ``info``-string and call-site
+tables.  Appending is a handful of O(1) array pushes; the per-op
+object allocation, dataclass ``__init__``, and enum storage of the
+row-oriented design are gone from the hot path.
+
+The event API is preserved on top: ``recorder.events`` (readable *and*
+assignable), iteration, ``prefix``, ``count``, and ``failure_points``
+all materialize :class:`TraceEvent` rows lazily from the columns, and
+``append`` still returns the created event for callers that want it.
+The backend's compiled replay plans (``repro.core.replay.lower_trace``)
+read the columns directly and never materialize events at all.
+"""
 
 from __future__ import annotations
 
-from repro.trace.events import EventKind, TraceEvent
+from array import array
+
+from repro.trace.events import (
+    KIND_BY_CODE,
+    KIND_CODE,
+    EventKind,
+    TraceEvent,
+)
+
+_ROI_BEGIN_CODE = KIND_CODE[EventKind.ROI_BEGIN]
 
 
 class TraceRecorder:
-    """Accumulates trace events in order.
+    """Accumulates trace events in order, column-wise.
 
-    The recorder is deliberately simple: sequence numbers are assigned
-    here, and the events list may be sliced by the backend to replay the
-    prefix of the pre-failure trace leading up to a given failure point.
+    Sequence numbers are implicit (an event's seq is its row index);
+    the events list may be sliced by the backend to replay the prefix
+    of the pre-failure trace leading up to a given failure point.
     """
 
     def __init__(self, stage="pre"):
         #: "pre" or "post" — which execution stage this trace belongs to.
         self.stage = stage
-        self.events = []
         #: True once a ROI_BEGIN marker was recorded; the backend reads
         #: this instead of rescanning the whole trace per replayer.
         self.has_roi = False
+        self._kinds = array("B")
+        self._addrs = array("Q")
+        self._sizes = array("Q")
+        self._tids = array("H")
+        self._info_idx = array("I")
+        self._ip_idx = array("I")
+        # Interned payload tables: index 0 is the overwhelmingly common
+        # default ("" / UNKNOWN_LOCATION), so marker-free operations
+        # never grow them.
+        from repro._location import UNKNOWN_LOCATION
 
-    def __len__(self):
-        return len(self.events)
+        self._infos = [""]
+        self._info_table = {"": 0}
+        self._ips = [UNKNOWN_LOCATION]
+        self._ip_table = {id(UNKNOWN_LOCATION): 0}
+        self._bind_columns()
+        #: Materialized event rows, built lazily and dropped on append.
+        self._events = None
 
-    def __iter__(self):
-        return iter(self.events)
+    def _bind_columns(self):
+        # Pre-bound column append methods: append_op unpacks these
+        # instead of doing six attribute lookups per operation.
+        self._appends = (
+            self._kinds.append, self._addrs.append, self._sizes.append,
+            self._tids.append, self._info_idx.append, self._ip_idx.append,
+        )
+        # One-entry ip cache: consecutive operations overwhelmingly
+        # come from the same (interned) call site — a loop reading a
+        # structure — so the common case skips the table probe.
+        self._last_ip = None
+        self._last_ip_index = 0
+
+    # -- columnar hot path ---------------------------------------------
+
+    def append_op(self, kind_code, addr, size, info, ip, tid):
+        """Record one operation as bare scalars; returns nothing.
+
+        ``kind_code`` is a :data:`~repro.trace.events.KIND_CODE` int and
+        ``ip`` an (interned) SourceLocation or None.  This is the
+        runtime's per-PM-op path.
+        """
+        if kind_code == _ROI_BEGIN_CODE:
+            self.has_roi = True
+        if not info:
+            # Data ops carry no info payload — index 0 by construction.
+            info_index = 0
+        else:
+            info_table = self._info_table
+            info_index = info_table.get(info)
+            if info_index is None:
+                info_index = len(self._infos)
+                self._infos.append(info)
+                info_table[info] = info_index
+        if ip is None:
+            ip_index = 0
+        elif ip is self._last_ip:
+            ip_index = self._last_ip_index
+        else:
+            ip_table = self._ip_table
+            ip_index = ip_table.get(id(ip))
+            if ip_index is None:
+                ip_index = len(self._ips)
+                self._ips.append(ip)
+                ip_table[id(ip)] = ip_index
+            self._last_ip = ip
+            self._last_ip_index = ip_index
+        put_kind, put_addr, put_size, put_tid, put_info, put_ip = \
+            self._appends
+        put_kind(kind_code)
+        put_addr(addr)
+        put_size(size)
+        put_tid(tid)
+        put_info(info_index)
+        put_ip(ip_index)
+        self._events = None
+
+    def columns(self):
+        """The raw columns, payload indices resolved.
+
+        Returns ``(kind_codes, addrs, sizes, tids, infos, ips)`` where
+        the first four are arrays and the last two are lists of the
+        per-row resolved payloads.  This is what trace lowering zips.
+        """
+        infos = self._infos
+        ips = self._ips
+        return (
+            self._kinds,
+            self._addrs,
+            self._sizes,
+            self._tids,
+            [infos[index] for index in self._info_idx],
+            [ips[index] for index in self._ip_idx],
+        )
+
+    # -- event API ------------------------------------------------------
 
     def append(self, kind, addr=0, size=0, info="", ip=None, tid=0):
         """Record an event; returns the created :class:`TraceEvent`."""
         from repro._location import UNKNOWN_LOCATION
 
-        event = TraceEvent(
-            seq=len(self.events),
+        self.append_op(KIND_CODE[kind], addr, size, info, ip, tid)
+        return TraceEvent(
+            seq=len(self._kinds) - 1,
             kind=kind,
             addr=addr,
             size=size,
@@ -40,10 +154,64 @@ class TraceRecorder:
             ip=ip if ip is not None else UNKNOWN_LOCATION,
             tid=tid,
         )
-        if kind is EventKind.ROI_BEGIN:
-            self.has_roi = True
-        self.events.append(event)
-        return event
+
+    def _materialize(self):
+        infos = self._infos
+        ips = self._ips
+        return [
+            TraceEvent(
+                seq=seq, kind=KIND_BY_CODE[code], addr=addr, size=size,
+                info=infos[info_index], ip=ips[ip_index], tid=tid,
+            )
+            for seq, (code, addr, size, tid, info_index, ip_index)
+            in enumerate(zip(
+                self._kinds, self._addrs, self._sizes, self._tids,
+                self._info_idx, self._ip_idx,
+            ))
+        ]
+
+    @property
+    def events(self):
+        """The trace as :class:`TraceEvent` rows (lazily materialized,
+        cached until the next append)."""
+        events = self._events
+        if events is None:
+            events = self._materialize()
+            self._events = events
+        return events
+
+    @events.setter
+    def events(self, value):
+        """Replace the trace wholesale (offline analysis workflows
+        assign parsed event lists)."""
+        self._kinds = array("B")
+        self._addrs = array("Q")
+        self._sizes = array("Q")
+        self._tids = array("H")
+        self._info_idx = array("I")
+        self._ip_idx = array("I")
+        from repro._location import UNKNOWN_LOCATION
+
+        self._infos = [""]
+        self._info_table = {"": 0}
+        self._ips = [UNKNOWN_LOCATION]
+        self._ip_table = {id(UNKNOWN_LOCATION): 0}
+        self._bind_columns()
+        self.has_roi = False
+        for event in value:
+            ip = event.ip
+            self.append_op(
+                KIND_CODE[event.kind], event.addr, event.size,
+                event.info, None if ip is UNKNOWN_LOCATION else ip,
+                event.tid,
+            )
+        self._events = list(value)
+
+    def __len__(self):
+        return len(self._kinds)
+
+    def __iter__(self):
+        return iter(self.events)
 
     def prefix(self, upto):
         """Events with seq < ``upto`` (replay window for one failure
@@ -52,7 +220,8 @@ class TraceRecorder:
 
     def count(self, kind):
         """Number of recorded events of one kind."""
-        return sum(1 for event in self.events if event.kind is kind)
+        code = KIND_CODE[kind]
+        return sum(1 for c in self._kinds if c == code)
 
     def failure_points(self):
         """The FAILURE_POINT markers in recording order."""
@@ -60,6 +229,32 @@ class TraceRecorder:
             event for event in self.events
             if event.kind is EventKind.FAILURE_POINT
         ]
+
+    # -- pickling -------------------------------------------------------
+
+    def __getstate__(self):
+        # The ip table is keyed by object identity (ids change across
+        # processes) and the events cache is re-derivable: ship the
+        # columns and the payload lists only.  This is also what keeps
+        # worker-outcome pickles small — arrays ship as raw bytes.
+        return (
+            self.stage, self.has_roi, self._kinds, self._addrs,
+            self._sizes, self._tids, self._info_idx, self._ip_idx,
+            self._infos, self._ips,
+        )
+
+    def __setstate__(self, state):
+        (self.stage, self.has_roi, self._kinds, self._addrs,
+         self._sizes, self._tids, self._info_idx, self._ip_idx,
+         self._infos, self._ips) = state
+        self._info_table = {
+            info: index for index, info in enumerate(self._infos)
+        }
+        self._ip_table = {
+            id(ip): index for index, ip in enumerate(self._ips)
+        }
+        self._bind_columns()
+        self._events = None
 
 
 class NullRecorder(TraceRecorder):
@@ -71,12 +266,15 @@ class NullRecorder(TraceRecorder):
         super().__init__(stage)
         self._count = 0
 
+    def append_op(self, kind_code, addr, size, info, ip, tid):
+        if kind_code == _ROI_BEGIN_CODE:
+            self.has_roi = True
+        self._count += 1
+
     def append(self, kind, addr=0, size=0, info="", ip=None, tid=0):
         from repro._location import UNKNOWN_LOCATION
 
-        if kind is EventKind.ROI_BEGIN:
-            self.has_roi = True
-        self._count += 1
+        self.append_op(KIND_CODE[kind], addr, size, info, ip, tid)
         return TraceEvent(
             seq=self._count - 1, kind=kind, addr=addr, size=size,
             info=info, ip=ip if ip is not None else UNKNOWN_LOCATION,
